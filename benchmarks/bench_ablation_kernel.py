@@ -1,0 +1,150 @@
+"""Ablation: the paper's three hand-tuned kernel optimizations.
+
+Section IV.3 names (1) candidate preloading into shared memory,
+(2) manual loop unrolling, (3) hand-tuned block size. Each is a
+first-class config knob here; this bench prices all of them with the
+T10 model on a realistic workload profile taken from a real chess run.
+"""
+
+import pytest
+
+from repro import GPAprioriConfig, gpapriori_mine
+from repro.bench import render_table
+from repro.datasets import dataset_analog
+from repro.gpusim import GpuCostModel
+
+SUPPORT = 0.78
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """(candidates, k) per generation from a real mining run."""
+    db = dataset_analog("chess", scale=0.5)
+    result = gpapriori_mine(db, SUPPORT)
+    gens = result.metrics.generations
+    n_words = 64  # chess at scale 0.5: 1598 tx -> 50 words -> pad 64
+    return [(n, k + 1) for k, n in enumerate(gens)], n_words
+
+
+def _total_time(workload, n_words, **kernel_kwargs):
+    model = GpuCostModel()
+    return sum(
+        model.support_kernel_time(n, k, n_words, **kernel_kwargs).seconds
+        for n, k in workload
+    )
+
+
+class TestBlockSize:
+    def test_block_size_sweep(self, workload):
+        gens, n_words = workload
+        rows = []
+        times = {}
+        for block in (32, 64, 128, 256, 512):
+            t = _total_time(gens, n_words, block_size=block)
+            times[block] = t
+            rows.append((block, f"{t * 1e3:.3f} ms"))
+        print()
+        print("block-size sweep (paper optimization 3):")
+        print(render_table(["block size", "modeled kernel time"], rows))
+        # the reduction cost grows with block size; tiny blocks can't
+        # hide latency in the model's occupancy term. 256 (the paper's
+        # tuned value) must not be the worst choice.
+        assert times[256] <= max(times.values())
+
+    def test_oversized_blocks_pay_reduction_cost(self, workload):
+        gens, n_words = workload
+        t512 = _total_time(gens, n_words, block_size=512)
+        t128 = _total_time(gens, n_words, block_size=128)
+        # with only 64 words per row, 512 threads mostly idle through
+        # a deeper reduction tree
+        assert t512 > t128
+
+
+class TestPreload:
+    def test_preload_saves_memory_traffic(self, workload):
+        gens, n_words = workload
+        on = _total_time(gens, n_words, block_size=256, preload_candidates=True)
+        off = _total_time(gens, n_words, block_size=256, preload_candidates=False)
+        print()
+        print(
+            f"candidate preloading (optimization 1): on={on * 1e3:.3f} ms "
+            f"off={off * 1e3:.3f} ms ({off / on:.2f}x)"
+        )
+        assert off > on
+
+
+class TestUnroll:
+    def test_unroll_sweep(self, workload):
+        gens, n_words = workload
+        rows = []
+        times = []
+        for unroll in (1, 2, 4, 8):
+            t = _total_time(gens, n_words, block_size=256, unroll=unroll)
+            times.append(t)
+            rows.append((unroll, f"{t * 1e3:.3f} ms"))
+        print()
+        print("loop unrolling (optimization 2):")
+        print(render_table(["unroll factor", "modeled kernel time"], rows))
+        assert times == sorted(times, reverse=True)  # monotone improvement
+
+    def test_unroll_diminishing_returns(self, workload):
+        gens, n_words = workload
+        t1 = _total_time(gens, n_words, block_size=256, unroll=1)
+        t4 = _total_time(gens, n_words, block_size=256, unroll=4)
+        t8 = _total_time(gens, n_words, block_size=256, unroll=8)
+        assert (t1 - t4) > (t4 - t8)
+
+
+class TestReductionAddressing:
+    def test_sdk_addressing_story(self):
+        """The reduction the paper cites (SDK ref. [9]): sequential
+        addressing is bank-conflict-free; the naive interleaved version
+        serializes up to 16-way on compute 1.x's 16 banks."""
+        from repro.bench import render_table
+        from repro.gpusim import reduction_conflicts
+
+        seq = reduction_conflicts(256, "sequential")
+        inter = reduction_conflicts(256, "interleaved")
+        rows = [
+            ("sequential (used here)", max(seq), sum(seq)),
+            ("interleaved (naive)", max(inter), sum(inter)),
+        ]
+        print()
+        print("reduction addressing vs shared-memory bank conflicts:")
+        print(
+            render_table(
+                ["addressing", "worst conflict", "total serial cycles"], rows
+            )
+        )
+        assert max(seq) == 1
+        assert max(inter) == 16
+
+    def test_occupancy_rationale_for_block_256(self):
+        """Why the paper's hand-tuned block size lands at 256: it is
+        the smallest power of two reaching full SM residency with the
+        support kernel's resource profile."""
+        from repro.gpusim import best_block_size, occupancy
+
+        best = best_block_size(
+            registers_per_thread=16,
+            shared_per_thread_bytes=8,
+            shared_fixed_bytes=64,
+        )
+        res = occupancy(best, 16, 64 + 8 * best)
+        assert res.occupancy == 1.0
+        # smaller blocks cannot reach full residency (8-block SM cap)
+        small = occupancy(32, 16, 64 + 8 * 32)
+        assert small.occupancy < 1.0
+
+
+def test_bench_tuned_vs_untuned_functional(bench_one):
+    """Functional wall-clock of the tuned configuration (sanity only —
+    the optimizations are performance-model level)."""
+    db = dataset_analog("chess", scale=0.25)
+    r = bench_one(
+        gpapriori_mine,
+        db,
+        SUPPORT,
+        config=GPAprioriConfig(block_size=256, preload_candidates=True, unroll=4),
+    )
+    assert len(r) > 0

@@ -1,0 +1,77 @@
+"""Ablation: horizontal vs vertical transaction layouts (Section III).
+
+The paper: "The vertical representation has been utilized by most of
+the state-of-art Apriori algorithms. Experimental results show that the
+vertical representation usually can speed up the algorithm by one order
+of magnitude on most of the test dataset[s]."
+
+This bench runs the horizontal strategy (Goethals) against both
+vertical strategies (tidset Borgelt, bitset CPU_TEST) on the quest
+synthetic data and checks the order-of-magnitude claim in modeled time.
+"""
+
+import pytest
+
+from repro import mine
+from repro.bench import render_table
+from repro.datasets import dataset_analog
+
+SUPPORT = 0.04
+
+
+@pytest.fixture(scope="module")
+def db():
+    return dataset_analog("T40I10D100K", scale=0.015)
+
+
+@pytest.fixture(scope="module")
+def runs(db):
+    return {
+        name: mine(db, SUPPORT, algorithm=name)
+        for name in ("goethals", "borgelt", "cpu_bitset")
+    }
+
+
+def test_layout_comparison_table(runs):
+    rows = []
+    for name, r in runs.items():
+        layout = {
+            "goethals": "horizontal",
+            "borgelt": "vertical tidset",
+            "cpu_bitset": "vertical bitset",
+        }[name]
+        rows.append(
+            (
+                name,
+                layout,
+                f"{r.metrics.modeled_seconds * 1e3:.3f} ms",
+                f"{r.metrics.wall_seconds * 1e3:.1f} ms",
+            )
+        )
+    print()
+    print(f"Section III layout comparison (T40 analog, support {SUPPORT}):")
+    print(render_table(["algorithm", "layout", "modeled", "python wall"], rows))
+
+
+def test_all_layouts_agree(runs):
+    ref = runs["cpu_bitset"]
+    for r in runs.values():
+        assert r.same_itemsets(ref)
+
+
+def test_vertical_order_of_magnitude_faster(runs):
+    """The paper's ~10x claim for vertical over horizontal."""
+    horizontal = runs["goethals"].metrics.modeled_seconds
+    for vertical in ("borgelt", "cpu_bitset"):
+        ratio = horizontal / runs[vertical].metrics.modeled_seconds
+        assert ratio > 8.0, f"{vertical}: only {ratio:.1f}x"
+
+
+def test_bench_horizontal(db, bench_one):
+    r = bench_one(mine, db, SUPPORT, algorithm="goethals")
+    assert len(r) > 0
+
+
+def test_bench_vertical_bitset(db, bench_one):
+    r = bench_one(mine, db, SUPPORT, algorithm="cpu_bitset")
+    assert len(r) > 0

@@ -1,0 +1,90 @@
+"""Extension bench: the load-balanced CPU/GPU model (Section VI).
+
+The paper's future work asks for "a load-balanced computation model
+across CPU/GPU platform[s]". This bench sweeps the GPU share on a
+realistic workload and shows the model balancer beating both pure
+strategies: small generations ride the CPU (dodging launch/PCIe
+floors), large generations ride the GPU, and the balanced makespan per
+generation is the max of two concurrent sides.
+"""
+
+import pytest
+
+from repro import StaticBalancer, hybrid_mine, mine
+from repro.bench import render_table
+from repro.datasets import dataset_analog
+
+SUPPORT = 0.78
+
+
+@pytest.fixture(scope="module")
+def db():
+    return dataset_analog("chess", scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def share_sweep(db):
+    out = {}
+    for share in (0.0, 0.25, 0.5, 0.75, 1.0):
+        r = hybrid_mine(db, SUPPORT, balancer=StaticBalancer(share))
+        out[share] = r
+    out["model"] = hybrid_mine(db, SUPPORT)
+    return out
+
+
+def _makespan(result) -> float:
+    return result.metrics.modeled_breakdown["hybrid_makespan"]
+
+
+def test_share_sweep_table(share_sweep):
+    rows = []
+    for key, r in share_sweep.items():
+        label = "model balancer" if key == "model" else f"gpu share {key:.2f}"
+        rows.append(
+            (
+                label,
+                r.metrics.counters["gpu_candidates"],
+                r.metrics.counters["cpu_candidates"],
+                f"{_makespan(r) * 1e3:.3f} ms",
+            )
+        )
+    print()
+    print(f"hybrid CPU/GPU split on chess (scale 0.5, support {SUPPORT}):")
+    print(
+        render_table(
+            ["strategy", "gpu candidates", "cpu candidates", "modeled makespan"],
+            rows,
+        )
+    )
+
+
+def test_all_splits_identical_itemsets(share_sweep, db):
+    ref = mine(db, SUPPORT)
+    for r in share_sweep.values():
+        assert r.same_itemsets(ref)
+
+
+def test_model_balancer_beats_pure_strategies(share_sweep):
+    model = _makespan(share_sweep["model"])
+    assert model <= _makespan(share_sweep[0.0]) * 1.001
+    assert model <= _makespan(share_sweep[1.0]) * 1.001
+
+
+def test_model_balancer_at_least_as_good_as_static_grid(share_sweep):
+    model = _makespan(share_sweep["model"])
+    best_static = min(
+        _makespan(share_sweep[s]) for s in (0.0, 0.25, 0.5, 0.75, 1.0)
+    )
+    assert model <= best_static * 1.05
+
+
+def test_small_generations_routed_to_cpu(db):
+    """Generation 1 (75 candidates of 64-word rows) is below the GPU's
+    fixed-cost floor; the model balancer keeps some work on the CPU."""
+    r = hybrid_mine(db, SUPPORT)
+    assert r.metrics.counters["cpu_candidates"] > 0
+
+
+def test_bench_hybrid(db, bench_one):
+    r = bench_one(hybrid_mine, db, SUPPORT)
+    assert len(r) > 0

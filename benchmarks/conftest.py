@@ -1,0 +1,67 @@
+"""Shared helpers for the evaluation benchmarks.
+
+Each ``bench_*`` file regenerates one table or figure of the paper.
+Scaled-down dataset analogs keep pure-Python wall-clock tolerable; the
+figure comparisons use era-hardware modeled times from measured
+operation counts (see EXPERIMENTS.md). Run with:
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+from repro.bench import build_figure6, render_figure, speedup_table, support_sweep
+from repro.bench.ascii_plot import figure6_chart
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_panel(
+    db,
+    name: str,
+    supports,
+    algorithms,
+    paper_note: str,
+):
+    """Run one Figure 6 panel sweep; print it and persist to results/.
+
+    The persisted report is what EXPERIMENTS.md references; printing
+    also happens so ``pytest -s`` shows the panels live.
+    """
+    sweep = support_sweep(db, name, supports, algorithms)
+    assert sweep.consistent_itemset_counts(), "algorithms disagreed on itemsets"
+    series = build_figure6(sweep)
+    lines = [
+        "=" * 72,
+        render_figure(f"Figure 6 panel: {name}", series),
+        "",
+        figure6_chart(series),
+        "",
+        "GPApriori speedup over each competitor (paper's prose form):",
+    ]
+    for other, ratios in speedup_table(series, "gpapriori").items():
+        lines.append(
+            f"  vs {other:<11}: " + ", ".join(f"{r:.3g}x" for r in ratios)
+        )
+    lines += ["", f"paper reports: {paper_note}", "=" * 72]
+    report = "\n".join(lines)
+    print("\n" + report)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = re.sub(r"[^A-Za-z0-9]+", "_", name).strip("_")
+    (RESULTS_DIR / f"{slug}.txt").write_text(report + "\n")
+    return series
+
+
+@pytest.fixture
+def bench_one(benchmark):
+    """Benchmark a single mining run with bounded rounds."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=3, iterations=1)
+
+    return run

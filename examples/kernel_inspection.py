@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Inspect the support kernel on the SIMT simulator.
+
+Reproduces the paper's Figure 3 argument experimentally: run the real
+GPApriori kernel with access tracing on the simulator and show that the
+64-byte-aligned bitset reads coalesce perfectly, while a tidset-style
+gather of the same data scatters into many memory transactions. Also
+demonstrates the shared-memory budget and the barrier discipline.
+
+    python examples/kernel_inspection.py
+"""
+
+import numpy as np
+
+from repro import GPAprioriConfig
+from repro.bitset import BitsetMatrix, TidsetTable
+from repro.core.itemset import RunMetrics
+from repro.core.support import SimulatedEngine
+from repro.datasets import dataset_analog
+from repro.gpusim import GlobalMemory, TESLA_T10, analyze_trace, launch_kernel
+from repro.gpusim.kernel import LaunchConfig
+from repro.gpusim.warp import divergence_factor
+
+
+def bitset_kernel_report(db):
+    """Trace the real support kernel and analyze its global accesses."""
+    cfg = GPAprioriConfig(engine="simulated", block_size=32, trace_accesses=True)
+    engine = SimulatedEngine(cfg, RunMetrics())
+    engine.setup(BitsetMatrix.from_database(db))
+    candidates = np.array([[0, 1], [1, 2], [2, 3]], dtype=np.int32)
+    supports = engine.count_complete(candidates)
+    report = engine.coalescing_report()
+    return supports, report
+
+
+def tidset_gather_report(db):
+    """A tidset-style gather kernel: each lane chases a transaction id."""
+    table = TidsetTable.from_database(db)
+    # concatenate all tidsets; lanes gather via data-dependent indices
+    flat = np.concatenate([table.tidset(i) for i in range(db.n_items)])
+    mem = GlobalMemory(TESLA_T10.global_mem_bytes)
+    data = mem.alloc("payload", (db.n_transactions,), np.uint32)
+    idx = mem.alloc("tids", (flat.size,), np.int64)
+    mem.htod(idx, flat.astype(np.int64))
+    mem.htod(data, np.arange(db.n_transactions, dtype=np.uint32))
+
+    def gather_kernel(ctx, idx, data, n):
+        i = ctx.global_thread_id
+        if i < n:
+            tid = ctx.load(idx, i)
+            ctx.load(data, int(tid))  # data-dependent gather
+        return
+        yield
+
+    n = min(flat.size, 512)
+    res = launch_kernel(
+        gather_kernel,
+        LaunchConfig((n + 31) // 32, 32),
+        args=(idx, data, n),
+        trace=True,
+    )
+    gathers = [a for a in res.trace if a.ordinal == 1]
+    return analyze_trace(gathers)
+
+
+def main() -> None:
+    db = dataset_analog("chess", scale=0.05)
+    print(f"dataset: {db}\n")
+
+    supports, rep = bitset_kernel_report(db)
+    print("— static bitset kernel (paper Fig. 3b) —")
+    print(f"  candidate supports: {supports.tolist()}")
+    print(f"  global accesses: {rep.n_accesses}")
+    print(f"  memory transactions: {rep.n_transactions}")
+    print(f"  transactions per half-warp request: "
+          f"{rep.transactions_per_halfwarp_request:.2f}  (1.0 = perfect)")
+    print(f"  bandwidth efficiency: {rep.efficiency:.0%}")
+
+    rep2 = tidset_gather_report(db)
+    print("\n— tidset-style gather (paper Fig. 3a) —")
+    print(f"  global accesses: {rep2.n_accesses}")
+    print(f"  memory transactions: {rep2.n_transactions}")
+    print(f"  transactions per half-warp request: "
+          f"{rep2.transactions_per_halfwarp_request:.2f}")
+    print(f"  bandwidth efficiency: {rep2.efficiency:.0%}")
+
+    print("\n— warp divergence —")
+    table = TidsetTable.from_database(db)
+    merge_work = [float(table.tidset(i).size) for i in range(db.n_items)]
+    print(
+        "  bitset kernel lanes (uniform words/lane): factor "
+        f"{divergence_factor([float(128)] * 64):.2f}"
+    )
+    print(
+        "  per-item tidset merge lanes (data-dependent): factor "
+        f"{divergence_factor(merge_work):.2f}"
+    )
+    print(
+        "\nThe aligned bitset layout turns support counting into "
+        "divergence-free, fully-coalesced SIMD work — the paper's core "
+        "architectural claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

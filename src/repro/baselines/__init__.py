@@ -1,0 +1,42 @@
+"""CPU baseline implementations (the paper's Table 1 competitors).
+
+=================  ==========================================================
+``cpu_bitset``     CPU_TEST — the *same* bitset complete-intersection
+                   algorithm as GPApriori, single-threaded on the CPU.
+``borgelt``        Borgelt-style Apriori: level-wise candidate trie with
+                   **vertical tidset** intersection ("Efficient
+                   Implementations of Apriori and Eclat", FIMI 2003).
+``bodon``          Bodon-style Apriori: candidate trie with hash fan-out,
+                   counted by pushing **horizontal** transactions through
+                   the trie (OSDM 2005).
+``goethals``       Goethals-style Apriori: Agrawal's original horizontal
+                   algorithm — per-transaction subset checks over a flat
+                   candidate list.
+``eclat``          Eclat: depth-first equivalence-class search over
+                   tidsets, with Zaki & Gouda's **diffset** variant.
+``fpgrowth``       FP-Growth: pattern-growth over an FP-tree (Han et al.,
+                   SIGMOD 2000) — the non-Apriori reference point of the
+                   paper's related-work comparison.
+=================  ==========================================================
+
+Every baseline returns the same :class:`~repro.core.itemset.MiningResult`
+and records the operation counters its cost model needs.
+"""
+
+from .cpu_bitset import cpu_bitset_mine
+from .borgelt import borgelt_mine
+from .bodon import bodon_mine
+from .goethals import goethals_mine
+from .eclat import eclat_mine
+from .fpgrowth import fpgrowth_mine
+from .partition import partition_mine
+
+__all__ = [
+    "cpu_bitset_mine",
+    "borgelt_mine",
+    "bodon_mine",
+    "goethals_mine",
+    "eclat_mine",
+    "fpgrowth_mine",
+    "partition_mine",
+]

@@ -1,0 +1,105 @@
+"""ASCII line plots for Figure 6-style series.
+
+The paper's Figure 6 panels are log-scale runtime-versus-support
+charts. The benchmark harness renders its tables everywhere, and this
+module adds a terminal-friendly chart so the *shape* — who wins, where
+curves cross — is visible at a glance in the persisted reports without
+any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from ..errors import ReproError
+from .figures import FigureSeries
+
+__all__ = ["ascii_chart", "figure6_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _log_positions(values: Sequence[float], height: int) -> List[int]:
+    """Map positive values onto [0, height-1] rows, log scale."""
+    finite = [v for v in values if v > 0 and not math.isinf(v)]
+    if not finite:
+        return [0 for _ in values]
+    lo = math.log10(min(finite))
+    hi = math.log10(max(finite))
+    span = hi - lo or 1.0
+    out = []
+    for v in values:
+        if v <= 0 or math.isinf(v):
+            out.append(0)
+        else:
+            frac = (math.log10(v) - lo) / span
+            out.append(int(round(frac * (height - 1))))
+    return out
+
+
+def ascii_chart(
+    x_labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    col_width: int = 10,
+    y_label: str = "time (log)",
+) -> str:
+    """Render named series as a log-scale ASCII chart.
+
+    Each series gets a marker character; a legend follows the chart.
+    All series must share the x axis (``x_labels``).
+    """
+    if not series:
+        raise ReproError("ascii_chart needs at least one series")
+    n_points = len(x_labels)
+    for name, values in series.items():
+        if len(values) != n_points:
+            raise ReproError(
+                f"series {name!r} has {len(values)} points, x axis has {n_points}"
+            )
+    if height < 2:
+        raise ReproError("height must be >= 2")
+    all_values = [v for vals in series.values() for v in vals]
+    rows = {
+        name: _log_positions(
+            list(values) + all_values, height
+        )[: n_points]
+        for name, values in series.items()
+    }
+    # note: appending all_values normalizes every series to the global scale
+    grid = [[" "] * (n_points * col_width) for _ in range(height)]
+    names = sorted(series)
+    for si, name in enumerate(names):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for xi, row in enumerate(rows[name]):
+            col = xi * col_width + col_width // 2
+            r = height - 1 - row
+            cell = grid[r][col]
+            grid[r][col] = "!" if cell not in (" ", marker) else marker
+    lines = [f"  ^ {y_label}"]
+    for r in range(height):
+        lines.append("  |" + "".join(grid[r]).rstrip())
+    lines.append("  +" + "-" * (n_points * col_width) + "> min support")
+    axis = "   "
+    for label in x_labels:
+        axis += label.center(col_width)
+    lines.append(axis)
+    legend = "  legend: " + "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(legend + "   (! = overlapping points)")
+    return "\n".join(lines)
+
+
+def figure6_chart(series: Dict[str, FigureSeries], height: int = 12) -> str:
+    """Chart one Figure 6 panel's modeled-time curves."""
+    if not series:
+        raise ReproError("empty series")
+    any_series = next(iter(series.values()))
+    x_labels = [f"{s:g}" for s in any_series.supports]
+    return ascii_chart(
+        x_labels,
+        {name: s.seconds for name, s in series.items()},
+        height=height,
+    )

@@ -1,0 +1,73 @@
+"""CSV export of benchmark sweeps for external plotting.
+
+The harness's native output is ASCII tables/charts; anyone regenerating
+the paper's figures in matplotlib/gnuplot/R needs the raw series. One
+row per (algorithm, support) with both wall-clock and modeled times,
+stable column order, RFC-4180-safe formatting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Union
+
+from ..errors import ReproError
+from .figures import build_figure6
+from .runner import SweepResult
+
+__all__ = ["sweep_to_csv", "write_sweep_csv"]
+
+COLUMNS = [
+    "dataset",
+    "algorithm",
+    "min_support",
+    "n_itemsets",
+    "max_k",
+    "wall_seconds",
+    "modeled_seconds",
+    "speedup_vs_borgelt",
+]
+
+
+def sweep_to_csv(sweep: SweepResult) -> str:
+    """Serialize a support sweep as CSV text (header + one row/run)."""
+    if not sweep.records:
+        raise ReproError("cannot export an empty sweep")
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(COLUMNS)
+    speedups = None
+    if "borgelt" in sweep.records:
+        series = build_figure6(sweep)
+        speedups = {
+            name: s.speedup_vs_reference for name, s in series.items()
+        }
+    for algorithm in sorted(sweep.records):
+        for idx, record in enumerate(sweep.records[algorithm]):
+            writer.writerow(
+                [
+                    sweep.dataset,
+                    algorithm,
+                    f"{record.min_support:g}",
+                    record.n_itemsets,
+                    record.max_k,
+                    f"{record.wall_seconds:.9f}",
+                    ""
+                    if record.modeled_seconds is None
+                    else f"{record.modeled_seconds:.9f}",
+                    ""
+                    if speedups is None
+                    else f"{speedups[algorithm][idx]:.4f}",
+                ]
+            )
+    return buf.getvalue()
+
+
+def write_sweep_csv(
+    sweep: SweepResult, path: Union[str, os.PathLike]
+) -> None:
+    """Write :func:`sweep_to_csv` output to a file."""
+    with open(path, "w", encoding="ascii", newline="") as fh:
+        fh.write(sweep_to_csv(sweep))

@@ -1,0 +1,82 @@
+"""Figure 6 series: runtime and speedup versus minimum support.
+
+The paper's Figure 6(a-d) plots, per dataset, each implementation's
+runtime against the minimum-support threshold, with speedups quoted
+relative to the Borgelt implementation. ``build_figure6`` reproduces
+the series from a support sweep; ``speedup_table`` condenses them into
+the ratios the paper quotes in the text (GPApriori/CPU_TEST,
+GPApriori/Borgelt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from .runner import SweepResult
+
+__all__ = ["FigureSeries", "build_figure6", "speedup_table"]
+
+REFERENCE_ALGORITHM = "borgelt"
+"""The paper normalizes Figure 6 speedups to Borgelt's Apriori."""
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One algorithm's curve in one Figure 6 panel."""
+
+    algorithm: str
+    supports: List[float]
+    seconds: List[float]
+    """Era-hardware modeled seconds (wall-clock for unmodeled runs)."""
+
+    wall_seconds: List[float]
+    speedup_vs_reference: List[float]
+    """reference_time / this_time at each support (> 1 = faster)."""
+
+
+def build_figure6(sweep: SweepResult) -> Dict[str, FigureSeries]:
+    """Turn a support sweep into Figure 6 series, one per algorithm."""
+    if REFERENCE_ALGORITHM not in sweep.records:
+        raise KeyError(
+            f"sweep must include the reference algorithm {REFERENCE_ALGORITHM!r}"
+        )
+    ref_times = [r.time_for_ranking for r in sweep.records[REFERENCE_ALGORITHM]]
+    out: Dict[str, FigureSeries] = {}
+    for algorithm, records in sweep.records.items():
+        seconds = [r.time_for_ranking for r in records]
+        out[algorithm] = FigureSeries(
+            algorithm=algorithm,
+            supports=list(sweep.supports),
+            seconds=seconds,
+            wall_seconds=[r.wall_seconds for r in records],
+            speedup_vs_reference=[
+                (ref / t) if t > 0 else float("inf")
+                for ref, t in zip(ref_times, seconds)
+            ],
+        )
+    return out
+
+
+def speedup_table(
+    series: Dict[str, FigureSeries],
+    numerator: str = "gpapriori",
+) -> Dict[str, List[float]]:
+    """Per-support speedup of ``numerator`` over every other algorithm.
+
+    Returns ``{other_algorithm: [speedup at each support]}`` where
+    speedup = other's seconds / numerator's seconds — the form the
+    paper's prose uses ("on accident the speed up ranges from 50X to
+    80X" for CPU_TEST, "4X-10X" for Borgelt).
+    """
+    if numerator not in series:
+        raise KeyError(f"series does not contain {numerator!r}")
+    num = series[numerator].seconds
+    out: Dict[str, List[float]] = {}
+    for name, s in series.items():
+        if name == numerator:
+            continue
+        out[name] = [
+            (b / a) if a > 0 else float("inf") for a, b in zip(num, s.seconds)
+        ]
+    return out

@@ -1,0 +1,69 @@
+"""Plain-text rendering of benchmark tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .figures import FigureSeries
+
+__all__ = ["render_table", "render_figure", "format_seconds"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human scale: us / ms / s with three significant digits."""
+    if seconds == float("inf"):
+        return "inf"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.3g} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3g} ms"
+    return f"{seconds:.3g} s"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width ASCII table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for ri, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if ri == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_figure(
+    title: str,
+    series: Dict[str, FigureSeries],
+    reference: str = "borgelt",
+) -> str:
+    """Render one Figure 6 panel as two ASCII tables (times, speedups).
+
+    Mirrors the paper's presentation: per-support times for every
+    implementation plus speedups normalized to the reference.
+    """
+    names = sorted(series)
+    supports = series[names[0]].supports
+    time_rows: List[List[object]] = []
+    speed_rows: List[List[object]] = []
+    for idx, s in enumerate(supports):
+        time_rows.append(
+            [f"{s:g}"] + [format_seconds(series[n].seconds[idx]) for n in names]
+        )
+        speed_rows.append(
+            [f"{s:g}"]
+            + [
+                f"{series[n].speedup_vs_reference[idx]:.2f}x"
+                for n in names
+            ]
+        )
+    parts = [
+        title,
+        "",
+        "modeled era-hardware time per minimum support:",
+        render_table(["min_supp"] + names, time_rows),
+        "",
+        f"speedup relative to {reference} (>1 = faster):",
+        render_table(["min_supp"] + names, speed_rows),
+    ]
+    return "\n".join(parts)

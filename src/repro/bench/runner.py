@@ -1,0 +1,101 @@
+"""Algorithm runners and support sweeps for the evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..core.api import mine
+from ..core.itemset import MiningResult
+
+__all__ = ["RunRecord", "SweepResult", "run_algorithm", "support_sweep"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One (algorithm, dataset, support) execution."""
+
+    algorithm: str
+    min_support: float
+    """The requested threshold (ratio or absolute, as passed)."""
+
+    n_itemsets: int
+    max_k: int
+    wall_seconds: float
+    modeled_seconds: float | None
+    modeled_breakdown: Dict[str, float]
+    generations: List[int]
+
+    @property
+    def time_for_ranking(self) -> float:
+        """Modeled seconds when available, else wall-clock.
+
+        The Figure 6 comparisons rank algorithms by era-hardware modeled
+        time (see EXPERIMENTS.md); algorithms without a model fall back
+        to wall-clock, which the report flags.
+        """
+        return self.modeled_seconds if self.modeled_seconds is not None else self.wall_seconds
+
+
+def run_algorithm(db, min_support, algorithm: str, **kwargs) -> RunRecord:
+    """Run one miner and condense its result into a :class:`RunRecord`."""
+    result: MiningResult = mine(db, min_support, algorithm=algorithm, **kwargs)
+    m = result.metrics
+    return RunRecord(
+        algorithm=algorithm,
+        min_support=float(min_support),
+        n_itemsets=len(result),
+        max_k=result.max_size(),
+        wall_seconds=m.wall_seconds,
+        modeled_seconds=m.modeled_seconds,
+        modeled_breakdown=dict(m.modeled_breakdown),
+        generations=list(m.generations),
+    )
+
+
+@dataclass
+class SweepResult:
+    """All runs of a (dataset x supports x algorithms) sweep."""
+
+    dataset: str
+    supports: List[float]
+    records: Dict[str, List[RunRecord]] = field(default_factory=dict)
+    """algorithm -> one record per support, in sweep order."""
+
+    def records_for(self, algorithm: str) -> List[RunRecord]:
+        return self.records[algorithm]
+
+    def consistent_itemset_counts(self) -> bool:
+        """All algorithms agree on the itemset count at each support."""
+        per_support = zip(*self.records.values())
+        return all(
+            len({r.n_itemsets for r in column}) == 1 for column in per_support
+        )
+
+
+def support_sweep(
+    db,
+    dataset_name: str,
+    supports: Sequence[float],
+    algorithms: Sequence[str],
+    algo_kwargs: Dict[str, dict] | None = None,
+) -> SweepResult:
+    """Run every algorithm at every support threshold.
+
+    Parameters
+    ----------
+    supports:
+        Thresholds in *descending* difficulty order is conventional
+        (the paper sweeps high to low support).
+    algo_kwargs:
+        Optional per-algorithm keyword overrides,
+        e.g. ``{"eclat": {"diffsets": True}}``.
+    """
+    algo_kwargs = algo_kwargs or {}
+    sweep = SweepResult(dataset=dataset_name, supports=[float(s) for s in supports])
+    for algorithm in algorithms:
+        kwargs = algo_kwargs.get(algorithm, {})
+        sweep.records[algorithm] = [
+            run_algorithm(db, s, algorithm, **kwargs) for s in supports
+        ]
+    return sweep

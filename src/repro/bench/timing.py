@@ -1,0 +1,53 @@
+"""Wall-clock measurement helpers.
+
+Following the guides' "no optimization without measuring": repeated
+runs, best-of-N for stability against interpreter noise, and a floor on
+total measurement time for very fast operations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List
+
+__all__ = ["TimingResult", "measure"]
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Statistics of repeated timed runs (seconds)."""
+
+    best: float
+    mean: float
+    runs: int
+
+    def __str__(self) -> str:
+        return f"best={self.best * 1e3:.2f} ms over {self.runs} runs"
+
+
+def measure(
+    fn: Callable[[], object],
+    repeat: int = 3,
+    min_total_seconds: float = 0.0,
+) -> TimingResult:
+    """Time ``fn`` ``repeat`` times (at least; more if under the floor).
+
+    Returns best and mean wall-clock. The callable's return value is
+    discarded; time side effects accordingly.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    times: List[float] = []
+    total = 0.0
+    runs = 0
+    while runs < repeat or total < min_total_seconds:
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        times.append(dt)
+        total += dt
+        runs += 1
+        if runs >= 1000:  # hard cap against pathological floors
+            break
+    return TimingResult(best=min(times), mean=total / runs, runs=runs)

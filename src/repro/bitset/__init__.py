@@ -1,0 +1,46 @@
+"""Vertical transaction layouts: static bitsets and tidsets.
+
+The paper's central data-structure contribution (Section IV.1) is the
+*static bitset*: each item's vertical transaction list stored as a bit
+vector, with all vectors padded to a 64-byte boundary so consecutive GPU
+threads read consecutive, aligned words (coalesced access, Fig. 3b).
+This package implements:
+
+* :class:`~repro.bitset.bitset.BitsetMatrix` — the static bitset table,
+* :mod:`~repro.bitset.ops` — vectorized AND / popcount primitives,
+* :class:`~repro.bitset.tidset.TidsetTable` — the classical tidset
+  layout used by Borgelt-style CPU Apriori (Fig. 2B / Fig. 3a),
+* :mod:`~repro.bitset.vertical` — conversions between layouts.
+"""
+
+from .bitset import BitsetMatrix, WORD_BITS, ALIGN_BYTES, WORDS_PER_ALIGN
+from .ops import (
+    popcount,
+    popcount_words,
+    intersect_rows,
+    intersect_pair,
+    support_of_rows,
+    support_many,
+)
+from .tidset import TidsetTable, intersect_tidsets, intersect_tidsets_merge
+from .vertical import build_bitset_matrix, build_tidset_table, bitset_to_tidsets, tidsets_to_bitset
+
+__all__ = [
+    "BitsetMatrix",
+    "WORD_BITS",
+    "ALIGN_BYTES",
+    "WORDS_PER_ALIGN",
+    "popcount",
+    "popcount_words",
+    "intersect_rows",
+    "intersect_pair",
+    "support_of_rows",
+    "support_many",
+    "TidsetTable",
+    "intersect_tidsets",
+    "intersect_tidsets_merge",
+    "build_bitset_matrix",
+    "build_tidset_table",
+    "bitset_to_tidsets",
+    "tidsets_to_bitset",
+]

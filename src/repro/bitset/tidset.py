@@ -1,0 +1,170 @@
+"""Tidset vertical layout (paper Fig. 2B) and tidset intersections.
+
+A tidset is the sorted array of transaction ids containing an item —
+the layout Borgelt-style CPU Apriori and classical Eclat operate on.
+The paper's Figure 3a observes that joining tidsets is a data-dependent
+merge whose memory accesses do not coalesce on a GPU; this module
+provides both the fast vectorized intersection (used by the CPU
+baselines) and an explicit two-pointer merge
+(:func:`intersect_tidsets_merge`) whose access trace feeds the
+coalescing analyzer in :mod:`repro.gpusim.coalescing`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import BitsetError
+
+__all__ = ["TidsetTable", "intersect_tidsets", "intersect_tidsets_merge"]
+
+
+def _as_tidset(arr: np.ndarray) -> np.ndarray:
+    out = np.asarray(arr, dtype=np.int64)
+    if out.ndim != 1:
+        raise BitsetError("a tidset must be 1-D")
+    if out.size > 1 and np.any(np.diff(out) <= 0):
+        raise BitsetError("a tidset must be strictly increasing")
+    if out.size and out[0] < 0:
+        raise BitsetError("transaction ids must be >= 0")
+    return out
+
+
+def intersect_tidsets(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sorted-set intersection of two tidsets (vectorized).
+
+    Both inputs must be strictly increasing; with that guarantee
+    ``np.intersect1d(assume_unique=True)`` is safe and avoids a sort.
+    """
+    a = _as_tidset(a)
+    b = _as_tidset(b)
+    return np.intersect1d(a, b, assume_unique=True)
+
+
+def intersect_tidsets_merge(a: np.ndarray, b: np.ndarray, trace: list | None = None) -> np.ndarray:
+    """Two-pointer merge intersection, optionally recording its reads.
+
+    This is the element-at-a-time join the paper's Figure 3a depicts.
+    When ``trace`` is a list, every element read is appended as a tuple
+    ``(array_id, index)`` with ``array_id`` 0 for ``a`` and 1 for ``b`` —
+    the access stream the coalescing analyzer consumes to show why
+    tidset joins serialize on SIMD hardware.
+    """
+    a = _as_tidset(a)
+    b = _as_tidset(b)
+    out: List[int] = []
+    i = j = 0
+    while i < a.size and j < b.size:
+        av, bv = int(a[i]), int(b[j])
+        if trace is not None:
+            trace.append((0, i))
+            trace.append((1, j))
+        if av == bv:
+            out.append(av)
+            i += 1
+            j += 1
+        elif av < bv:
+            i += 1
+        else:
+            j += 1
+    return np.asarray(out, dtype=np.int64)
+
+
+class TidsetTable:
+    """Per-item tidsets for a whole database.
+
+    Parameters
+    ----------
+    tidsets:
+        One strictly-increasing ``int64`` array per item.
+    n_transactions:
+        Total transaction count (bounds every id).
+    """
+
+    __slots__ = ("_tidsets", "_n_transactions")
+
+    def __init__(self, tidsets: Sequence[np.ndarray], n_transactions: int) -> None:
+        if n_transactions < 0:
+            raise BitsetError("n_transactions must be >= 0")
+        checked = []
+        for item, t in enumerate(tidsets):
+            arr = _as_tidset(t)
+            if arr.size and arr[-1] >= n_transactions:
+                raise BitsetError(
+                    f"item {item}: transaction id {int(arr[-1])} out of range"
+                )
+            arr.setflags(write=False)
+            checked.append(arr)
+        self._tidsets = checked
+        self._n_transactions = int(n_transactions)
+
+    @classmethod
+    def from_database(cls, db) -> "TidsetTable":
+        """Transpose a horizontal database into per-item tidsets.
+
+        Single pass over the CSR arrays: stable argsort by item groups
+        the transaction ids of each item contiguously and in order.
+        """
+        items = db.items_flat
+        tx_ids = np.repeat(
+            np.arange(db.n_transactions, dtype=np.int64), np.diff(db.offsets)
+        )
+        order = np.argsort(items, kind="stable")
+        sorted_items = items[order]
+        sorted_tx = tx_ids[order]
+        bounds = np.searchsorted(sorted_items, np.arange(db.n_items + 1))
+        tidsets = [
+            sorted_tx[bounds[i] : bounds[i + 1]] for i in range(db.n_items)
+        ]
+        return cls(tidsets, db.n_transactions)
+
+    @property
+    def n_items(self) -> int:
+        return len(self._tidsets)
+
+    @property
+    def n_transactions(self) -> int:
+        return self._n_transactions
+
+    @property
+    def nbytes(self) -> int:
+        """Total storage — the 'compact' side of the paper's trade-off."""
+        return sum(t.nbytes for t in self._tidsets)
+
+    def tidset(self, item: int) -> np.ndarray:
+        """Read-only tidset (sorted transaction ids) of one item."""
+        if not 0 <= item < self.n_items:
+            raise BitsetError(f"item {item} out of range [0, {self.n_items})")
+        return self._tidsets[item]
+
+    def support(self, item: int) -> int:
+        """Absolute support of a single item (its tidset length)."""
+        return self.tidset(item).size
+
+    def supports(self) -> np.ndarray:
+        """Per-item absolute supports as an int64 array."""
+        return np.asarray([t.size for t in self._tidsets], dtype=np.int64)
+
+    def intersect(self, items: Sequence[int]) -> np.ndarray:
+        """k-way tidset intersection, smallest-first for early shrink."""
+        ids = sorted(set(int(i) for i in items), key=lambda i: self.tidset(i).size)
+        if not ids:
+            return np.arange(self._n_transactions, dtype=np.int64)
+        acc = self.tidset(ids[0])
+        for item in ids[1:]:
+            if acc.size == 0:
+                break
+            acc = intersect_tidsets(acc, self.tidset(item))
+        return acc
+
+    def support_of(self, items: Sequence[int]) -> int:
+        """Absolute support of an itemset via tidset intersection."""
+        return int(self.intersect(items).size)
+
+    def __repr__(self) -> str:
+        return (
+            f"TidsetTable(n_items={self.n_items}, "
+            f"n_transactions={self._n_transactions}, nbytes={self.nbytes})"
+        )

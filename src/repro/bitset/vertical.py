@@ -1,0 +1,45 @@
+"""Conversions between horizontal and vertical layouts.
+
+GPApriori performs the horizontal-to-bitset transpose once on the host
+before mining; the CPU baselines build tidsets instead. These builders
+and the bidirectional bitset/tidset converters are what the tests use
+to establish that every layout encodes the same database.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .bitset import BitsetMatrix
+from .tidset import TidsetTable
+
+__all__ = [
+    "build_bitset_matrix",
+    "build_tidset_table",
+    "bitset_to_tidsets",
+    "tidsets_to_bitset",
+]
+
+
+def build_bitset_matrix(db, aligned: bool = True) -> BitsetMatrix:
+    """Build the static bitset table of a database (see Fig. 2B 'bitset')."""
+    return BitsetMatrix.from_database(db, aligned=aligned)
+
+
+def build_tidset_table(db) -> TidsetTable:
+    """Build the tidset table of a database (see Fig. 2B 'tidset')."""
+    return TidsetTable.from_database(db)
+
+
+def bitset_to_tidsets(matrix: BitsetMatrix) -> TidsetTable:
+    """Decode every bitset row into a tidset (lossless)."""
+    tidsets: List[np.ndarray] = [matrix.tidset(i) for i in range(matrix.n_items)]
+    return TidsetTable(tidsets, matrix.n_transactions)
+
+
+def tidsets_to_bitset(table: TidsetTable, aligned: bool = True) -> BitsetMatrix:
+    """Encode a tidset table as a static bitset matrix (lossless)."""
+    sets: Sequence[np.ndarray] = [table.tidset(i) for i in range(table.n_items)]
+    return BitsetMatrix.from_sets(sets, table.n_transactions, aligned=aligned)

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro`` / ``gpapriori``.
+
+Subcommands
+-----------
+``mine``       Mine a FIMI file or a built-in dataset analog.
+``rules``      Mine and derive association rules.
+``datasets``   Print Table 2 (dataset statistics) for the analogs.
+``algorithms`` Print Table 1 (the algorithm registry).
+``figure``     Run a Figure 6-style support sweep on one dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench.figures import build_figure6
+from .bench.report import format_seconds, render_figure, render_table
+from .bench.runner import support_sweep
+from .bench.tables import table1_rows, table2_rows
+from .core.api import ALGORITHMS, mine
+from .datasets.io import read_fimi
+from .datasets.synthetic import DATASET_REGISTRY, dataset_analog
+from .errors import ReproError
+from .rules.rules import generate_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_db(args: argparse.Namespace):
+    if args.file:
+        return read_fimi(args.file), args.file
+    name = args.dataset or "chess"
+    return dataset_analog(name, scale=args.scale), f"{name} (analog, scale={args.scale})"
+
+
+def _add_db_args(p: argparse.ArgumentParser) -> None:
+    src = p.add_mutually_exclusive_group()
+    src.add_argument("--file", help="FIMI-format transaction file")
+    src.add_argument(
+        "--dataset",
+        choices=sorted(DATASET_REGISTRY),
+        help="built-in dataset analog (default: chess)",
+    )
+    p.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="transaction-count scale for analogs (default 0.05)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="gpapriori",
+        description="GPApriori reproduction: GPU-accelerated frequent itemset mining",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_mine = sub.add_parser("mine", help="mine frequent itemsets")
+    _add_db_args(p_mine)
+    p_mine.add_argument("--min-support", type=float, default=0.5, metavar="RATIO")
+    p_mine.add_argument(
+        "--algorithm", default="gpapriori", choices=sorted(ALGORITHMS)
+    )
+    p_mine.add_argument("--max-k", type=int, default=None)
+    p_mine.add_argument(
+        "--top", type=int, default=20, help="print at most this many itemsets"
+    )
+    p_mine.add_argument(
+        "--representation",
+        choices=["all", "closed", "maximal"],
+        default="all",
+        help="print all frequent itemsets or a condensed representation",
+    )
+
+    p_rules = sub.add_parser("rules", help="mine and derive association rules")
+    _add_db_args(p_rules)
+    p_rules.add_argument("--min-support", type=float, default=0.5, metavar="RATIO")
+    p_rules.add_argument("--min-confidence", type=float, default=0.8)
+    p_rules.add_argument("--top", type=int, default=20)
+
+    p_data = sub.add_parser("datasets", help="print Table 2 (dataset statistics)")
+    p_data.add_argument("--scale", type=float, default=0.02)
+
+    sub.add_parser("algorithms", help="print Table 1 (algorithm registry)")
+
+    p_fig = sub.add_parser("figure", help="run a Figure 6-style support sweep")
+    _add_db_args(p_fig)
+    p_fig.add_argument(
+        "--supports",
+        type=float,
+        nargs="+",
+        default=[0.9, 0.8, 0.7],
+        help="minimum-support ratios to sweep",
+    )
+    p_fig.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["gpapriori", "cpu_bitset", "borgelt", "bodon"],
+        choices=sorted(ALGORITHMS),
+    )
+    return parser
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    db, label = _load_db(args)
+    result = mine(db, args.min_support, algorithm=args.algorithm, max_k=args.max_k)
+    print(f"dataset: {label}  ({db.n_transactions} transactions, {db.n_items} items)")
+    print(
+        f"{args.algorithm}: {len(result)} frequent itemsets "
+        f"(min_support={args.min_support}, longest={result.max_size()}) "
+        f"in {format_seconds(result.metrics.wall_seconds)} wall"
+    )
+    if result.metrics.modeled_seconds is not None:
+        print(f"modeled era-hardware time: {format_seconds(result.metrics.modeled_seconds)}")
+    if args.representation == "all":
+        itemsets = list(result)
+    else:
+        from .rules.condense import closed_itemsets, maximal_itemsets
+
+        condense = closed_itemsets if args.representation == "closed" else maximal_itemsets
+        itemsets = condense(result)
+        print(f"{args.representation} representation: {len(itemsets)} itemsets")
+    shown = 0
+    for itemset in itemsets:
+        if shown >= args.top:
+            print(f"... ({len(itemsets) - shown} more)")
+            break
+        ratio = itemset.support / max(db.n_transactions, 1)
+        print(f"  {itemset.items}  support={itemset.support} ({ratio:.3f})")
+        shown += 1
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    db, label = _load_db(args)
+    result = mine(db, args.min_support, algorithm="gpapriori")
+    rules = generate_rules(result, min_confidence=args.min_confidence)
+    print(f"dataset: {label}")
+    print(
+        f"{len(result)} frequent itemsets -> {len(rules)} rules "
+        f"(min_conf={args.min_confidence})"
+    )
+    for rule in rules[: args.top]:
+        print(f"  {rule}")
+    if len(rules) > args.top:
+        print(f"... ({len(rules) - args.top} more)")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    dbs = {name: dataset_analog(name, scale=args.scale) for name in DATASET_REGISTRY}
+    rows = table2_rows(dbs)
+    print(f"Table 2 analogs at scale={args.scale}:")
+    print(
+        render_table(
+            ["Dataset", "#Item", "Avg.length", "#Trans", "Type"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_algorithms(_args: argparse.Namespace) -> int:
+    print("Table 1: tested frequent itemset mining algorithms")
+    print(render_table(["Algorithm", "Platform"], table1_rows()))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    db, label = _load_db(args)
+    algorithms = list(args.algorithms)
+    if "borgelt" not in algorithms:
+        algorithms.append("borgelt")  # the reference series
+    sweep = support_sweep(db, label, args.supports, algorithms)
+    series = build_figure6(sweep)
+    print(render_figure(f"Figure-6-style sweep on {label}", series))
+    if not sweep.consistent_itemset_counts():
+        print("WARNING: algorithms disagreed on itemset counts", file=sys.stderr)
+        return 1
+    return 0
+
+
+_COMMANDS = {
+    "mine": _cmd_mine,
+    "rules": _cmd_rules,
+    "datasets": _cmd_datasets,
+    "algorithms": _cmd_algorithms,
+    "figure": _cmd_figure,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Public mining facade and the algorithm registry (paper Table 1).
+
+``mine(db, min_support, algorithm=...)`` dispatches to any of the seven
+implementations with a uniform signature and result type. The registry
+doubles as the machine-readable form of the paper's Table 1 for the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ..errors import MiningError
+from .config import GPAprioriConfig
+from .gpapriori import gpapriori_mine
+from .itemset import MiningResult
+
+__all__ = ["AlgorithmInfo", "ALGORITHMS", "mine"]
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Registry entry: how Table 1 describes the implementation."""
+
+    name: str
+    platform: str
+    layout: str
+    runner: Callable[..., MiningResult]
+    description: str
+
+
+def _gpapriori(db, min_support, **kwargs) -> MiningResult:
+    config = kwargs.pop("config", None)
+    if config is None and kwargs:
+        cfg_fields = {
+            k: kwargs.pop(k)
+            for k in list(kwargs)
+            if k in GPAprioriConfig.__dataclass_fields__
+        }
+        config = GPAprioriConfig(**cfg_fields) if cfg_fields else None
+    return gpapriori_mine(db, min_support, config=config, **kwargs)
+
+
+def _lazy(module: str, fn: str) -> Callable[..., MiningResult]:
+    def run(db, min_support, **kwargs) -> MiningResult:
+        import importlib
+
+        mod = importlib.import_module(module)
+        return getattr(mod, fn)(db, min_support, **kwargs)
+
+    return run
+
+
+ALGORITHMS: Dict[str, AlgorithmInfo] = {
+    "gpapriori": AlgorithmInfo(
+        name="GPApriori",
+        platform="Single thread GPU + single thread CPU",
+        layout="static bitset (vertical)",
+        runner=_gpapriori,
+        description="The paper's contribution: trie candidates, complete "
+        "intersection of 64-byte-aligned bitsets on the (simulated) GPU.",
+    ),
+    "cpu_bitset": AlgorithmInfo(
+        name="CPU_TEST",
+        platform="Single thread CPU",
+        layout="static bitset (vertical)",
+        runner=_lazy("repro.baselines.cpu_bitset", "cpu_bitset_mine"),
+        description="The same bitset algorithm executed on the CPU; the "
+        "GPApriori/CPU_TEST ratio isolates the GPU's contribution.",
+    ),
+    "borgelt": AlgorithmInfo(
+        name="Borgelt Apriori",
+        platform="Single thread CPU",
+        layout="tidset (vertical)",
+        runner=_lazy("repro.baselines.borgelt", "borgelt_mine"),
+        description="Level-wise Apriori over materialized tidsets with "
+        "merge intersections (FIMI 2003 style).",
+    ),
+    "bodon": AlgorithmInfo(
+        name="Bodon Apriori",
+        platform="Single thread CPU",
+        layout="trie over horizontal data",
+        runner=_lazy("repro.baselines.bodon", "bodon_mine"),
+        description="Trie candidates with hash fan-out counted by routing "
+        "horizontal transactions through the trie (OSDM 2005 style).",
+    ),
+    "goethals": AlgorithmInfo(
+        name="Gothel Apriori",
+        platform="Single thread CPU",
+        layout="horizontal",
+        runner=_lazy("repro.baselines.goethals", "goethals_mine"),
+        description="Agrawal's original horizontal algorithm: flat candidate "
+        "lists with per-transaction subset tests.",
+    ),
+    "eclat": AlgorithmInfo(
+        name="Eclat",
+        platform="Single thread CPU",
+        layout="tidset (vertical)",
+        runner=_lazy("repro.baselines.eclat", "eclat_mine"),
+        description="Depth-first equivalence-class mining over tidsets "
+        "(KDD 1997), with the diffset variant via diffsets=True.",
+    ),
+    "fpgrowth": AlgorithmInfo(
+        name="FP-Growth",
+        platform="Single thread CPU",
+        layout="FP-tree",
+        runner=_lazy("repro.baselines.fpgrowth", "fpgrowth_mine"),
+        description="Pattern growth without candidate generation "
+        "(SIGMOD 2000); the related-work reference point.",
+    ),
+    # ---- Section VI future-work extensions, implemented here ----------
+    "hybrid": AlgorithmInfo(
+        name="Hybrid CPU+GPU",
+        platform="Single thread GPU + single thread CPU, concurrent",
+        layout="static bitset (vertical)",
+        runner=_lazy("repro.core.hybrid", "hybrid_mine"),
+        description="The paper's future-work load-balanced CPU/GPU "
+        "model: each generation's candidates split so modeled finish "
+        "times equalize.",
+    ),
+    "gpu_eclat": AlgorithmInfo(
+        name="GPU Eclat",
+        platform="Single thread GPU + single thread CPU",
+        layout="static bitset (vertical), depth-first",
+        runner=_lazy("repro.core.gpu_eclat", "gpu_eclat_mine"),
+        description="The paper's future-work Eclat-on-GPU: equivalence-"
+        "class DFS where each class is one extend-kernel batch.",
+    ),
+    "partition": AlgorithmInfo(
+        name="Partition",
+        platform="Single thread CPU",
+        layout="static bitset (vertical), two-phase",
+        runner=_lazy("repro.baselines.partition", "partition_mine"),
+        description="Savasere et al.'s two-scan Partition algorithm "
+        "(VLDB 1995, from the paper's references): local mining per "
+        "chunk, one exact global counting pass.",
+    ),
+}
+
+
+def mine(db, min_support, algorithm: str = "gpapriori", **kwargs) -> MiningResult:
+    """Mine frequent itemsets with the named algorithm.
+
+    Parameters
+    ----------
+    db:
+        A :class:`~repro.datasets.transaction_db.TransactionDatabase`.
+    min_support:
+        Fractional support ratio in (0, 1] or absolute count >= 1.
+    algorithm:
+        Registry key: ``gpapriori``, ``cpu_bitset``, ``borgelt``,
+        ``bodon``, ``goethals``, ``eclat`` or ``fpgrowth``.
+    **kwargs:
+        Forwarded to the implementation (e.g. ``max_k``, GPApriori's
+        ``config=``/config fields, Eclat's ``diffsets=True``).
+
+    Examples
+    --------
+    >>> from repro.datasets import TransactionDatabase
+    >>> db = TransactionDatabase([[0, 1, 2], [0, 1], [0, 2], [1, 2]])
+    >>> result = mine(db, min_support=0.5)
+    >>> result.support_of((0, 1))
+    2
+    """
+    key = algorithm.lower()
+    if key not in ALGORITHMS:
+        raise MiningError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    return ALGORITHMS[key].runner(db, min_support, **kwargs)

@@ -1,0 +1,86 @@
+"""GPApriori configuration: the paper's Section IV.3 tuning knobs.
+
+The paper names three hand-tuned kernel optimizations — candidate
+preloading into shared memory, manual loop unrolling, and block-size
+tuning — plus the Section IV.2 choice between complete intersection and
+equivalence-class clustering. All four are first-class configuration
+here so the ablation benchmarks can toggle them individually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
+
+__all__ = ["GPAprioriConfig"]
+
+_VALID_ENGINES = ("vectorized", "simulated")
+_VALID_PLANS = ("complete", "equivalence")
+
+
+@dataclass(frozen=True)
+class GPAprioriConfig:
+    """Tuning parameters of a GPApriori run.
+
+    Attributes
+    ----------
+    block_size:
+        Threads per block. The paper hand-tunes this; 256 is the
+        default sweet spot on a T10 (full occupancy at 8 blocks/SM
+        within register limits). Must be a power of two so the parallel
+        reduction's tree is exact, and within device limits (checked at
+        launch).
+    preload_candidates:
+        Stage the candidate's item ids in shared memory once per block
+        (paper optimization 1). Turning this off makes every thread
+        fetch the ids from global memory — the ablation benchmark
+        prices the difference.
+    unroll:
+        Manual word-loop unroll factor (paper optimization 2). Only
+        affects the performance model — Python has no instruction-level
+        loop overhead worth modeling functionally.
+    plan:
+        ``"complete"`` — complete intersection (the paper's choice:
+        only generation-1 bitsets live on the GPU, each candidate ANDs
+        all k rows). ``"equivalence"`` — equivalence-class clustering
+        (cache (k-1)-prefix intersections; fewer ANDs, more memory).
+    engine:
+        ``"vectorized"`` — NumPy host execution of the same arithmetic.
+        ``"simulated"`` — run the real kernel on :mod:`repro.gpusim`
+        thread-by-thread (slow; for validation and access traces).
+    aligned:
+        Keep bitset rows on the 64-byte boundary (paper Section IV.1).
+        Disabling alignment is only useful for the coalescing ablation.
+    trace_accesses:
+        Record global-memory accesses during simulated runs (memory
+        hungry; implies ``engine="simulated"`` consumers).
+    """
+
+    block_size: int = 256
+    preload_candidates: bool = True
+    unroll: int = 4
+    plan: str = "complete"
+    engine: str = "vectorized"
+    aligned: bool = True
+    trace_accesses: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.block_size, int) or isinstance(self.block_size, bool):
+            raise ConfigError("block_size must be an int")
+        if self.block_size < 1 or self.block_size & (self.block_size - 1):
+            raise ConfigError(
+                f"block_size must be a positive power of two, got {self.block_size}"
+            )
+        if not isinstance(self.unroll, int) or isinstance(self.unroll, bool) or self.unroll < 1:
+            raise ConfigError(f"unroll must be an int >= 1, got {self.unroll!r}")
+        if self.plan not in _VALID_PLANS:
+            raise ConfigError(f"plan must be one of {_VALID_PLANS}, got {self.plan!r}")
+        if self.engine not in _VALID_ENGINES:
+            raise ConfigError(
+                f"engine must be one of {_VALID_ENGINES}, got {self.engine!r}"
+            )
+
+    def with_(self, **overrides) -> "GPAprioriConfig":
+        """Return a copy with fields replaced (ablation convenience)."""
+        return replace(self, **overrides)

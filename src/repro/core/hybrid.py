@@ -1,0 +1,221 @@
+"""Load-balanced CPU/GPU mining (the paper's Section VI future work).
+
+"Future work on the research includes ... devis[ing] a load-balanced
+computation model across CPU/GPU platform[s]."
+
+This module implements that model: each generation's candidate buffer
+is split between the GPU engine (simulated/modeled T10) and a CPU
+engine (the CPU_TEST bitset path), in a ratio chosen by a balancer.
+Both sides execute complete intersection over the same static bitset
+table, so supports are exact regardless of the split.
+
+Balancers:
+
+* :class:`StaticBalancer` — a fixed GPU share (1.0 = pure GPApriori,
+  0.0 = pure CPU_TEST).
+* :class:`ModelBalancer` — per generation, picks the split that
+  equalizes *modeled finish times* of the two sides, accounting for the
+  GPU's fixed launch + PCIe costs (small generations therefore run
+  entirely on the CPU — the crossover GPApriori's own Figure 6 curves
+  exhibit).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .._validation import check_support
+from ..bitset.bitset import BitsetMatrix
+from ..bitset.ops import support_many
+from ..errors import ConfigError, MiningError
+from ..gpusim.device import TESLA_T10, DeviceProperties
+from ..gpusim.perfmodel import CpuCostModel, GpuCostModel
+from ..trie.generation import generate_candidates
+from ..trie.trie import CandidateTrie
+from .config import GPAprioriConfig
+from .itemset import MiningResult, RunMetrics
+
+__all__ = ["StaticBalancer", "ModelBalancer", "hybrid_mine"]
+
+
+class StaticBalancer:
+    """Always give the GPU a fixed fraction of each generation."""
+
+    def __init__(self, gpu_share: float = 0.5) -> None:
+        if not 0.0 <= gpu_share <= 1.0:
+            raise ConfigError(f"gpu_share must be in [0, 1], got {gpu_share}")
+        self.gpu_share = gpu_share
+
+    def split(self, n_candidates: int, k: int, n_words: int) -> int:
+        """Return how many candidates go to the GPU."""
+        return int(round(n_candidates * self.gpu_share))
+
+
+class ModelBalancer:
+    """Split so modeled GPU and CPU finish times are (nearly) equal.
+
+    Solves ``gpu_time(g) = cpu_time(n - g)`` by scanning candidate
+    counts in coarse steps; both sides are linear-plus-constant in
+    their share, so a coarse scan is exact enough and cheap.
+    """
+
+    def __init__(
+        self,
+        config: GPAprioriConfig | None = None,
+        device: DeviceProperties = TESLA_T10,
+        steps: int = 64,
+    ) -> None:
+        if steps < 2:
+            raise ConfigError("steps must be >= 2")
+        self.config = config or GPAprioriConfig()
+        self.gpu_model = GpuCostModel(device)
+        self.cpu_model = CpuCostModel()
+        self.steps = steps
+
+    def _gpu_time(self, g: int, k: int, n_words: int) -> float:
+        if g == 0:
+            return 0.0
+        cfg = self.config
+        t = self.gpu_model.transfer_time(g * k * 4).seconds
+        t += self.gpu_model.support_kernel_time(
+            g, k, n_words, cfg.block_size, cfg.preload_candidates, cfg.unroll
+        ).seconds
+        t += self.gpu_model.transfer_time(g * 8).seconds
+        return t
+
+    def _cpu_time(self, c: int, k: int, n_words: int) -> float:
+        return self.cpu_model.bitset_time(c * k * n_words)
+
+    def split(self, n_candidates: int, k: int, n_words: int) -> int:
+        best_g, best_t = 0, self._cpu_time(n_candidates, k, n_words)
+        for i in range(1, self.steps + 1):
+            g = round(n_candidates * i / self.steps)
+            t = max(
+                self._gpu_time(g, k, n_words),
+                self._cpu_time(n_candidates - g, k, n_words),
+            )
+            if t < best_t:
+                best_g, best_t = g, t
+        return best_g
+
+
+@dataclass
+class _GenerationSplit:
+    """Record of one generation's division of labour."""
+
+    k: int
+    n_candidates: int
+    gpu_candidates: int
+    gpu_modeled: float
+    cpu_modeled: float
+
+
+def hybrid_mine(
+    db,
+    min_support,
+    balancer=None,
+    config: GPAprioriConfig | None = None,
+    device: DeviceProperties = TESLA_T10,
+    max_k: int | None = None,
+) -> MiningResult:
+    """Mine with the CPU and GPU sharing each generation's candidates.
+
+    Parameters
+    ----------
+    balancer:
+        Object with ``split(n_candidates, k, n_words) -> int`` returning
+        the GPU's share. Defaults to :class:`ModelBalancer`.
+
+    Returns
+    -------
+    MiningResult
+        Identical itemsets to any single-engine run. Its metrics carry
+        per-generation splits in ``counters`` (``gpu_candidates``,
+        ``cpu_candidates``) and the modeled makespan in
+        ``modeled_breakdown['hybrid_makespan']`` — per generation the
+        *maximum* of the two sides, since they run concurrently.
+    """
+    config = config or GPAprioriConfig()
+    balancer = balancer or ModelBalancer(config, device)
+    min_count = check_support(min_support, db.n_transactions, MiningError)
+    if max_k is not None and max_k < 1:
+        raise MiningError(f"max_k must be >= 1, got {max_k}")
+
+    metrics = RunMetrics(algorithm="hybrid")
+    gpu_model = GpuCostModel(device)
+    cpu_model = CpuCostModel()
+    t0 = time.perf_counter()
+
+    matrix = BitsetMatrix.from_database(db, aligned=config.aligned)
+    n_words = matrix.n_words
+    metrics.add_modeled("htod_bitsets", gpu_model.transfer_time(matrix.nbytes).seconds)
+
+    trie = CandidateTrie()
+    found: dict[tuple, int] = {}
+    splits: List[_GenerationSplit] = []
+
+    def count_generation(cands: np.ndarray, k: int) -> np.ndarray:
+        n = cands.shape[0]
+        g = int(np.clip(balancer.split(n, k, n_words), 0, n))
+        supports = np.empty(n, dtype=np.int64)
+        # Both halves execute for real on the same vectorized kernel
+        # arithmetic; attribution differs.
+        if g:
+            supports[:g] = support_many(matrix, cands[:g])
+        if g < n:
+            supports[g:] = support_many(matrix, cands[g:])
+        cfg = config
+        gpu_t = 0.0
+        if g:
+            gpu_t = (
+                gpu_model.transfer_time(g * k * 4).seconds
+                + gpu_model.support_kernel_time(
+                    g, k, n_words, cfg.block_size, cfg.preload_candidates, cfg.unroll
+                ).seconds
+                + gpu_model.transfer_time(g * 8).seconds
+            )
+        cpu_t = cpu_model.bitset_time((n - g) * k * n_words)
+        splits.append(_GenerationSplit(k, n, g, gpu_t, cpu_t))
+        metrics.add_counter("gpu_candidates", g)
+        metrics.add_counter("cpu_candidates", n - g)
+        metrics.add_modeled("hybrid_makespan", max(gpu_t, cpu_t))
+        return supports
+
+    # generation 1
+    cands = np.arange(db.n_items, dtype=np.int32).reshape(-1, 1)
+    metrics.generations.append(db.n_items)
+    supports = count_generation(cands, 1)
+    for i in np.nonzero(supports >= min_count)[0]:
+        trie.insert((int(i),), int(supports[i]))
+        found[(int(i),)] = int(supports[i])
+
+    k = 1
+    while True:
+        if max_k is not None and k >= max_k:
+            break
+        cands = generate_candidates(trie, k)
+        if cands.shape[0] == 0:
+            break
+        metrics.generations.append(int(cands.shape[0]))
+        supports = count_generation(cands, k + 1)
+        for i, row in enumerate(cands):
+            trie.find(row.tolist()).support = int(supports[i])
+        trie.prune_level(k + 1, min_count)
+        for i in np.nonzero(supports >= min_count)[0]:
+            found[tuple(int(x) for x in cands[i])] = int(supports[i])
+        k += 1
+
+    metrics.wall_seconds = time.perf_counter() - t0
+    result = MiningResult(found, db.n_transactions, min_count, metrics)
+    # expose the split history for benches/tests
+    result.metrics.counters["generations_on_gpu_only"] = sum(
+        1 for s in splits if s.gpu_candidates == s.n_candidates and s.n_candidates
+    )
+    result.metrics.counters["generations_on_cpu_only"] = sum(
+        1 for s in splits if s.gpu_candidates == 0 and s.n_candidates
+    )
+    return result

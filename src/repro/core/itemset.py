@@ -1,0 +1,234 @@
+"""Result value types shared by every mining algorithm.
+
+All seven miners in this package return the same
+:class:`MiningResult`, which makes the cross-algorithm equality checks
+in the test suite and the Figure 6 benchmark harness one-liners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from ..errors import MiningError
+
+__all__ = ["Itemset", "RunMetrics", "MiningResult"]
+
+ItemsTuple = Tuple[int, ...]
+
+
+@dataclass(frozen=True, order=True)
+class Itemset:
+    """A frequent itemset with its absolute support."""
+
+    items: ItemsTuple
+    support: int
+
+    def __post_init__(self) -> None:
+        if any(b <= a for a, b in zip(self.items, self.items[1:])):
+            raise MiningError(f"items must be strictly increasing: {self.items}")
+        if self.support < 0:
+            raise MiningError("support must be >= 0")
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def ratio(self, n_transactions: int) -> float:
+        """Support ratio — the paper's frequency measure."""
+        if n_transactions <= 0:
+            raise MiningError("n_transactions must be positive")
+        return self.support / n_transactions
+
+
+@dataclass
+class RunMetrics:
+    """Measured and modeled costs of one mining run.
+
+    ``wall_seconds`` is honest Python wall-clock. ``modeled_seconds``
+    prices the run's *operation counts* on era hardware via
+    :mod:`repro.gpusim.perfmodel` — the basis of the paper-comparable
+    Figure 6 speedups (see EXPERIMENTS.md for the distinction).
+    """
+
+    algorithm: str = ""
+    wall_seconds: float = 0.0
+    modeled_seconds: float | None = None
+    modeled_breakdown: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    generations: List[int] = field(default_factory=list)
+    """Candidate count per generation (k = 1, 2, ...)."""
+
+    def add_counter(self, name: str, amount: int) -> None:
+        self.counters[name] = self.counters.get(name, 0) + int(amount)
+
+    def add_modeled(self, name: str, seconds: float) -> None:
+        self.modeled_breakdown[name] = self.modeled_breakdown.get(name, 0.0) + seconds
+        self.modeled_seconds = (self.modeled_seconds or 0.0) + seconds
+
+
+class MiningResult:
+    """The frequent itemsets of one run plus its metrics.
+
+    Parameters
+    ----------
+    itemsets:
+        Mapping from sorted item tuples to absolute support.
+    n_transactions:
+        Database size (denominator of support ratios).
+    min_support:
+        The absolute threshold the run used.
+    metrics:
+        Cost record; optional for hand-built results in tests.
+    """
+
+    def __init__(
+        self,
+        itemsets: Mapping[ItemsTuple, int],
+        n_transactions: int,
+        min_support: int,
+        metrics: RunMetrics | None = None,
+    ) -> None:
+        if n_transactions < 0:
+            raise MiningError("n_transactions must be >= 0")
+        self._itemsets: Dict[ItemsTuple, int] = dict(itemsets)
+        for items, support in self._itemsets.items():
+            if any(b <= a for a, b in zip(items, items[1:])):
+                raise MiningError(f"itemset {items} not strictly increasing")
+            if not 0 <= support <= max(n_transactions, 0):
+                raise MiningError(
+                    f"support {support} of {items} outside [0, {n_transactions}]"
+                )
+        self.n_transactions = n_transactions
+        self.min_support = min_support
+        self.metrics = metrics or RunMetrics()
+
+    # -- container protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._itemsets)
+
+    def __iter__(self) -> Iterator[Itemset]:
+        for items in sorted(self._itemsets, key=lambda t: (len(t), t)):
+            yield Itemset(items, self._itemsets[items])
+
+    def __contains__(self, items: Sequence[int]) -> bool:
+        return tuple(items) in self._itemsets
+
+    def support_of(self, items: Sequence[int]) -> int:
+        """Absolute support of a frequent itemset; raises if absent."""
+        key = tuple(items)
+        if key not in self._itemsets:
+            raise MiningError(f"{key} is not a frequent itemset of this result")
+        return self._itemsets[key]
+
+    def as_dict(self) -> Dict[ItemsTuple, int]:
+        """Copy of the itemset -> support mapping."""
+        return dict(self._itemsets)
+
+    # -- views ---------------------------------------------------------------------
+
+    def of_size(self, k: int) -> List[Itemset]:
+        """Frequent k-itemsets in lexicographic order."""
+        return [
+            Itemset(items, s)
+            for items, s in sorted(self._itemsets.items())
+            if len(items) == k
+        ]
+
+    def max_size(self) -> int:
+        """Length of the longest frequent itemset (0 when empty)."""
+        return max((len(t) for t in self._itemsets), default=0)
+
+    def maximal_itemsets(self) -> List[Itemset]:
+        """Itemsets with no frequent proper superset in this result."""
+        keys = set(self._itemsets)
+        out: List[Itemset] = []
+        for items in sorted(keys, key=lambda t: (len(t), t)):
+            s = set(items)
+            has_super = any(
+                len(other) > len(items) and s.issubset(other) for other in keys
+            )
+            if not has_super:
+                out.append(Itemset(items, self._itemsets[items]))
+        return out
+
+    # -- comparisons ----------------------------------------------------------------
+
+    def same_itemsets(self, other: "MiningResult") -> bool:
+        """True when both runs found identical itemsets *and* supports."""
+        return self._itemsets == other._itemsets
+
+    def diff(self, other: "MiningResult") -> Dict[str, list]:
+        """Human-oriented difference report for debugging mismatches."""
+        mine, theirs = set(self._itemsets), set(other._itemsets)
+        return {
+            "only_self": sorted(mine - theirs)[:20],
+            "only_other": sorted(theirs - mine)[:20],
+            "support_mismatch": sorted(
+                t for t in mine & theirs if self._itemsets[t] != other._itemsets[t]
+            )[:20],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MiningResult(n_itemsets={len(self)}, max_size={self.max_size()}, "
+            f"min_support={self.min_support}, algorithm="
+            f"{self.metrics.algorithm!r})"
+        )
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize itemsets + run metadata as a JSON document.
+
+        Metrics are included for provenance (which algorithm, what
+        costs); the trie/engine internals are not, so a loaded result
+        supports queries and rule generation but not resumption.
+        """
+        import json
+
+        return json.dumps(
+            {
+                "format": "repro.mining_result/1",
+                "n_transactions": self.n_transactions,
+                "min_support": self.min_support,
+                "algorithm": self.metrics.algorithm,
+                "wall_seconds": self.metrics.wall_seconds,
+                "modeled_seconds": self.metrics.modeled_seconds,
+                "generations": self.metrics.generations,
+                "counters": self.metrics.counters,
+                "itemsets": [
+                    [list(items), support]
+                    for items, support in sorted(self._itemsets.items())
+                ],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "MiningResult":
+        """Load a result serialized by :meth:`to_json`."""
+        import json
+
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise MiningError(f"not valid JSON: {exc}") from None
+        if not isinstance(doc, dict) or doc.get("format") != "repro.mining_result/1":
+            raise MiningError("not a serialized MiningResult document")
+        metrics = RunMetrics(
+            algorithm=doc.get("algorithm", ""),
+            wall_seconds=doc.get("wall_seconds", 0.0),
+            modeled_seconds=doc.get("modeled_seconds"),
+            counters=dict(doc.get("counters", {})),
+            generations=list(doc.get("generations", [])),
+        )
+        itemsets = {
+            tuple(int(i) for i in items): int(support)
+            for items, support in doc["itemsets"]
+        }
+        return cls(
+            itemsets,
+            n_transactions=int(doc["n_transactions"]),
+            min_support=int(doc["min_support"]),
+            metrics=metrics,
+        )

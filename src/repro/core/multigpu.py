@@ -1,0 +1,173 @@
+"""Multi-GPU candidate partitioning (the paper's "GPU cluster" future work).
+
+The paper's testbed was a Tesla S1070 — a 1U server holding **four**
+T10 processors of which the paper "currently use[s] only one" — and its
+future work names scaling across GPUs and GPU clusters.
+
+The natural decomposition is candidate-parallel: every device holds a
+full replica of the (small) generation-1 bitset table, each generation's
+candidate buffer is block-partitioned across devices, and every device
+runs the unmodified support kernel on its slice. There is no
+inter-device communication at all — supports are disjoint by
+construction — so scaling is limited only by per-device fixed costs
+(launch + PCIe per generation) and by generations smaller than the
+fleet. Both limits are first-class in the model and visible in the
+scaling bench.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .._validation import check_support
+from ..bitset.bitset import BitsetMatrix
+from ..bitset.ops import support_many
+from ..errors import ConfigError, MiningError
+from ..gpusim.device import TESLA_T10, DeviceProperties
+from ..gpusim.perfmodel import GpuCostModel
+from ..trie.generation import generate_candidates
+from ..trie.trie import CandidateTrie
+from .config import GPAprioriConfig
+from .itemset import MiningResult, RunMetrics
+
+__all__ = ["MultiGpuResult", "multigpu_mine", "scaling_efficiency"]
+
+
+@dataclass(frozen=True)
+class MultiGpuResult:
+    """A mining result plus its fleet-level modeled timing."""
+
+    result: MiningResult
+    n_devices: int
+    makespan_seconds: float
+    """Modeled end-to-end device time: per generation, the slowest
+    device's slice time (devices run concurrently)."""
+
+    single_device_seconds: float
+    """The same generations priced on one device, for speedup curves."""
+
+    @property
+    def speedup(self) -> float:
+        if self.makespan_seconds == 0:
+            return 1.0
+        return self.single_device_seconds / self.makespan_seconds
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.n_devices
+
+
+def _device_time(
+    model: GpuCostModel, n: int, k: int, n_words: int, cfg: GPAprioriConfig
+) -> float:
+    """Modeled cost of one device processing ``n`` candidates."""
+    if n == 0:
+        return 0.0
+    return (
+        model.transfer_time(n * k * 4).seconds
+        + model.support_kernel_time(
+            n, k, n_words, cfg.block_size, cfg.preload_candidates, cfg.unroll
+        ).seconds
+        + model.transfer_time(n * 8).seconds
+    )
+
+
+def multigpu_mine(
+    db,
+    min_support,
+    n_devices: int = 4,
+    config: GPAprioriConfig | None = None,
+    device: DeviceProperties = TESLA_T10,
+    max_k: int | None = None,
+) -> MultiGpuResult:
+    """Mine with each generation block-partitioned over ``n_devices``.
+
+    Supports are computed for real (the partitioning cannot change
+    them — asserted in tests); the fleet timing is modeled per device
+    slice. ``n_devices=4`` models the paper's full S1070.
+    """
+    if not isinstance(n_devices, int) or isinstance(n_devices, bool) or n_devices < 1:
+        raise ConfigError(f"n_devices must be an int >= 1, got {n_devices!r}")
+    config = config or GPAprioriConfig()
+    min_count = check_support(min_support, db.n_transactions, MiningError)
+    if max_k is not None and max_k < 1:
+        raise MiningError(f"max_k must be >= 1, got {max_k}")
+
+    metrics = RunMetrics(algorithm=f"gpapriori_x{n_devices}")
+    model = GpuCostModel(device)
+    t0 = time.perf_counter()
+
+    matrix = BitsetMatrix.from_database(db, aligned=config.aligned)
+    n_words = matrix.n_words
+    # every device uploads its own replica of the bitset table
+    replica_upload = model.transfer_time(matrix.nbytes).seconds
+    makespan = replica_upload  # replicas upload concurrently
+    single = replica_upload
+    # (the replica upload is part of fleet_makespan, charged at the end)
+
+    trie = CandidateTrie()
+    found: dict[tuple, int] = {}
+
+    def count(cands: np.ndarray, k: int) -> np.ndarray:
+        nonlocal makespan, single
+        n = cands.shape[0]
+        supports = support_many(matrix, cands)
+        # block partition: device d gets ceil-ish share
+        shares = [len(chunk) for chunk in np.array_split(np.arange(n), n_devices)]
+        slice_times = [
+            _device_time(model, s, k, n_words, config) for s in shares
+        ]
+        makespan += max(slice_times) if slice_times else 0.0
+        single += _device_time(model, n, k, n_words, config)
+        metrics.add_counter("candidates_counted", n)
+        return supports
+
+    cands = np.arange(db.n_items, dtype=np.int32).reshape(-1, 1)
+    metrics.generations.append(db.n_items)
+    supports = count(cands, 1)
+    for i in np.nonzero(supports >= min_count)[0]:
+        trie.insert((int(i),), int(supports[i]))
+        found[(int(i),)] = int(supports[i])
+
+    k = 1
+    while True:
+        if max_k is not None and k >= max_k:
+            break
+        cands = generate_candidates(trie, k)
+        if cands.shape[0] == 0:
+            break
+        metrics.generations.append(int(cands.shape[0]))
+        supports = count(cands, k + 1)
+        for i, row in enumerate(cands):
+            trie.find(row.tolist()).support = int(supports[i])
+        trie.prune_level(k + 1, min_count)
+        for i in np.nonzero(supports >= min_count)[0]:
+            found[tuple(int(x) for x in cands[i])] = int(supports[i])
+        k += 1
+
+    metrics.add_modeled("fleet_makespan", makespan)
+    metrics.wall_seconds = time.perf_counter() - t0
+    result = MiningResult(found, db.n_transactions, min_count, metrics)
+    return MultiGpuResult(
+        result=result,
+        n_devices=n_devices,
+        makespan_seconds=makespan,
+        single_device_seconds=single,
+    )
+
+
+def scaling_efficiency(
+    db,
+    min_support,
+    device_counts: List[int] = (1, 2, 4, 8),
+    **kwargs,
+) -> List[MultiGpuResult]:
+    """Run the same workload over a fleet-size sweep (for the bench)."""
+    return [
+        multigpu_mine(db, min_support, n_devices=n, **kwargs)
+        for n in device_counts
+    ]

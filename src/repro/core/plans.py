@@ -1,0 +1,115 @@
+"""Support-counting plans: complete intersection vs equivalence class.
+
+Section IV.2 of the paper weighs two ways to compute a k-candidate's
+support from vertical bitsets:
+
+* **Complete intersection** (the paper's choice): AND all k
+  generation-1 rows, every generation. Recomputes (k-1)-prefix
+  intersections each time, but the only device-resident state is the
+  generation-1 table and the only per-generation transfer is the
+  candidate id buffer. "On a GPU, the cost of these additional logic
+  operations is lower than performing the additional memory references."
+* **Equivalence-class clustering** (Zaki, ref. [8]): cache each
+  frequent prefix's intersection row and AND it with a single new item
+  row. Fewer logic ops, but the cache must live in device memory and be
+  written back every generation.
+
+A plan turns a generation's candidate array into engine calls; the
+driver is plan-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, MiningError
+from .support import SupportEngine
+
+__all__ = ["CompleteIntersectionPlan", "EquivalenceClassPlan", "make_plan"]
+
+PrefixIndex = Dict[Tuple[int, ...], int]
+
+
+class CompleteIntersectionPlan:
+    """AND all k generation-1 rows per candidate (paper Fig. 4)."""
+
+    name = "complete"
+
+    def count(
+        self,
+        engine: SupportEngine,
+        candidates: np.ndarray,
+        prefix_index: PrefixIndex,
+    ) -> np.ndarray:
+        return engine.count_complete(candidates)
+
+    def after_prune(
+        self,
+        engine: SupportEngine,
+        candidates: np.ndarray,
+        frequent_mask: np.ndarray,
+        prefix_index: PrefixIndex,
+    ) -> PrefixIndex:
+        """No cached state; the prefix index is unused."""
+        return {}
+
+
+class EquivalenceClassPlan:
+    """Extend cached (k-1)-prefix rows by one generation-1 row each."""
+
+    name = "equivalence"
+
+    def count(
+        self,
+        engine: SupportEngine,
+        candidates: np.ndarray,
+        prefix_index: PrefixIndex,
+    ) -> np.ndarray:
+        if candidates.shape[1] == 1:
+            # Generation 1 has no prefixes; fall back to direct counting.
+            return engine.count_complete(candidates)
+        pairs = np.empty((candidates.shape[0], 2), dtype=np.int64)
+        for i, row in enumerate(candidates):
+            prefix = tuple(int(x) for x in row[:-1])
+            try:
+                pairs[i, 0] = prefix_index[prefix]
+            except KeyError:
+                raise MiningError(
+                    f"candidate prefix {prefix} missing from the cached "
+                    "equivalence-class index"
+                ) from None
+            pairs[i, 1] = row[-1]
+        return engine.count_extend(pairs)
+
+    def after_prune(
+        self,
+        engine: SupportEngine,
+        candidates: np.ndarray,
+        frequent_mask: np.ndarray,
+        prefix_index: PrefixIndex,
+    ) -> PrefixIndex:
+        """Compact survivors into the device cache; rebuild the index."""
+        if candidates.shape[1] == 1:
+            # After generation 1 the cache *is* the generation-1 table:
+            # a frequent item's prefix row is its own bitset row.
+            return {
+                (int(candidates[i, 0]),): int(candidates[i, 0])
+                for i in np.nonzero(frequent_mask)[0]
+            }
+        keep = np.nonzero(frequent_mask)[0]
+        engine.retain(keep)
+        return {
+            tuple(int(x) for x in candidates[i]): pos
+            for pos, i in enumerate(keep)
+        }
+
+
+def make_plan(name: str):
+    """Instantiate a plan by its config name."""
+    if name == "complete":
+        return CompleteIntersectionPlan()
+    if name == "equivalence":
+        return EquivalenceClassPlan()
+    raise ConfigError(f"unknown plan {name!r}")

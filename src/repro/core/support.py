@@ -1,0 +1,326 @@
+"""Support-counting engines: vectorized (NumPy) and simulated (gpusim).
+
+Both engines expose the same three operations the mining driver needs:
+
+* :meth:`SupportEngine.count_complete` — complete-intersection counting
+  of a ``(n, k)`` candidate buffer (paper Fig. 4 / Fig. 5);
+* :meth:`SupportEngine.count_extend` / :meth:`SupportEngine.retain` —
+  the equivalence-class alternative, extending cached prefix rows;
+* modeled-cost accounting into a :class:`~repro.core.itemset.RunMetrics`.
+
+The vectorized engine computes the same arithmetic with whole-array
+NumPy ops and is the production path. The simulated engine executes
+the genuine kernels thread-by-thread on :mod:`repro.gpusim` — slow, but
+it is the ground truth for kernel correctness and the source of access
+traces. Both produce *identical supports and identical modeled costs*
+for the same run, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..bitset.bitset import BitsetMatrix
+from ..bitset.ops import popcount_words, support_many
+from ..errors import ConfigError, MiningError
+from ..gpusim.coalescing import analyze_trace
+from ..gpusim.device import TESLA_T10, DeviceProperties
+from ..gpusim.kernel import LaunchConfig, launch_kernel
+from ..gpusim.memory import GlobalMemory
+from ..gpusim.perfmodel import GpuCostModel
+from ..gpusim.stats import KernelStats
+from .config import GPAprioriConfig
+from .itemset import RunMetrics
+from .kernels import extend_kernel, support_count_kernel
+
+__all__ = ["SupportEngine", "VectorizedEngine", "SimulatedEngine", "make_engine"]
+
+
+class SupportEngine:
+    """Common accounting shared by both engines."""
+
+    def __init__(
+        self,
+        config: GPAprioriConfig,
+        metrics: RunMetrics,
+        device: DeviceProperties = TESLA_T10,
+    ) -> None:
+        self.config = config
+        self.metrics = metrics
+        self.device = device
+        self.cost = GpuCostModel(device)
+        self.kernel_stats = KernelStats()
+        self._matrix: Optional[BitsetMatrix] = None
+
+    # -- common bookkeeping -----------------------------------------------------
+
+    @property
+    def matrix(self) -> BitsetMatrix:
+        if self._matrix is None:
+            raise MiningError("engine.setup(matrix) must be called before counting")
+        return self._matrix
+
+    def setup(self, matrix: BitsetMatrix) -> None:
+        """Install the generation-1 bitsets (modeled as one H2D copy)."""
+        self._matrix = matrix
+        self.metrics.add_modeled(
+            "htod_bitsets", self.cost.transfer_time(matrix.nbytes).seconds
+        )
+        self.metrics.add_counter("bitset_bytes_device", matrix.nbytes)
+
+    def _charge_complete(self, n: int, k: int) -> None:
+        n_words = self.matrix.n_words
+        cfg = self.config
+        self.metrics.add_modeled(
+            "htod_candidates", self.cost.transfer_time(n * k * 4).seconds
+        )
+        kc = self.cost.support_kernel_time(
+            n_candidates=n,
+            k=k,
+            n_words=n_words,
+            block_size=cfg.block_size,
+            preload_candidates=cfg.preload_candidates,
+            unroll=cfg.unroll,
+            coalescing_factor=1.0 if cfg.aligned else 2.0,
+        )
+        self.metrics.add_modeled("kernel", kc.seconds)
+        self.metrics.add_modeled("dtoh_supports", self.cost.transfer_time(n * 8).seconds)
+        self.metrics.add_counter("bitset_words_anded", n * k * n_words)
+        self.metrics.add_counter("popcounts", n * n_words)
+        self.metrics.add_counter("candidates_counted", n)
+
+    def _charge_extend(self, n: int) -> None:
+        n_words = self.matrix.n_words
+        self.metrics.add_modeled(
+            "htod_candidates", self.cost.transfer_time(n * 2 * 4).seconds
+        )
+        kc = self.cost.extend_kernel_time(
+            n_candidates=n,
+            n_words=n_words,
+            block_size=self.config.block_size,
+            coalescing_factor=1.0 if self.config.aligned else 2.0,
+        )
+        self.metrics.add_modeled("kernel", kc.seconds)
+        self.metrics.add_modeled("dtoh_supports", self.cost.transfer_time(n * 8).seconds)
+        self.metrics.add_counter("bitset_words_anded", n * 2 * n_words)
+        self.metrics.add_counter("popcounts", n * n_words)
+        self.metrics.add_counter("candidates_counted", n)
+        self.metrics.add_counter("prefix_row_bytes_written", n * n_words * 4)
+
+    # -- interface ----------------------------------------------------------------
+
+    def count_complete(self, candidates: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def count_extend(self, pairs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def retain(self, indices: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class VectorizedEngine(SupportEngine):
+    """NumPy whole-array execution of the kernels' arithmetic."""
+
+    def __init__(self, config, metrics, device=TESLA_T10) -> None:
+        super().__init__(config, metrics, device)
+        self._prefix_rows: Optional[np.ndarray] = None  # None = use gen-1 matrix
+        self._pending_rows: Optional[np.ndarray] = None
+
+    def count_complete(self, candidates: np.ndarray) -> np.ndarray:
+        candidates = np.asarray(candidates, dtype=np.int64)
+        n, k = candidates.shape
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        supports = support_many(self.matrix, candidates)
+        self._charge_complete(n, k)
+        return supports
+
+    def count_extend(self, pairs: np.ndarray) -> np.ndarray:
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise MiningError("pairs must be (n, 2) of (prefix_row, item_id)")
+        n = pairs.shape[0]
+        if n == 0:
+            self._pending_rows = np.empty((0, self.matrix.n_words), dtype=np.uint32)
+            return np.zeros(0, dtype=np.int64)
+        base = self._prefix_rows if self._prefix_rows is not None else self.matrix.words
+        rows = base[pairs[:, 0]] & self.matrix.words[pairs[:, 1]]
+        self._pending_rows = rows
+        self._charge_extend(n)
+        return popcount_words(rows).sum(axis=1, dtype=np.int64)
+
+    def retain(self, indices: np.ndarray) -> None:
+        """Keep only the surviving candidates' rows as the prefix cache."""
+        if self._pending_rows is None:
+            raise MiningError("retain() without a preceding count_extend()")
+        self._prefix_rows = self._pending_rows[np.asarray(indices, dtype=np.int64)]
+        self._pending_rows = None
+        self.metrics.add_counter(
+            "prefix_rows_resident_bytes", int(self._prefix_rows.nbytes)
+        )
+
+
+class SimulatedEngine(SupportEngine):
+    """Thread-faithful execution of the kernels on the SIMT simulator.
+
+    Allocations go through the simulated 4 GiB global memory, so a
+    workload whose equivalence-class prefix cache exceeds the T10's
+    capacity raises :class:`~repro.errors.DeviceMemoryError` here — the
+    very failure mode the paper's complete-intersection design avoids.
+    """
+
+    def __init__(self, config, metrics, device=TESLA_T10) -> None:
+        super().__init__(config, metrics, device)
+        self.memory = GlobalMemory(device.global_mem_bytes)
+        self._bitset_buf = None
+        self._prefix_buf = None  # None = use gen-1 bitsets
+        self._pending_buf = None
+        self.last_trace = None
+
+    def setup(self, matrix: BitsetMatrix) -> None:
+        super().setup(matrix)
+        self._bitset_buf = self.memory.alloc(
+            "bitsets", (matrix.n_items, matrix.n_words), np.uint32
+        )
+        self.memory.htod(self._bitset_buf, matrix.words)
+
+    def _block_dim(self) -> int:
+        # Functional runs shrink oversized blocks to the word count's
+        # next power of two — simulating 256 idle lanes per word adds
+        # nothing but wall-clock. The *model* still prices config.block_size.
+        want = self.config.block_size
+        words = self.matrix.n_words
+        dim = 1
+        while dim < min(want, words):
+            dim *= 2
+        return min(dim, self.device.max_threads_per_block, want)
+
+    def _chunk_size(self, n: int, k: int) -> int:
+        """Largest candidate chunk whose buffers fit free device memory.
+
+        The paper's design keeps only the generation-1 bitsets resident;
+        a generation whose candidate buffer alone exceeds the remaining
+        global memory must be processed in chunks of back-to-back
+        launches — functional robustness the original would need on a
+        smaller device. (The cost model still prices the generation as
+        one batch; chunking exists to preserve *correctness* under
+        memory pressure, and a chunked launch moves identical bytes.)
+        """
+        free = self.memory.capacity_bytes - self.memory.bytes_in_use
+        per_candidate = k * 4 + 8  # candidate ids + support slot
+        # leave headroom for allocator alignment padding
+        fit = (free - 2 * self.memory.alignment) // per_candidate
+        return int(max(1, min(n, fit)))
+
+    def count_complete(self, candidates: np.ndarray) -> np.ndarray:
+        candidates = np.ascontiguousarray(candidates, dtype=np.int32)
+        n, k = candidates.shape
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        out = np.empty(n, dtype=np.int64)
+        chunk = self._chunk_size(n, k)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            m = stop - start
+            cand_buf = self.memory.alloc("candidates", (m, k), np.int32)
+            self.memory.htod(cand_buf, candidates[start:stop])
+            sup_buf = self.memory.alloc("supports", (m,), np.int64)
+            result = launch_kernel(
+                support_count_kernel,
+                LaunchConfig(grid_dim=m, block_dim=self._block_dim()),
+                args=(
+                    self._bitset_buf,
+                    cand_buf,
+                    k,
+                    self.matrix.n_words,
+                    sup_buf,
+                    self.config.preload_candidates,
+                ),
+                device=self.device,
+                trace=self.config.trace_accesses,
+            )
+            self.last_trace = result.trace
+            self.kernel_stats.record_launch(
+                blocks=m,
+                threads_per_block=result.config.block_dim,
+                barriers=result.barriers,
+                candidate_words=m * k * self.matrix.n_words,
+                popcounts=m * self.matrix.n_words,
+            )
+            out[start:stop] = self.memory.dtoh(sup_buf)
+            self.memory.free(cand_buf)
+            self.memory.free(sup_buf)
+        self._charge_complete(n, k)
+        return out
+
+    def count_extend(self, pairs: np.ndarray) -> np.ndarray:
+        pairs = np.ascontiguousarray(pairs, dtype=np.int32)
+        n = pairs.shape[0]
+        n_words = self.matrix.n_words
+        if n == 0:
+            self._pending_buf = self.memory.alloc("prefix_rows_next", (0, n_words), np.uint32)
+            return np.zeros(0, dtype=np.int64)
+        pair_buf = self.memory.alloc("pairs", (n, 2), np.int32)
+        self.memory.htod(pair_buf, pairs)
+        out_rows = self.memory.alloc("prefix_rows_next", (n, n_words), np.uint32)
+        sup_buf = self.memory.alloc("supports", (n,), np.int64)
+        prefix_buf = self._prefix_buf if self._prefix_buf is not None else self._bitset_buf
+        result = launch_kernel(
+            extend_kernel,
+            LaunchConfig(grid_dim=n, block_dim=self._block_dim()),
+            args=(prefix_buf, self._bitset_buf, pair_buf, n_words, out_rows, sup_buf),
+            device=self.device,
+            trace=self.config.trace_accesses,
+        )
+        self.last_trace = result.trace
+        self.kernel_stats.record_launch(
+            blocks=n,
+            threads_per_block=result.config.block_dim,
+            barriers=result.barriers,
+            candidate_words=n * 2 * n_words,
+            popcounts=n * n_words,
+        )
+        supports = self.memory.dtoh(sup_buf)
+        self.memory.free(pair_buf)
+        self.memory.free(sup_buf)
+        self._pending_buf = out_rows
+        self._charge_extend(n)
+        return supports
+
+    def retain(self, indices: np.ndarray) -> None:
+        if self._pending_buf is None:
+            raise MiningError("retain() without a preceding count_extend()")
+        indices = np.asarray(indices, dtype=np.int64)
+        kept = self._pending_buf.data[indices].copy()
+        self.memory.free(self._pending_buf)
+        if self._prefix_buf is not None:
+            self.memory.free(self._prefix_buf)
+        self._prefix_buf = self.memory.alloc(
+            "prefix_rows", kept.shape, np.uint32
+        )
+        # device-to-device compaction; no PCIe charge
+        self._prefix_buf.data[...] = kept
+        self._pending_buf = None
+        self.metrics.add_counter("prefix_rows_resident_bytes", int(kept.nbytes))
+
+    def coalescing_report(self):
+        """Coalescing analysis of the last traced launch (or None)."""
+        if not self.last_trace:
+            return None
+        return analyze_trace(self.last_trace)
+
+
+def make_engine(
+    config: GPAprioriConfig,
+    metrics: RunMetrics,
+    device: DeviceProperties = TESLA_T10,
+) -> SupportEngine:
+    """Instantiate the engine named by ``config.engine``."""
+    if config.engine == "vectorized":
+        return VectorizedEngine(config, metrics, device)
+    if config.engine == "simulated":
+        return SimulatedEngine(config, metrics, device)
+    raise ConfigError(f"unknown engine {config.engine!r}")

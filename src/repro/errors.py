@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+The subtypes mirror the package layout: dataset construction, bitset /
+vertical-layout handling, the GPU simulator, and the mining drivers each
+have a dedicated class.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DatasetError",
+    "BitsetError",
+    "TrieError",
+    "GpuSimError",
+    "KernelLaunchError",
+    "DeviceMemoryError",
+    "MiningError",
+    "ConfigError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DatasetError(ReproError):
+    """Raised for malformed transaction data or bad generator parameters."""
+
+
+class BitsetError(ReproError):
+    """Raised for invalid bitset/tidset construction or mismatched shapes."""
+
+
+class TrieError(ReproError):
+    """Raised for inconsistent candidate-trie operations."""
+
+
+class GpuSimError(ReproError):
+    """Base class for errors inside the CUDA-like simulator."""
+
+
+class KernelLaunchError(GpuSimError):
+    """Raised when a kernel launch configuration is invalid.
+
+    Mirrors CUDA's ``cudaErrorInvalidConfiguration``: block dimensions
+    exceeding device limits, zero-sized grids, or shared-memory requests
+    larger than the per-block budget.
+    """
+
+
+class DeviceMemoryError(GpuSimError):
+    """Raised when a device allocation exceeds available global memory.
+
+    Mirrors CUDA's ``cudaErrorMemoryAllocation``.
+    """
+
+
+class MiningError(ReproError):
+    """Raised when a mining driver is invoked with invalid arguments."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid algorithm configuration values."""

@@ -1,0 +1,118 @@
+"""Shared-memory bank-conflict analysis (compute 1.x: 16 banks).
+
+The paper's reduction follows the CUDA SDK's "data parallel algorithms"
+note (reference [9]), whose core optimization story is bank conflicts:
+shared memory is striped over 16 banks serving one 32-bit word per
+cycle each, so a half-warp whose lanes hit the same bank at different
+addresses serializes. The SDK's *interleaved addressing* reduction
+(stride 1, 2, 4, ...) conflicts badly; the *sequential addressing*
+version used here (stride n/2, n/4, ...) is conflict-free.
+
+This module provides the bank arithmetic and a conflict counter, and
+:func:`reduction_conflicts` derives the per-level access patterns of
+both reduction addressings so the benchmark can show the difference the
+SDK documents — on our own reduction, not by citation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import GpuSimError
+
+__all__ = [
+    "N_BANKS",
+    "bank_of",
+    "conflict_degree",
+    "reduction_conflicts",
+]
+
+N_BANKS = 16
+"""Banks per SM on compute 1.x; successive 32-bit words map to
+successive banks."""
+
+
+def bank_of(word_index: int, n_banks: int = N_BANKS) -> int:
+    """Bank serving 32-bit word ``word_index`` of a shared array."""
+    if word_index < 0:
+        raise GpuSimError("word index must be >= 0")
+    if n_banks < 1:
+        raise GpuSimError("n_banks must be >= 1")
+    return word_index % n_banks
+
+
+def conflict_degree(
+    word_indices: Sequence[int], n_banks: int = N_BANKS
+) -> int:
+    """Serialization factor of one half-warp shared-memory access.
+
+    Returns the maximum number of *distinct addresses* that land on one
+    bank — the number of cycles the access takes. 1 means conflict-free.
+    Lanes reading the *same* address broadcast and do not conflict
+    (compute 1.x supports one broadcast word per access).
+    """
+    per_bank: Dict[int, set] = {}
+    for idx in word_indices:
+        per_bank.setdefault(bank_of(idx, n_banks), set()).add(idx)
+    if not per_bank:
+        return 1
+    return max(len(addresses) for addresses in per_bank.values())
+
+
+def reduction_conflicts(
+    block_size: int,
+    addressing: str = "sequential",
+    n_banks: int = N_BANKS,
+) -> List[int]:
+    """Worst half-warp conflict degree per level of a tree reduction.
+
+    Parameters
+    ----------
+    block_size:
+        Power-of-two thread count (= element count).
+    addressing:
+        ``"sequential"`` — the SDK's optimized kernel (and ours):
+        active thread ``t`` reads ``partials[t]`` and
+        ``partials[t + stride]`` with stride halving from
+        ``block_size/2``. Lane-adjacent threads touch adjacent words:
+        conflict-free.
+        ``"interleaved"`` — the naive kernel: thread ``t`` is active
+        when ``t % (2*stride) == 0`` and reads ``partials[t]`` and
+        ``partials[t + stride]`` with stride *doubling* from 1. Active
+        lanes are ``2*stride`` apart, so their words collide on banks
+        once ``2*stride`` divides the bank count.
+
+    Returns
+    -------
+    list of int
+        One worst-case conflict degree per reduction level.
+    """
+    if block_size < 1 or block_size & (block_size - 1):
+        raise GpuSimError("block_size must be a positive power of two")
+    if addressing not in ("sequential", "interleaved"):
+        raise GpuSimError(f"unknown addressing {addressing!r}")
+    half_warp = 16
+    levels: List[int] = []
+    def worst_for(active: List[int], stride: int) -> int:
+        # `partials[t] += partials[t + stride]` issues two loads and a
+        # store; each is its own shared-memory instruction, so each
+        # half-warp access is analyzed independently.
+        worst = 1
+        for group_start in range(0, len(active), half_warp):
+            lanes = active[group_start : group_start + half_warp]
+            for reads in (lanes, [t + stride for t in lanes]):
+                worst = max(worst, conflict_degree(reads, n_banks))
+        return worst
+
+    if addressing == "sequential":
+        stride = block_size // 2
+        while stride > 0:
+            levels.append(worst_for(list(range(stride)), stride))
+            stride //= 2
+    else:
+        stride = 1
+        while stride < block_size:
+            active = [t for t in range(block_size) if t % (2 * stride) == 0]
+            levels.append(worst_for(active, stride))
+            stride *= 2
+    return levels

@@ -1,0 +1,152 @@
+"""Global-memory coalescing analysis (the mechanism behind paper Fig. 3).
+
+On compute-1.2/1.3 devices the memory controller services each
+*half-warp* (16 threads) per instruction. The documented algorithm
+(CUDA C Programming Guide, appendix G.3.2.2) is:
+
+1. find the 128-byte aligned segment containing the request of the
+   lowest-numbered active lane (for 4-byte words);
+2. include every other active lane whose request lands in the same
+   segment;
+3. shrink the segment to 64 or 32 bytes when all covered requests fit
+   in a half/quarter;
+4. issue the transaction, deactivate the served lanes, repeat.
+
+A fully coalesced half-warp of 4-byte reads therefore costs a single
+64-byte transaction; a scattered one costs up to 16. The analyzer
+replays :class:`~repro.gpusim.kernel.GlobalAccess` traces through this
+algorithm and reports the transaction-per-request ratio that the
+performance model charges against bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import GpuSimError
+from .kernel import GlobalAccess
+
+__all__ = ["AccessTrace", "CoalescingReport", "analyze_trace", "half_warp_transactions"]
+
+AccessTrace = Sequence[GlobalAccess]
+
+
+@dataclass(frozen=True)
+class CoalescingReport:
+    """Aggregate coalescing statistics of one access trace."""
+
+    n_accesses: int
+    n_transactions: int
+    bytes_requested: int
+    bytes_transferred: int
+    """Sum of issued segment sizes (>= bytes_requested)."""
+
+    @property
+    def transactions_per_halfwarp_request(self) -> float:
+        """Mean transactions per half-warp memory instruction.
+
+        1.0 is perfect coalescing; 16.0 is fully serialized 4-byte
+        access. Returns 0 for an empty trace.
+        """
+        if self.n_accesses == 0:
+            return 0.0
+        halfwarp_requests = self._halfwarp_requests
+        return self.n_transactions / halfwarp_requests if halfwarp_requests else 0.0
+
+    @property
+    def _halfwarp_requests(self) -> float:
+        # Each group of up to 16 lane-accesses is one request.
+        return max(1.0, self.n_accesses / 16.0)
+
+    @property
+    def efficiency(self) -> float:
+        """bytes_requested / bytes_transferred in (0, 1]; 1 is perfect."""
+        if self.bytes_transferred == 0:
+            return 1.0
+        return self.bytes_requested / self.bytes_transferred
+
+
+def half_warp_transactions(
+    addresses: Sequence[int],
+    size: int,
+) -> List[Tuple[int, int]]:
+    """Transactions for one half-warp's simultaneous requests.
+
+    Parameters
+    ----------
+    addresses:
+        Byte addresses requested by the active lanes (<= 16 of them).
+    size:
+        Access width in bytes (1, 2, 4, 8 or 16).
+
+    Returns
+    -------
+    list of (segment_start, segment_size)
+        The issued memory transactions, per the compute-1.3 algorithm.
+    """
+    if size not in (1, 2, 4, 8, 16):
+        raise GpuSimError(f"unsupported access size {size}")
+    if len(addresses) > 16:
+        raise GpuSimError("a half-warp has at most 16 lanes")
+    max_segment = {1: 32, 2: 64, 4: 128, 8: 128, 16: 128}[size]
+    pending = sorted(set(int(a) for a in addresses))
+    out: List[Tuple[int, int]] = []
+    while pending:
+        base = pending[0] - (pending[0] % max_segment)
+        covered = [a for a in pending if base <= a < base + max_segment]
+        lo = min(covered)
+        hi = max(covered) + size
+        seg_start, seg_size = base, max_segment
+        # Shrink while the covered span fits entirely in one half.
+        while seg_size > 32:
+            half = seg_size // 2
+            if lo >= seg_start + half:
+                seg_start += half
+                seg_size = half
+            elif hi <= seg_start + half:
+                seg_size = half
+            else:
+                break
+        out.append((seg_start, seg_size))
+        pending = [a for a in pending if not (base <= a < base + max_segment)]
+    return out
+
+
+def analyze_trace(
+    trace: Iterable[GlobalAccess],
+    half_warp: int = 16,
+) -> CoalescingReport:
+    """Replay a kernel access trace through the coalescing rules.
+
+    Lanes are grouped into simultaneous requests by
+    ``(block, half-warp, barrier epoch, per-thread access ordinal, op)``
+    — in a SIMT machine the lanes of one warp issue their k-th memory
+    instruction after a barrier together, so (epoch, ordinal) is the
+    replay's notion of time. Loads and stores are never merged into one
+    transaction.
+    """
+    groups: Dict[Tuple[int, int, int, int, str, int], List[int]] = defaultdict(list)
+    n_accesses = 0
+    bytes_requested = 0
+    for acc in trace:
+        n_accesses += 1
+        bytes_requested += acc.size
+        # Half-warps are the service unit: split each warp's 32 lanes in two.
+        half_id = acc.thread // half_warp
+        groups[
+            (acc.block, half_id, acc.epoch, acc.ordinal, acc.op, acc.size)
+        ].append(acc.address)
+    n_transactions = 0
+    bytes_transferred = 0
+    for (_, _, _, _, _, size), addrs in groups.items():
+        for _, seg_size in half_warp_transactions(addrs, size):
+            n_transactions += 1
+            bytes_transferred += seg_size
+    return CoalescingReport(
+        n_accesses=n_accesses,
+        n_transactions=n_transactions,
+        bytes_requested=bytes_requested,
+        bytes_transferred=bytes_transferred,
+    )

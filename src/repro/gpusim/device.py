@@ -1,0 +1,110 @@
+"""Device property sheets for the simulator and the performance model.
+
+``TESLA_T10`` reproduces the GPU in the paper's testbed (a Tesla S1070
+server holds four T10 processors; the paper uses one). ``XEON_E5520``
+approximates the Dell PowerEdge R710 host CPU of the same era and feeds
+the CPU-side cost model so modeled GPU/CPU ratios compare like-for-like
+hardware generations, as the paper's Figure 6 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GpuSimError
+
+__all__ = ["DeviceProperties", "CpuProperties", "TESLA_T10", "XEON_E5520"]
+
+
+@dataclass(frozen=True)
+class DeviceProperties:
+    """Static properties of a simulated CUDA device.
+
+    Attributes mirror ``cudaDeviceProp`` where a CUDA equivalent exists.
+    """
+
+    name: str
+    sm_count: int
+    cores_per_sm: int
+    clock_hz: float
+    """SP (shader) clock in Hz; instruction throughput basis."""
+
+    global_mem_bytes: int
+    mem_bandwidth_bytes: float
+    """Peak global-memory bandwidth, bytes/second."""
+
+    shared_mem_per_block: int
+    """Bytes of shared (on-chip) memory available per block."""
+
+    max_threads_per_block: int
+    warp_size: int
+    compute_capability: tuple[int, int]
+    pcie_bandwidth_bytes: float
+    """Effective host<->device bandwidth, bytes/second."""
+
+    pcie_latency_s: float
+    """Fixed per-transfer latency (driver + DMA setup)."""
+
+    kernel_launch_overhead_s: float
+    """Fixed per-launch host overhead."""
+
+    def __post_init__(self) -> None:
+        if self.sm_count < 1 or self.cores_per_sm < 1:
+            raise GpuSimError("device must have at least one SM and core")
+        if self.warp_size < 1 or self.max_threads_per_block < self.warp_size:
+            raise GpuSimError("invalid warp/block limits")
+        if min(self.clock_hz, self.mem_bandwidth_bytes, self.pcie_bandwidth_bytes) <= 0:
+            raise GpuSimError("clock and bandwidths must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        """Total scalar processors (SPs) on the device."""
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def half_warp(self) -> int:
+        """Coalescing granularity on compute 1.x devices."""
+        return self.warp_size // 2
+
+    def peak_flops(self) -> float:
+        """Scalar instructions per second, all SPs busy (no dual issue)."""
+        return self.total_cores * self.clock_hz
+
+
+@dataclass(frozen=True)
+class CpuProperties:
+    """Host CPU sheet for the like-for-like CPU cost model."""
+
+    name: str
+    clock_hz: float
+    mem_bandwidth_bytes: float
+    cache_line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0 or self.mem_bandwidth_bytes <= 0:
+            raise GpuSimError("clock and bandwidth must be positive")
+
+
+TESLA_T10 = DeviceProperties(
+    name="Tesla T10 (S1070)",
+    sm_count=30,
+    cores_per_sm=8,
+    clock_hz=1.296e9,
+    global_mem_bytes=4 << 30,
+    mem_bandwidth_bytes=102e9,
+    shared_mem_per_block=16 << 10,
+    max_threads_per_block=512,
+    warp_size=32,
+    compute_capability=(1, 3),
+    pcie_bandwidth_bytes=5.2e9,  # PCIe 2.0 x16 effective
+    pcie_latency_s=20e-6,  # 2008-era driver + DMA setup per cudaMemcpy
+    kernel_launch_overhead_s=30e-6,  # synchronous launch cost, CUDA 2.x era
+)
+"""The paper's GPU: one T10 processor of a Tesla S1070 server."""
+
+XEON_E5520 = CpuProperties(
+    name="Xeon E5520-class host (single thread)",
+    clock_hz=2.93e9,
+    mem_bandwidth_bytes=12e9,
+)
+"""Single-threaded host CPU of the R710-era testbed."""

@@ -1,0 +1,32 @@
+"""Device intrinsics used by GPApriori's kernel.
+
+Only the ones the paper's kernel needs: ``__popc`` (population count of
+a 32-bit word, the heart of bitset support counting) and a software
+``atomicAdd`` for the load-balancing extension. ``__syncthreads`` lives
+in :mod:`repro.gpusim.kernel` because it is an execution-control
+primitive, not a value intrinsic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GpuSimError
+
+__all__ = ["popc", "brev"]
+
+
+def popc(word: int | np.unsignedinteger) -> int:
+    """CUDA ``__popc``: number of set bits in a 32-bit word."""
+    w = int(word)
+    if not 0 <= w <= 0xFFFFFFFF:
+        raise GpuSimError(f"__popc operand out of 32-bit range: {word!r}")
+    return w.bit_count()
+
+
+def brev(word: int | np.unsignedinteger) -> int:
+    """CUDA ``__brev``: reverse the bits of a 32-bit word."""
+    w = int(word)
+    if not 0 <= w <= 0xFFFFFFFF:
+        raise GpuSimError(f"__brev operand out of 32-bit range: {word!r}")
+    return int(f"{w:032b}"[::-1], 2)

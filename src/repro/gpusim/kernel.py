@@ -1,0 +1,347 @@
+"""Barrier-synchronous kernel execution.
+
+CUDA guarantees that threads of one block observe each other's shared
+memory writes across a ``__syncthreads()`` barrier, and it guarantees
+nothing about relative progress *between* barriers. That weak contract
+is exactly what a generator-based interpreter can honour in pure
+Python:
+
+* a *kernel* is a Python generator function ``kernel(ctx, *args)``;
+* ``yield SYNCTHREADS`` is the barrier — the launcher advances every
+  thread of a block to the barrier before any thread proceeds past it;
+* global/shared memory effects between barriers are applied in thread
+  order within the block, a legal interleaving under the CUDA model.
+
+The launcher also enforces the hardware limits that shaped the paper's
+tuning section: maximum threads per block, per-block shared memory, and
+barrier *convergence* (CUDA leaves divergent ``__syncthreads`` undefined
+— the simulator raises instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GpuSimError, KernelLaunchError
+from .device import DeviceProperties, TESLA_T10
+from .memory import DeviceBuffer, GlobalMemory, SharedMemory
+
+__all__ = [
+    "SYNCTHREADS",
+    "GlobalAccess",
+    "KernelContext",
+    "LaunchConfig",
+    "LaunchResult",
+    "launch_kernel",
+]
+
+
+class _Syncthreads:
+    """Singleton sentinel yielded at a ``__syncthreads()`` barrier."""
+
+    _instance: "_Syncthreads | None" = None
+
+    def __new__(cls) -> "_Syncthreads":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "SYNCTHREADS"
+
+
+SYNCTHREADS = _Syncthreads()
+
+
+@dataclass(frozen=True)
+class GlobalAccess:
+    """One recorded global-memory access (for the coalescing analyzer)."""
+
+    block: int
+    thread: int
+    """Linear thread index within the block."""
+
+    epoch: int
+    """Barrier epoch: number of ``__syncthreads`` this thread crossed.
+    A barrier realigns every thread's instruction stream, so lockstep
+    grouping is only meaningful within an epoch."""
+
+    ordinal: int
+    """Per-thread count of global accesses *within the current epoch*;
+    the analyzer groups simultaneous warp lanes by (epoch, ordinal) —
+    the SIMT lockstep proxy."""
+
+    op: str
+    """``"load"`` or ``"store"``."""
+
+    address: int
+    """Absolute simulated byte address."""
+
+    size: int
+    """Access width in bytes."""
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid/block geometry of a launch (1-D, as the paper's kernel uses)."""
+
+    grid_dim: int
+    block_dim: int
+
+    def validate(self, device: DeviceProperties) -> None:
+        if self.grid_dim < 1:
+            raise KernelLaunchError(f"grid_dim must be >= 1, got {self.grid_dim}")
+        if self.block_dim < 1:
+            raise KernelLaunchError(f"block_dim must be >= 1, got {self.block_dim}")
+        if self.block_dim > device.max_threads_per_block:
+            raise KernelLaunchError(
+                f"block_dim {self.block_dim} exceeds device limit "
+                f"{device.max_threads_per_block}"
+            )
+
+
+class KernelContext:
+    """Per-thread view of the device: indices, memory, and tracing.
+
+    Device code receives one context per thread and must perform all
+    global-memory traffic through :meth:`load` / :meth:`store` so the
+    access trace (and therefore the coalescing analysis) is faithful.
+    """
+
+    __slots__ = (
+        "thread_idx",
+        "block_idx",
+        "block_dim",
+        "grid_dim",
+        "shared",
+        "_trace",
+        "_ordinal",
+        "_epoch",
+    )
+
+    def __init__(
+        self,
+        thread_idx: int,
+        block_idx: int,
+        config: LaunchConfig,
+        shared: SharedMemory,
+        trace: Optional[List[GlobalAccess]],
+    ) -> None:
+        self.thread_idx = thread_idx
+        self.block_idx = block_idx
+        self.block_dim = config.block_dim
+        self.grid_dim = config.grid_dim
+        self.shared = shared
+        self._trace = trace
+        self._ordinal = 0
+        self._epoch = 0
+
+    @property
+    def global_thread_id(self) -> int:
+        """``blockIdx.x * blockDim.x + threadIdx.x``."""
+        return self.block_idx * self.block_dim + self.thread_idx
+
+    @property
+    def warp_id(self) -> int:
+        """Warp index of this thread within its block (warp size 32)."""
+        return self.thread_idx // 32
+
+    def _record(self, op: str, buf: DeviceBuffer, flat_index: int) -> None:
+        if self._trace is not None:
+            self._trace.append(
+                GlobalAccess(
+                    block=self.block_idx,
+                    thread=self.thread_idx,
+                    epoch=self._epoch,
+                    ordinal=self._ordinal,
+                    op=op,
+                    address=buf.byte_address(flat_index),
+                    size=buf.data.itemsize,
+                )
+            )
+        self._ordinal += 1
+
+    def _cross_barrier(self) -> None:
+        """Called by the launcher at each barrier: new lockstep epoch."""
+        self._epoch += 1
+        self._ordinal = 0
+
+    def shared_array(self, name: str, shape, dtype) -> np.ndarray:
+        """Get-or-create a named shared-memory array.
+
+        Mirrors a ``__shared__`` declaration: every thread of the block
+        names the same array and receives the same storage. The first
+        thread to reach the declaration allocates; the rest get the
+        existing array (shape/dtype are validated to match).
+        """
+        try:
+            arr = self.shared.get(name)
+        except GpuSimError:
+            return self.shared.alloc(name, shape, dtype)
+        want_shape = (shape,) if isinstance(shape, int) else tuple(shape)
+        if arr.shape != want_shape or arr.dtype != np.dtype(dtype):
+            raise GpuSimError(
+                f"shared array {name!r} redeclared with different shape/dtype"
+            )
+        return arr
+
+    def load(self, buf: DeviceBuffer, index) -> object:
+        """Read one element of a global buffer (any index arity).
+
+        ``index`` may be an int (flat for 1-D buffers) or a tuple for
+        multi-dimensional buffers; the recorded address is always the
+        flat byte address, which is what coalescing depends on.
+        """
+        flat = _flatten_index(buf, index)
+        self._record("load", buf, flat)
+        return buf.data.flat[flat]
+
+    def store(self, buf: DeviceBuffer, index, value) -> None:
+        """Write one element of a global buffer."""
+        flat = _flatten_index(buf, index)
+        self._record("store", buf, flat)
+        buf.data.flat[flat] = value
+
+    def atomic_add(self, buf: DeviceBuffer, index, value) -> object:
+        """``atomicAdd``: add and return the old value.
+
+        Atomicity is trivially satisfied because the interpreter runs
+        one thread at a time between barriers; the method exists so
+        kernels document where the real hardware would need an atomic.
+        """
+        flat = _flatten_index(buf, index)
+        self._record("load", buf, flat)
+        old = buf.data.flat[flat]
+        self._record("store", buf, flat)
+        buf.data.flat[flat] = old + value
+        return old
+
+
+def _flatten_index(buf: DeviceBuffer, index) -> int:
+    data = buf.data
+    if isinstance(index, tuple):
+        if len(index) != data.ndim:
+            raise GpuSimError(
+                f"{len(index)}-D index into {data.ndim}-D buffer {buf.name!r}"
+            )
+        flat = 0
+        for dim, (i, n) in enumerate(zip(index, data.shape)):
+            i = int(i)
+            if not 0 <= i < n:
+                raise GpuSimError(
+                    f"index {i} out of range [0, {n}) in dim {dim} of {buf.name!r}"
+                )
+            flat = flat * n + i
+        return flat
+    i = int(index)
+    if not 0 <= i < data.size:
+        raise GpuSimError(f"flat index {i} out of range for {buf.name!r} ({data.size})")
+    return i
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of a simulated launch."""
+
+    config: LaunchConfig
+    blocks_run: int
+    threads_run: int
+    barriers: int
+    """Total barrier crossings summed over blocks."""
+
+    trace: Optional[List[GlobalAccess]]
+    """Global-access trace if tracing was requested, else None."""
+
+    shared_bytes_peak: int
+    """Largest per-block shared-memory footprint observed."""
+
+
+def launch_kernel(
+    kernel: Callable,
+    config: LaunchConfig,
+    args: Sequence = (),
+    device: DeviceProperties = TESLA_T10,
+    trace: bool = False,
+    blocks: Optional[Iterable[int]] = None,
+) -> LaunchResult:
+    """Execute ``kernel`` over a grid with CUDA barrier semantics.
+
+    Parameters
+    ----------
+    kernel:
+        Generator function ``kernel(ctx, *args)`` that yields
+        :data:`SYNCTHREADS` at each barrier.
+    config:
+        Grid/block geometry; validated against ``device`` limits.
+    args:
+        Extra positional arguments passed to every thread (typically
+        :class:`~repro.gpusim.memory.DeviceBuffer` handles and scalars).
+    device:
+        Device sheet providing block-size and shared-memory limits.
+    trace:
+        Record every global access (memory-hungry; meant for the
+        coalescing analyzer on small launches).
+    blocks:
+        Optional subset of block indices to execute — used by tests to
+        probe single blocks of a large grid cheaply. Defaults to all.
+
+    Raises
+    ------
+    KernelLaunchError
+        For invalid geometry, and for *divergent barriers* (some threads
+        of a block exit while siblings wait at ``__syncthreads``) —
+        undefined behaviour on hardware, a hard error here.
+    """
+    config.validate(device)
+    access_trace: Optional[List[GlobalAccess]] = [] if trace else None
+    block_ids = range(config.grid_dim) if blocks is None else sorted(set(blocks))
+    threads_run = 0
+    barriers = 0
+    shared_peak = 0
+    for b in block_ids:
+        if not 0 <= b < config.grid_dim:
+            raise KernelLaunchError(f"block id {b} outside grid of {config.grid_dim}")
+        shared = SharedMemory(device.shared_mem_per_block)
+        contexts = [
+            KernelContext(t, b, config, shared, access_trace)
+            for t in range(config.block_dim)
+        ]
+        gens = [kernel(ctx, *args) for ctx in contexts]
+        live = list(range(config.block_dim))
+        threads_run += config.block_dim
+        while live:
+            at_barrier: List[int] = []
+            finished: List[int] = []
+            for t in live:
+                try:
+                    yielded = next(gens[t])
+                except StopIteration:
+                    finished.append(t)
+                    continue
+                if yielded is not SYNCTHREADS:
+                    raise KernelLaunchError(
+                        f"kernel yielded {yielded!r}; only SYNCTHREADS may be yielded"
+                    )
+                at_barrier.append(t)
+            if at_barrier and finished:
+                raise KernelLaunchError(
+                    f"divergent __syncthreads in block {b}: threads "
+                    f"{finished[:4]}... exited while {at_barrier[:4]}... wait"
+                )
+            if at_barrier:
+                barriers += 1
+                for t in at_barrier:
+                    contexts[t]._cross_barrier()
+            live = at_barrier
+        shared_peak = max(shared_peak, shared.bytes_in_use)
+    return LaunchResult(
+        config=config,
+        blocks_run=len(list(block_ids)),
+        threads_run=threads_run,
+        barriers=barriers,
+        trace=access_trace,
+        shared_bytes_peak=shared_peak,
+    )

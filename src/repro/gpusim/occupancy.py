@@ -1,0 +1,139 @@
+"""SM occupancy calculator for compute-1.3 devices.
+
+The paper hand-tunes its block size (Section IV.3 optimization 3); what
+that tuning navigates on real hardware is *occupancy*: how many warps
+can be resident per SM given the block's thread, register, and
+shared-memory appetite. This module reproduces the vendor occupancy
+calculator's arithmetic for the T10's generation so the block-size
+ablation can show **why** 256 threads was the sweet spot rather than
+just that it was.
+
+Compute 1.2/1.3 limits (CUDA occupancy calculator, SM 1.3 column):
+
+* 1024 threads / SM, 32 warps / SM, 8 blocks / SM
+* 16,384 registers / SM, allocated per-block in units of 512
+* 16 KiB shared memory / SM, allocated in 512-byte units
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GpuSimError
+from .device import DeviceProperties, TESLA_T10
+
+__all__ = ["OccupancyResult", "occupancy", "best_block_size"]
+
+_MAX_THREADS_PER_SM = 1024
+_MAX_WARPS_PER_SM = 32
+_MAX_BLOCKS_PER_SM = 8
+_REGISTERS_PER_SM = 16_384
+_REG_ALLOC_UNIT = 512
+_SMEM_ALLOC_UNIT = 512
+
+
+def _round_up(value: int, unit: int) -> int:
+    return -(-value // unit) * unit
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Residency of one kernel configuration on one SM."""
+
+    block_size: int
+    warps_per_block: int
+    blocks_per_sm: int
+    active_warps: int
+    occupancy: float
+    """active warps / max warps, in (0, 1]."""
+
+    limiter: str
+    """Which resource capped residency: threads | blocks | registers | shared."""
+
+
+def occupancy(
+    block_size: int,
+    registers_per_thread: int = 16,
+    shared_mem_per_block: int = 2048,
+    device: DeviceProperties = TESLA_T10,
+) -> OccupancyResult:
+    """Compute SM residency for a launch configuration.
+
+    Defaults approximate the paper's support kernel: ~16 registers per
+    thread (word pointer arithmetic + accumulator) and a shared budget
+    of the partials array (block_size x 8 bytes) plus preloaded
+    candidate ids.
+
+    Raises
+    ------
+    GpuSimError
+        If the block alone exceeds a per-block hardware limit (such a
+        launch fails outright on hardware).
+    """
+    if block_size < 1 or block_size > device.max_threads_per_block:
+        raise GpuSimError(
+            f"block_size {block_size} outside [1, {device.max_threads_per_block}]"
+        )
+    if registers_per_thread < 1:
+        raise GpuSimError("registers_per_thread must be >= 1")
+    if shared_mem_per_block < 0:
+        raise GpuSimError("shared_mem_per_block must be >= 0")
+    if shared_mem_per_block > device.shared_mem_per_block:
+        raise GpuSimError(
+            f"shared memory request {shared_mem_per_block} exceeds the "
+            f"{device.shared_mem_per_block}-byte per-block budget"
+        )
+
+    warp = device.warp_size
+    warps_per_block = -(-block_size // warp)
+
+    by_threads = _MAX_THREADS_PER_SM // (warps_per_block * warp)
+    by_blocks = _MAX_BLOCKS_PER_SM
+    regs_per_block = _round_up(
+        registers_per_thread * warps_per_block * warp, _REG_ALLOC_UNIT
+    )
+    by_registers = _REGISTERS_PER_SM // regs_per_block if regs_per_block else by_blocks
+    smem_per_block = _round_up(max(shared_mem_per_block, 1), _SMEM_ALLOC_UNIT)
+    by_shared = device.shared_mem_per_block // smem_per_block
+
+    candidates = {
+        "threads": by_threads,
+        "blocks": by_blocks,
+        "registers": by_registers,
+        "shared": by_shared,
+    }
+    limiter, blocks_per_sm = min(candidates.items(), key=lambda kv: kv[1])
+    blocks_per_sm = max(blocks_per_sm, 0)
+    active_warps = min(blocks_per_sm * warps_per_block, _MAX_WARPS_PER_SM)
+    return OccupancyResult(
+        block_size=block_size,
+        warps_per_block=warps_per_block,
+        blocks_per_sm=blocks_per_sm,
+        active_warps=active_warps,
+        occupancy=active_warps / _MAX_WARPS_PER_SM,
+        limiter=limiter,
+    )
+
+
+def best_block_size(
+    registers_per_thread: int = 16,
+    shared_per_thread_bytes: int = 8,
+    shared_fixed_bytes: int = 64,
+    device: DeviceProperties = TESLA_T10,
+) -> int:
+    """Smallest power-of-two block size achieving the peak occupancy.
+
+    Models the paper's hand-tuning loop: sweep power-of-two blocks,
+    compute residency (shared memory grows with the block because the
+    reduction partials array is one slot per thread), keep the best.
+    """
+    best = (0.0, device.warp_size)
+    size = device.warp_size
+    while size <= device.max_threads_per_block:
+        smem = shared_fixed_bytes + shared_per_thread_bytes * size
+        if smem <= device.shared_mem_per_block:
+            res = occupancy(size, registers_per_thread, smem, device)
+            if res.occupancy > best[0]:
+                best = (res.occupancy, size)
+        size *= 2
+    return best[1]

@@ -1,0 +1,55 @@
+"""Shared-memory parallel summation reduction.
+
+The paper (Section IV.3) sums per-thread popcount partials with "a
+parallel summation reduction algorithm ... to add all the support
+values recursively into its first element", citing the CUDA SDK's
+data-parallel algorithms note (reference [9]). This is that kernel-side
+routine: a sequential-addressing tree reduction with a barrier between
+levels, free of shared-memory bank conflicts and warp divergence for
+power-of-two block sizes.
+
+It is written as a generator so kernels embed it with ``yield from``;
+the barrier yields propagate to the launcher.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GpuSimError
+from .kernel import SYNCTHREADS, KernelContext
+
+__all__ = ["block_reduce_sum"]
+
+
+def block_reduce_sum(ctx: KernelContext, shared_values: np.ndarray, n: int):
+    """Reduce ``shared_values[:n]`` into ``shared_values[0]``.
+
+    Parameters
+    ----------
+    ctx:
+        The calling thread's kernel context.
+    shared_values:
+        A shared-memory array (every thread passes the same one).
+    n:
+        Number of live entries; must equal ``ctx.block_dim`` and be a
+        power of two (the classic SDK kernel's precondition — GPApriori
+        pads its block to a power-of-two size for this reason).
+
+    Notes
+    -----
+    Must be invoked by *every* thread of the block (it contains
+    barriers). After it returns, ``shared_values[0]`` holds the sum for
+    all threads to read.
+    """
+    if n != ctx.block_dim:
+        raise GpuSimError("block_reduce_sum requires n == blockDim")
+    if n & (n - 1):
+        raise GpuSimError(f"block_reduce_sum requires power-of-two n, got {n}")
+    tid = ctx.thread_idx
+    stride = n // 2
+    while stride > 0:
+        if tid < stride:
+            shared_values[tid] += shared_values[tid + stride]
+        yield SYNCTHREADS
+        stride //= 2

@@ -1,0 +1,56 @@
+"""Aggregated execution statistics for simulated kernels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["KernelStats"]
+
+
+@dataclass
+class KernelStats:
+    """Cumulative statistics over one mining run's kernel launches.
+
+    One record is appended per support-counting launch; the benchmark
+    harness feeds these (together with transfer stats) to the
+    performance model.
+    """
+
+    launches: int = 0
+    blocks: int = 0
+    threads: int = 0
+    barriers: int = 0
+    candidate_words: int = 0
+    """Total uint32 words AND-ed across all candidates (k * n_words each)."""
+
+    popcounts: int = 0
+    """Total __popc invocations (one per surviving word per candidate)."""
+
+    generations: List[int] = field(default_factory=list)
+    """Candidate count per generation, in order."""
+
+    def record_launch(
+        self,
+        blocks: int,
+        threads_per_block: int,
+        barriers: int,
+        candidate_words: int,
+        popcounts: int,
+    ) -> None:
+        self.launches += 1
+        self.blocks += blocks
+        self.threads += blocks * threads_per_block
+        self.barriers += barriers
+        self.candidate_words += candidate_words
+        self.popcounts += popcounts
+
+    def merge(self, other: "KernelStats") -> None:
+        """Fold another stats record into this one."""
+        self.launches += other.launches
+        self.blocks += other.blocks
+        self.threads += other.threads
+        self.barriers += other.barriers
+        self.candidate_words += other.candidate_words
+        self.popcounts += other.popcounts
+        self.generations.extend(other.generations)

@@ -1,0 +1,75 @@
+"""Warp grouping and branch-divergence accounting.
+
+A compute-1.3 SM issues one instruction per warp of 32 threads; when
+lanes take different control paths the paths serialize. GPApriori's
+bitset kernel is divergence-free by construction (every lane runs the
+same word-strided loop), while a tidset merge's control flow depends on
+the data — one of the two reasons (with coalescing) that the paper
+rejects tidsets on the GPU. These helpers quantify that difference from
+per-lane work counts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import GpuSimError
+
+__all__ = ["warp_of", "lane_of", "divergence_factor", "warp_iteration_time"]
+
+
+def warp_of(thread_idx: int, warp_size: int = 32) -> int:
+    """Warp index of a linear thread id within its block."""
+    if thread_idx < 0:
+        raise GpuSimError("thread index must be >= 0")
+    return thread_idx // warp_size
+
+
+def lane_of(thread_idx: int, warp_size: int = 32) -> int:
+    """Lane (position within the warp) of a linear thread id."""
+    if thread_idx < 0:
+        raise GpuSimError("thread index must be >= 0")
+    return thread_idx % warp_size
+
+
+def warp_iteration_time(per_lane_work: Sequence[float], warp_size: int = 32) -> float:
+    """SIMD issue slots consumed by warps executing unequal lane work.
+
+    Each warp costs ``max(lane work)`` issue slots because idle lanes
+    still occupy the SIMD unit. Input is per-thread work (iterations,
+    instructions — any additive unit); output is total slots summed
+    over warps.
+    """
+    work = np.asarray(per_lane_work, dtype=np.float64)
+    if work.ndim != 1:
+        raise GpuSimError("per_lane_work must be 1-D")
+    if work.size == 0:
+        return 0.0
+    if np.any(work < 0):
+        raise GpuSimError("work counts must be >= 0")
+    pad = (-work.size) % warp_size
+    if pad:
+        work = np.concatenate([work, np.zeros(pad)])
+    return float(work.reshape(-1, warp_size).max(axis=1).sum())
+
+
+def divergence_factor(per_lane_work: Sequence[float], warp_size: int = 32) -> float:
+    """Slowdown of SIMD execution versus perfectly balanced lanes.
+
+    ``1.0`` means every lane of every warp does identical work (the
+    bitset kernel); larger values mean idle lanes. Computed as
+
+        (sum over warps of max lane work) / (mean lane work per warp)
+
+    i.e. actual issue slots divided by the slots a perfectly utilized
+    machine would need for the same total work. Empty input returns 1.
+    """
+    work = np.asarray(per_lane_work, dtype=np.float64)
+    total = float(work.sum())
+    if work.size == 0 or total == 0.0:
+        return 1.0
+    slots = warp_iteration_time(work, warp_size)
+    ideal = total / warp_size
+    return slots / ideal if ideal > 0 else 1.0

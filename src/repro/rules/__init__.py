@@ -1,0 +1,24 @@
+"""Association-rule generation from frequent itemsets.
+
+FIM's motivating application in the paper's introduction (market
+baskets: "people who buy vegetables often also buy salad dressing") is
+association *rules*; this package derives them from any
+:class:`~repro.core.itemset.MiningResult`.
+"""
+
+from .rules import AssociationRule, generate_rules
+from .condense import (
+    closed_itemsets,
+    condensation_ratio,
+    maximal_itemsets,
+    support_from_closed,
+)
+
+__all__ = [
+    "AssociationRule",
+    "generate_rules",
+    "closed_itemsets",
+    "maximal_itemsets",
+    "support_from_closed",
+    "condensation_ratio",
+]

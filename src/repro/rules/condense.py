@@ -1,0 +1,120 @@
+"""Condensed representations: closed and maximal frequent itemsets.
+
+The paper's reference list leans on the closed-itemset literature
+(Zaki & Hsiao; Pasquier et al.), and any practical deployment of a
+frequent-itemset miner needs the condensed forms:
+
+* an itemset is **closed** if no proper superset has the *same*
+  support — the closed sets plus their supports losslessly determine
+  every frequent itemset's support;
+* an itemset is **maximal** if no proper superset is frequent — the
+  maximal sets determine which itemsets are frequent, but not their
+  supports.
+
+Both are derived purely from a
+:class:`~repro.core.itemset.MiningResult` (downward closure gives us
+every superset candidate); :func:`support_from_closed` reconstructs any
+frequent itemset's support from the closed representation, which the
+property tests use to prove losslessness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import MiningError
+from ..core.itemset import Itemset, MiningResult
+
+__all__ = ["closed_itemsets", "maximal_itemsets", "support_from_closed", "condensation_ratio"]
+
+Items = Tuple[int, ...]
+
+
+def closed_itemsets(result: MiningResult) -> List[Itemset]:
+    """Frequent itemsets with no equal-support frequent superset.
+
+    O(sum over sizes of n_k * n_{k+1}) subset checks, organized by
+    size so each itemset is only compared against one-larger supersets
+    (equal support propagates transitively through the lattice, so
+    checking immediate supersets suffices for Apriori-closed results).
+    """
+    supports = result.as_dict()
+    by_size: Dict[int, List[Items]] = {}
+    for items in supports:
+        by_size.setdefault(len(items), []).append(items)
+    out: List[Itemset] = []
+    for k, level in sorted(by_size.items()):
+        supersets = by_size.get(k + 1, [])
+        for items in level:
+            s = set(items)
+            support = supports[items]
+            absorbed = any(
+                supports[sup] == support and s.issubset(sup)
+                for sup in supersets
+            )
+            if not absorbed:
+                out.append(Itemset(items, support))
+    out.sort(key=lambda i: (len(i.items), i.items))
+    return out
+
+
+def maximal_itemsets(result: MiningResult) -> List[Itemset]:
+    """Frequent itemsets with no frequent proper superset.
+
+    Same as :meth:`MiningResult.maximal_itemsets` but via the by-size
+    lattice walk (immediate supersets suffice under downward closure),
+    which is much faster on large results.
+    """
+    supports = result.as_dict()
+    by_size: Dict[int, List[Items]] = {}
+    for items in supports:
+        by_size.setdefault(len(items), []).append(items)
+    out: List[Itemset] = []
+    for k, level in sorted(by_size.items()):
+        supersets = by_size.get(k + 1, [])
+        for items in level:
+            s = set(items)
+            if not any(s.issubset(sup) for sup in supersets):
+                out.append(Itemset(items, supports[items]))
+    out.sort(key=lambda i: (len(i.items), i.items))
+    return out
+
+
+def support_from_closed(
+    closed: List[Itemset],
+    items: Items,
+) -> int:
+    """Recover an itemset's support from the closed representation.
+
+    ``support(X) = max{ support(C) : C closed, X ⊆ C }`` — the closure
+    of X is its smallest closed superset, which (among supersets) has
+    the largest support.
+
+    Raises
+    ------
+    MiningError
+        If no closed superset exists (i.e. ``items`` was not frequent
+        at the mining threshold).
+    """
+    s = set(items)
+    best = -1
+    for c in closed:
+        if best < c.support and s.issubset(c.items):
+            best = max(best, c.support)
+    if best < 0:
+        raise MiningError(f"{tuple(items)} has no closed superset (not frequent)")
+    return best
+
+
+def condensation_ratio(result: MiningResult) -> Dict[str, float]:
+    """Sizes of the three representations, as a compression report."""
+    n_all = len(result)
+    n_closed = len(closed_itemsets(result))
+    n_maximal = len(maximal_itemsets(result))
+    return {
+        "frequent": float(n_all),
+        "closed": float(n_closed),
+        "maximal": float(n_maximal),
+        "closed_ratio": n_closed / n_all if n_all else 1.0,
+        "maximal_ratio": n_maximal / n_all if n_all else 1.0,
+    }

@@ -1,0 +1,31 @@
+"""Candidate trie structures (paper Fig. 1 and Section III).
+
+Apriori's candidates of generation ``k`` share length-``k-1`` prefixes
+with generation ``k-1``, so all generations live together in one
+hierarchical trie. New candidates are produced by joining leaves with
+their right siblings and appending a new leaf layer — the paper's
+"merging the leaf nodes and their siblings".
+
+* :class:`~repro.trie.trie.CandidateTrie` — the shared prefix tree.
+* :mod:`~repro.trie.generation` — leaf/sibling join + subset pruning
+  (both trie-backed and the classic ``F_{k-1} x F_{k-1}`` join).
+* :class:`~repro.trie.hashtrie.HashTrie` — Bodon-style counting trie
+  for horizontal support counting.
+"""
+
+from .trie import CandidateTrie, TrieNode
+from .generation import (
+    generate_candidates,
+    join_frequent,
+    all_subsets_frequent,
+)
+from .hashtrie import HashTrie
+
+__all__ = [
+    "CandidateTrie",
+    "TrieNode",
+    "generate_candidates",
+    "join_frequent",
+    "all_subsets_frequent",
+    "HashTrie",
+]

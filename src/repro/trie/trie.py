@@ -1,0 +1,196 @@
+"""The candidate trie (paper Fig. 1).
+
+Each root-to-node path spells an itemset in ascending item order; the
+node stores that itemset's support once counted. Children are kept in
+ascending item order, which makes the sibling join of candidate
+generation a simple ordered scan and keeps DFS output deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import TrieError
+
+__all__ = ["TrieNode", "CandidateTrie"]
+
+
+class TrieNode:
+    """One trie node: an item label, a support slot, ordered children."""
+
+    __slots__ = ("item", "support", "children", "parent")
+
+    def __init__(self, item: int, parent: Optional["TrieNode"]) -> None:
+        self.item = item
+        self.support: int = -1  # -1 = not yet counted
+        self.children: Dict[int, "TrieNode"] = {}
+        self.parent = parent
+
+    def child(self, item: int) -> Optional["TrieNode"]:
+        return self.children.get(item)
+
+    def add_child(self, item: int) -> "TrieNode":
+        if item in self.children:
+            raise TrieError(f"duplicate child {item}")
+        node = TrieNode(item, self)
+        self.children[item] = node
+        return node
+
+    def sorted_children(self) -> List["TrieNode"]:
+        """Children in ascending item order (the join scan order)."""
+        return [self.children[i] for i in sorted(self.children)]
+
+    def path(self) -> Tuple[int, ...]:
+        """The itemset this node represents (ascending item order)."""
+        items: List[int] = []
+        node: Optional[TrieNode] = self
+        while node is not None and node.parent is not None:
+            items.append(node.item)
+            node = node.parent
+        return tuple(reversed(items))
+
+    def __repr__(self) -> str:
+        return f"TrieNode(item={self.item}, support={self.support}, children={len(self.children)})"
+
+
+class CandidateTrie:
+    """Prefix tree holding every generation's candidates and supports.
+
+    Itemsets must be inserted with strictly increasing item ids (the
+    canonical order); all queries use the same order.
+    """
+
+    def __init__(self) -> None:
+        self.root = TrieNode(item=-1, parent=None)
+        self._n_nodes = 0
+        self._max_depth = 0
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, itemset: Sequence[int], support: int = -1) -> TrieNode:
+        """Insert an itemset, creating missing prefix nodes.
+
+        Prefix nodes created implicitly keep ``support == -1`` until
+        counted. Returns the terminal node.
+        """
+        items = list(itemset)
+        if not items:
+            raise TrieError("cannot insert the empty itemset")
+        if any(b <= a for a, b in zip(items, items[1:])):
+            raise TrieError(f"itemset must be strictly increasing, got {items}")
+        node = self.root
+        for it in items:
+            if it < 0:
+                raise TrieError("item ids must be >= 0")
+            nxt = node.child(it)
+            if nxt is None:
+                nxt = node.add_child(it)
+                self._n_nodes += 1
+            node = nxt
+        if support >= 0:
+            node.support = support
+        self._max_depth = max(self._max_depth, len(items))
+        return node
+
+    def remove_leaf(self, node: TrieNode) -> None:
+        """Detach a leaf (support-pruning after counting a generation)."""
+        if node.children:
+            raise TrieError("remove_leaf called on an internal node")
+        if node.parent is None:
+            raise TrieError("cannot remove the root")
+        del node.parent.children[node.item]
+        self._n_nodes -= 1
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Node count excluding the root."""
+        return self._n_nodes
+
+    @property
+    def max_depth(self) -> int:
+        return self._max_depth
+
+    def find(self, itemset: Sequence[int]) -> Optional[TrieNode]:
+        """Locate the node of an itemset, or None."""
+        node = self.root
+        for it in itemset:
+            node = node.child(it)
+            if node is None:
+                return None
+        return node if node is not self.root else None
+
+    def __contains__(self, itemset: Sequence[int]) -> bool:
+        return self.find(itemset) is not None
+
+    def support_of(self, itemset: Sequence[int]) -> int:
+        """Stored support of an itemset; raises if absent or uncounted."""
+        node = self.find(itemset)
+        if node is None:
+            raise TrieError(f"itemset {tuple(itemset)} not in trie")
+        if node.support < 0:
+            raise TrieError(f"itemset {tuple(itemset)} has no counted support")
+        return node.support
+
+    def nodes_at_depth(self, depth: int) -> Iterator[TrieNode]:
+        """DFS over all nodes exactly ``depth`` edges below the root.
+
+        Deterministic: children visited in ascending item order.
+        """
+        if depth < 1:
+            raise TrieError("depth must be >= 1")
+
+        def walk(node: TrieNode, d: int) -> Iterator[TrieNode]:
+            if d == depth:
+                yield node
+                return
+            for child in node.sorted_children():
+                yield from walk(child, d + 1)
+
+        for child in self.root.sorted_children():
+            yield from walk(child, 1)
+
+    def itemsets_at_depth(self, depth: int) -> List[Tuple[int, ...]]:
+        """All depth-``k`` itemsets, canonically ordered."""
+        return [n.path() for n in self.nodes_at_depth(depth)]
+
+    def frequent_itemsets(self) -> List[Tuple[Tuple[int, ...], int]]:
+        """All (itemset, support) pairs with counted support >= 0.
+
+        Nodes whose support was never counted (pure prefix nodes that
+        were pruned from candidacy) are skipped.
+        """
+        out: List[Tuple[Tuple[int, ...], int]] = []
+
+        def walk(node: TrieNode, prefix: List[int]) -> None:
+            for child in node.sorted_children():
+                prefix.append(child.item)
+                if child.support >= 0:
+                    out.append((tuple(prefix), child.support))
+                walk(child, prefix)
+                prefix.pop()
+
+        walk(self.root, [])
+        return out
+
+    def prune_level(self, depth: int, min_support: int) -> int:
+        """Drop depth-``k`` leaves with support below ``min_support``.
+
+        Returns the number of removed nodes. Called after each
+        generation's support counting, leaving only frequent leaves for
+        the next join.
+        """
+        victims = [
+            n
+            for n in self.nodes_at_depth(depth)
+            if n.support < min_support
+        ]
+        for v in victims:
+            if v.children:
+                raise TrieError("prune_level would orphan deeper candidates")
+            self.remove_leaf(v)
+        return len(victims)
+
+    def __repr__(self) -> str:
+        return f"CandidateTrie(n_nodes={self._n_nodes}, max_depth={self._max_depth})"

@@ -1,0 +1,99 @@
+"""The shared contract every baseline must satisfy.
+
+One parametrized suite over all seven algorithms: oracle agreement,
+support-threshold semantics, edge cases, and metric discipline. The
+per-algorithm test files add strategy-specific checks on top.
+"""
+
+import pytest
+
+from repro import ALGORITHMS, mine
+from repro.datasets import TransactionDatabase
+from repro.errors import MiningError
+
+ALL = sorted(ALGORITHMS)
+
+
+@pytest.fixture(params=ALL)
+def algorithm(request):
+    return request.param
+
+
+class TestOracleAgreement:
+    def test_small_db(self, small_db, oracle, algorithm):
+        want = oracle(small_db, 8)
+        got = mine(small_db, 8, algorithm=algorithm)
+        assert got.as_dict() == want
+
+    def test_dense_db(self, dense_db, oracle, algorithm):
+        want = oracle(dense_db, 15)
+        got = mine(dense_db, 15, algorithm=algorithm)
+        assert got.as_dict() == want
+
+    def test_paper_example(self, paper_db, oracle, algorithm):
+        want = oracle(paper_db, 2)
+        got = mine(paper_db, 2, algorithm=algorithm)
+        assert got.as_dict() == want
+
+
+class TestSupportSemantics:
+    def test_ratio_equals_count(self, small_db, algorithm):
+        by_ratio = mine(small_db, 0.1, algorithm=algorithm)  # ceil(6.0)=6
+        by_count = mine(small_db, 6, algorithm=algorithm)
+        assert by_ratio.same_itemsets(by_count)
+
+    def test_monotone_in_threshold(self, small_db, algorithm):
+        low = mine(small_db, 6, algorithm=algorithm).as_dict()
+        high = mine(small_db, 12, algorithm=algorithm).as_dict()
+        assert set(high) <= set(low)
+        for k, v in high.items():
+            assert low[k] == v
+
+    def test_invalid_support_rejected(self, small_db, algorithm):
+        with pytest.raises(MiningError):
+            mine(small_db, 0, algorithm=algorithm)
+
+
+class TestEdgeCases:
+    def test_empty_database(self, empty_db, algorithm):
+        assert len(mine(empty_db, 1, algorithm=algorithm)) == 0
+
+    def test_single_transaction(self, algorithm):
+        db = TransactionDatabase([[2, 5, 9]])
+        result = mine(db, 1, algorithm=algorithm)
+        assert result.support_of((2, 5, 9)) == 1
+        assert len(result) == 7  # all non-empty subsets
+
+    def test_all_identical_transactions(self, algorithm):
+        db = TransactionDatabase([[0, 1, 2]] * 5)
+        result = mine(db, 5, algorithm=algorithm)
+        assert len(result) == 7
+        assert result.support_of((0, 1, 2)) == 5
+
+    def test_disjoint_singletons(self, algorithm):
+        db = TransactionDatabase([[0], [1], [2], [0]])
+        result = mine(db, 2, algorithm=algorithm)
+        assert result.as_dict() == {(0,): 2}
+
+    def test_item_gap_ids(self, algorithm):
+        """Sparse ids (universe larger than used ids) work everywhere."""
+        db = TransactionDatabase([[5, 90], [5, 90], [5]], n_items=100)
+        result = mine(db, 2, algorithm=algorithm)
+        assert result.as_dict() == {(5,): 3, (90,): 2, (5, 90): 2}
+
+
+class TestMetricsContract:
+    def test_algorithm_label(self, small_db, algorithm):
+        got = mine(small_db, 8, algorithm=algorithm).metrics.algorithm
+        assert got.startswith(algorithm) or algorithm.startswith(got)
+
+    def test_wall_clock_recorded(self, small_db, algorithm):
+        assert mine(small_db, 8, algorithm=algorithm).metrics.wall_seconds > 0
+
+    def test_modeled_time_recorded(self, small_db, algorithm):
+        m = mine(small_db, 8, algorithm=algorithm).metrics
+        assert m.modeled_seconds is not None and m.modeled_seconds > 0
+
+    def test_generations_recorded(self, small_db, algorithm):
+        m = mine(small_db, 8, algorithm=algorithm).metrics
+        assert m.generations and m.generations[0] == small_db.n_items

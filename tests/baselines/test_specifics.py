@@ -1,0 +1,142 @@
+"""Strategy-specific behaviour of each baseline."""
+
+import numpy as np
+import pytest
+
+from repro import mine
+from repro.baselines import (
+    bodon_mine,
+    borgelt_mine,
+    cpu_bitset_mine,
+    eclat_mine,
+    fpgrowth_mine,
+    goethals_mine,
+)
+
+
+class TestCpuBitset:
+    def test_same_counters_shape_as_gpapriori(self, small_db):
+        """CPU_TEST is the same algorithm: identical AND-work counts."""
+        gpu = mine(small_db, 8, algorithm="gpapriori").metrics
+        cpu = cpu_bitset_mine(small_db, 8).metrics
+        assert (
+            cpu.counters["bitset_words_anded"]
+            == gpu.counters["bitset_words_anded"]
+        )
+        assert cpu.generations == gpu.generations
+
+    def test_cpu_cost_model_used(self, small_db):
+        m = cpu_bitset_mine(small_db, 8).metrics
+        assert set(m.modeled_breakdown) == {"cpu_bitset"}
+
+    def test_no_pcie_charges(self, small_db):
+        """A CPU run must not pay GPU transfer costs."""
+        m = cpu_bitset_mine(small_db, 8).metrics
+        assert "htod_bitsets" not in m.modeled_breakdown
+
+
+class TestBorgelt:
+    def test_tidset_steps_counted(self, small_db):
+        m = borgelt_mine(small_db, 6).metrics
+        assert m.counters["tidset_merge_steps"] > 0
+        assert "cpu_tidset" in m.modeled_breakdown
+
+    def test_tidsets_shrink_with_depth(self, dense_db):
+        """Recursion pruning: deeper generations merge fewer elements
+        per candidate because materialized tidsets only shrink."""
+        result = borgelt_mine(dense_db, 15)
+        assert result.metrics.counters["tidset_merge_steps"] > 0
+        # structural check: supports are antitone along subset chains
+        d = result.as_dict()
+        for items, support in d.items():
+            if len(items) >= 2:
+                assert support <= d[items[:-1]]
+
+
+class TestBodon:
+    def test_trie_counters(self, small_db):
+        m = bodon_mine(small_db, 6).metrics
+        assert m.counters["trie_node_visits"] > 0
+        assert m.counters["hash_probes"] >= m.counters["trie_node_visits"]
+        assert "cpu_trie" in m.modeled_breakdown
+
+    def test_scan_whole_database_each_generation(self, small_db):
+        """Horizontal counting touches items per generation."""
+        shallow = bodon_mine(small_db, 6, max_k=2).metrics
+        deep = bodon_mine(small_db, 6).metrics
+        assert deep.counters["items_scanned"] >= shallow.counters["items_scanned"]
+
+
+class TestGoethals:
+    def test_items_scanned_dominates(self, small_db):
+        m = goethals_mine(small_db, 6).metrics
+        assert m.counters["items_scanned"] > 0
+        assert set(m.modeled_breakdown) == {"cpu_scan"}
+
+    def test_subset_scan_slowest_on_dense_data(self, dense_db):
+        """The paper only plots Goethals on T40 because it collapses on
+        dense data: its modeled time must be the worst of the CPU field."""
+        threshold = 15
+        goe = goethals_mine(dense_db, threshold).metrics.modeled_seconds
+        bor = borgelt_mine(dense_db, threshold).metrics.modeled_seconds
+        cpu = cpu_bitset_mine(dense_db, threshold).metrics.modeled_seconds
+        assert goe > bor
+        assert goe > cpu
+
+
+class TestEclat:
+    def test_tidset_and_diffset_agree(self, small_db, dense_db):
+        for db, s in ((small_db, 6), (dense_db, 15)):
+            a = eclat_mine(db, s, diffsets=False)
+            b = eclat_mine(db, s, diffsets=True)
+            assert a.same_itemsets(b)
+
+    def test_diffsets_fewer_merge_elements_on_dense(self, dense_db):
+        """Zaki-Gouda's point: diffsets shrink merge work on dense data."""
+        tid = eclat_mine(dense_db, 15).metrics.counters["tidset_merge_steps"]
+        dif = eclat_mine(dense_db, 15, diffsets=True).metrics.counters[
+            "tidset_merge_steps"
+        ]
+        assert dif < tid
+
+    def test_depth_first_matches_level_wise(self, small_db):
+        assert eclat_mine(small_db, 5).same_itemsets(borgelt_mine(small_db, 5))
+
+    def test_max_k_with_diffsets(self, small_db):
+        r = eclat_mine(small_db, 6, diffsets=True, max_k=2)
+        assert r.max_size() <= 2
+        full = eclat_mine(small_db, 6, diffsets=True)
+        assert r.as_dict() == {
+            k: v for k, v in full.as_dict().items() if len(k) <= 2
+        }
+
+
+class TestFpgrowth:
+    def test_fp_counters(self, small_db):
+        m = fpgrowth_mine(small_db, 6).metrics
+        assert m.counters["fp_node_visits"] > 0
+        assert "cpu_fptree" in m.modeled_breakdown
+
+    def test_no_candidate_generation(self, small_db):
+        """FP-Growth records no candidate counts beyond generation 1."""
+        m = fpgrowth_mine(small_db, 6).metrics
+        assert len(m.generations) == 1
+
+    def test_single_path_shortcut(self):
+        """A database whose FP-tree is one chain exercises the
+        single-path combination enumeration."""
+        from repro.datasets import TransactionDatabase
+
+        db = TransactionDatabase([[0, 1, 2, 3]] * 4 + [[0, 1, 2]] * 2)
+        result = fpgrowth_mine(db, 2)
+        assert result.support_of((0, 1, 2)) == 6
+        assert result.support_of((0, 1, 2, 3)) == 4
+
+    def test_shared_prefix_compression(self):
+        """Transactions sharing prefixes must not blow up node count."""
+        from repro.datasets import TransactionDatabase
+
+        db = TransactionDatabase([[0, 1, 2]] * 50)
+        m = fpgrowth_mine(db, 1).metrics
+        # 50 identical transactions -> 3 tree nodes, 150 insert hops
+        assert m.counters["fp_node_visits"] <= 160

@@ -1,0 +1,80 @@
+"""Unit tests for the ASCII figure plots."""
+
+import pytest
+
+from repro.bench.ascii_plot import ascii_chart, figure6_chart
+from repro.bench.figures import FigureSeries
+from repro.errors import ReproError
+
+
+class TestAsciiChart:
+    def test_basic_structure(self):
+        chart = ascii_chart(
+            ["0.9", "0.8"], {"a": [1.0, 2.0], "b": [10.0, 20.0]}, height=6
+        )
+        lines = chart.splitlines()
+        assert lines[0].startswith("  ^")
+        assert lines[-2].strip().startswith("0.9")
+        assert "legend:" in lines[-1]
+        assert "o=a" in lines[-1] and "x=b" in lines[-1]
+
+    def test_monotone_series_render_monotone(self):
+        chart = ascii_chart(["a", "b", "c"], {"s": [1.0, 10.0, 100.0]}, height=9)
+        body = chart.splitlines()[1:-3]  # exclude y-label, axis, legend
+        rows = []
+        for r, line in enumerate(body):
+            for c, ch in enumerate(line):
+                if ch == "o":
+                    rows.append((c, r))
+        rows.sort()
+        ys = [r for _, r in rows]
+        assert ys == sorted(ys, reverse=True), "larger values plot higher"
+
+    def test_larger_series_plots_above_smaller(self):
+        # sorted names: "aaa" gets marker o (value 1000), "bbb" gets x (1)
+        chart = ascii_chart(["p"], {"aaa": [1000.0], "bbb": [1.0]}, height=10)
+        lines = chart.splitlines()[1:-3]  # chart body only
+        hi_row = next(i for i, l in enumerate(lines) if "o" in l)
+        lo_row = next(i for i, l in enumerate(lines) if "x" in l)
+        assert hi_row < lo_row
+
+    def test_overlap_marker(self):
+        chart = ascii_chart(["x"], {"a": [5.0], "b": [5.0]}, height=4)
+        assert "!" in chart
+
+    def test_zero_and_inf_values_tolerated(self):
+        chart = ascii_chart(
+            ["x", "y"], {"a": [0.0, float("inf")], "b": [1.0, 2.0]}, height=5
+        )
+        assert "legend" in chart
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ReproError, match="points"):
+            ascii_chart(["x"], {"a": [1.0, 2.0]})
+
+    def test_empty_series(self):
+        with pytest.raises(ReproError):
+            ascii_chart(["x"], {})
+
+    def test_min_height(self):
+        with pytest.raises(ReproError):
+            ascii_chart(["x"], {"a": [1.0]}, height=1)
+
+
+class TestFigure6Chart:
+    def test_from_series(self):
+        s = {
+            "gpapriori": FigureSeries(
+                "gpapriori", [0.9, 0.8], [0.001, 0.002], [0.1, 0.2], [10.0, 9.0]
+            ),
+            "borgelt": FigureSeries(
+                "borgelt", [0.9, 0.8], [0.01, 0.018], [0.3, 0.5], [1.0, 1.0]
+            ),
+        }
+        chart = figure6_chart(s)
+        assert "0.9" in chart and "0.8" in chart
+        assert "gpapriori" in chart
+
+    def test_empty(self):
+        with pytest.raises(ReproError):
+            figure6_chart({})

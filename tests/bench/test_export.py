@@ -1,0 +1,67 @@
+"""Unit tests for CSV sweep export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.bench import support_sweep, sweep_to_csv, write_sweep_csv
+from repro.bench.export import COLUMNS
+from repro.bench.runner import SweepResult
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def sweep(request):
+    import numpy as np
+
+    from repro.datasets import TransactionDatabase
+
+    rng = np.random.default_rng(0)
+    rows = [
+        rng.choice(12, size=rng.integers(2, 8), replace=False) for _ in range(60)
+    ]
+    db = TransactionDatabase(rows, n_items=12)
+    return support_sweep(db, "tiny", [0.3, 0.2], ["gpapriori", "borgelt"])
+
+
+class TestSweepToCsv:
+    def test_header_and_rows(self, sweep):
+        text = sweep_to_csv(sweep)
+        reader = list(csv.reader(io.StringIO(text)))
+        assert reader[0] == COLUMNS
+        assert len(reader) == 1 + 2 * 2  # header + 2 algos x 2 supports
+
+    def test_values_parse_back(self, sweep):
+        rows = list(csv.DictReader(io.StringIO(sweep_to_csv(sweep))))
+        for row in rows:
+            assert row["dataset"] == "tiny"
+            assert float(row["wall_seconds"]) > 0
+            assert float(row["modeled_seconds"]) > 0
+            assert int(row["n_itemsets"]) > 0
+            assert float(row["speedup_vs_borgelt"]) > 0
+
+    def test_reference_speedup_is_one(self, sweep):
+        rows = list(csv.DictReader(io.StringIO(sweep_to_csv(sweep))))
+        for row in rows:
+            if row["algorithm"] == "borgelt":
+                assert float(row["speedup_vs_borgelt"]) == pytest.approx(1.0)
+
+    def test_no_reference_leaves_speedup_blank(self):
+        import numpy as np
+
+        from repro.datasets import TransactionDatabase
+
+        db = TransactionDatabase([[0, 1], [0, 1], [1, 2]])
+        sweep = support_sweep(db, "x", [0.5], ["gpapriori"])
+        rows = list(csv.DictReader(io.StringIO(sweep_to_csv(sweep))))
+        assert rows[0]["speedup_vs_borgelt"] == ""
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ReproError, match="empty"):
+            sweep_to_csv(SweepResult(dataset="x", supports=[]))
+
+    def test_write_to_file(self, sweep, tmp_path):
+        p = tmp_path / "sweep.csv"
+        write_sweep_csv(sweep, p)
+        assert p.read_text() == sweep_to_csv(sweep)

@@ -1,0 +1,124 @@
+"""Unit tests for vectorized bitset primitives."""
+
+import numpy as np
+import pytest
+
+from repro.bitset import (
+    BitsetMatrix,
+    intersect_pair,
+    intersect_rows,
+    popcount,
+    popcount_words,
+    support_many,
+    support_of_rows,
+)
+from repro.bitset.ops import _POPCOUNT16
+from repro.errors import BitsetError
+
+
+class TestPopcount:
+    def test_known_words(self):
+        words = np.array([0, 1, 0xFFFFFFFF, 0x80000000, 0xAAAAAAAA], dtype=np.uint32)
+        assert popcount_words(words).tolist() == [0, 1, 32, 1, 16]
+
+    def test_total(self):
+        words = np.array([[3, 1], [0, 7]], dtype=np.uint32)
+        assert popcount(words) == 2 + 1 + 0 + 3
+
+    def test_matches_lookup_table_fallback(self):
+        rng = np.random.default_rng(1)
+        words = rng.integers(0, 2**32, size=1000, dtype=np.uint32)
+        via_numpy = popcount_words(words)
+        lo = _POPCOUNT16[words & np.uint32(0xFFFF)]
+        hi = _POPCOUNT16[words >> np.uint32(16)]
+        assert np.array_equal(np.asarray(via_numpy, dtype=np.int64), (lo + hi).astype(np.int64))
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(BitsetError, match="uint32"):
+            popcount_words(np.zeros(4, dtype=np.uint64))
+
+    def test_empty(self):
+        assert popcount(np.zeros(0, dtype=np.uint32)) == 0
+
+
+class TestIntersections:
+    def test_pair(self):
+        a = np.array([0b1100, 0b1111], dtype=np.uint32)
+        b = np.array([0b1010, 0b0000], dtype=np.uint32)
+        assert intersect_pair(a, b).tolist() == [0b1000, 0]
+
+    def test_pair_shape_mismatch(self):
+        with pytest.raises(BitsetError, match="differ"):
+            intersect_pair(np.zeros(2, np.uint32), np.zeros(3, np.uint32))
+
+    def test_intersect_rows_matches_sets(self, paper_db):
+        m = BitsetMatrix.from_database(paper_db)
+        row = intersect_rows(m, [1, 4])
+        got = np.unpackbits(row.view(np.uint8), bitorder="little")[:4]
+        assert got.tolist() == [1, 0, 0, 1]  # transactions {0,3}
+
+    def test_intersect_rows_empty_itemset_is_all_ones(self, paper_db):
+        m = BitsetMatrix.from_database(paper_db)
+        row = intersect_rows(m, [])
+        assert popcount(row) == paper_db.n_transactions
+
+    def test_support_of_rows_matches_db(self, small_db):
+        m = BitsetMatrix.from_database(small_db)
+        for itemset in ([0], [0, 1], [2, 5, 7]):
+            assert support_of_rows(m, itemset) == small_db.support(itemset)
+
+
+class TestSupportMany:
+    def test_matches_oracle(self, small_db):
+        m = BitsetMatrix.from_database(small_db)
+        cands = np.array([[0, 1], [1, 2], [3, 4]])
+        got = support_many(m, cands)
+        want = [small_db.support(c) for c in cands]
+        assert got.tolist() == want
+
+    def test_k1(self, small_db):
+        m = BitsetMatrix.from_database(small_db)
+        cands = np.arange(small_db.n_items).reshape(-1, 1)
+        assert np.array_equal(support_many(m, cands), small_db.item_supports())
+
+    def test_k4(self, dense_db):
+        m = BitsetMatrix.from_database(dense_db)
+        cands = np.array([[0, 1, 2, 3]])
+        assert support_many(m, cands)[0] == dense_db.support([0, 1, 2, 3])
+
+    def test_empty_candidates(self, small_db):
+        m = BitsetMatrix.from_database(small_db)
+        assert support_many(m, np.empty((0, 2), dtype=np.int64)).size == 0
+
+    def test_rejects_1d(self, small_db):
+        m = BitsetMatrix.from_database(small_db)
+        with pytest.raises(BitsetError):
+            support_many(m, np.array([1, 2]))
+
+    def test_rejects_k0(self, small_db):
+        m = BitsetMatrix.from_database(small_db)
+        with pytest.raises(BitsetError, match="k >= 1"):
+            support_many(m, np.empty((3, 0), dtype=np.int64))
+
+    def test_rejects_out_of_range_item(self, small_db):
+        m = BitsetMatrix.from_database(small_db)
+        with pytest.raises(BitsetError):
+            support_many(m, np.array([[0, 99]]))
+
+    def test_tiling_consistency(self):
+        """Results identical regardless of internal tile boundaries."""
+        rng = np.random.default_rng(2)
+        sets = [rng.choice(600, size=rng.integers(1, 80), replace=False) for _ in range(30)]
+        m = BitsetMatrix.from_sets(sets, n_transactions=600)
+        cands = np.array([[i, (i + 1) % 30] for i in range(30)])
+        got = support_many(m, cands)
+        want = [
+            int(np.intersect1d(sets[a], sets[b]).size) for a, b in cands
+        ]
+        assert got.tolist() == want
+
+    def test_duplicate_items_in_candidate(self, small_db):
+        """AND is idempotent: {i, i} has the support of {i}."""
+        m = BitsetMatrix.from_database(small_db)
+        got = support_many(m, np.array([[3, 3]]))
+        assert got[0] == small_db.support([3])

@@ -1,0 +1,112 @@
+"""Unit tests for the tidset vertical layout."""
+
+import numpy as np
+import pytest
+
+from repro.bitset import TidsetTable, intersect_tidsets, intersect_tidsets_merge
+from repro.errors import BitsetError
+
+
+class TestIntersect:
+    def test_basic(self):
+        a = np.array([0, 2, 4, 6], dtype=np.int64)
+        b = np.array([2, 3, 4], dtype=np.int64)
+        assert intersect_tidsets(a, b).tolist() == [2, 4]
+
+    def test_disjoint(self):
+        a = np.array([0, 1], dtype=np.int64)
+        b = np.array([2, 3], dtype=np.int64)
+        assert intersect_tidsets(a, b).size == 0
+
+    def test_empty_operand(self):
+        a = np.array([], dtype=np.int64)
+        b = np.array([1, 2], dtype=np.int64)
+        assert intersect_tidsets(a, b).size == 0
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(BitsetError, match="strictly increasing"):
+            intersect_tidsets(np.array([3, 1]), np.array([1]))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(BitsetError):
+            intersect_tidsets(np.array([1, 1]), np.array([1]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(BitsetError):
+            intersect_tidsets(np.array([-1, 2]), np.array([2]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(BitsetError, match="1-D"):
+            intersect_tidsets(np.zeros((2, 2), dtype=np.int64), np.array([1]))
+
+
+class TestMergeIntersect:
+    def test_matches_vectorized(self):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            a = np.unique(rng.integers(0, 50, size=rng.integers(0, 30)))
+            b = np.unique(rng.integers(0, 50, size=rng.integers(0, 30)))
+            assert np.array_equal(
+                intersect_tidsets_merge(a, b), intersect_tidsets(a, b)
+            )
+
+    def test_trace_records_reads(self):
+        a = np.array([0, 2], dtype=np.int64)
+        b = np.array([1, 2], dtype=np.int64)
+        trace = []
+        intersect_tidsets_merge(a, b, trace)
+        assert trace, "trace should record element reads"
+        arrays = {t[0] for t in trace}
+        assert arrays == {0, 1}
+
+    def test_trace_data_dependent_length(self):
+        """Different data -> different access streams (Fig. 3a's point)."""
+        t1, t2 = [], []
+        intersect_tidsets_merge(
+            np.arange(0, 20, 2), np.arange(1, 21, 2), t1
+        )
+        intersect_tidsets_merge(np.arange(10), np.arange(10), t2)
+        assert len(t1) != len(t2)
+
+
+class TestTidsetTable:
+    def test_from_database_paper(self, paper_db):
+        t = TidsetTable.from_database(paper_db)
+        # Fig 2B (0-indexed): tidset(1) = {0,3}, tidset(3) = {0,1,2,3}
+        assert t.tidset(1).tolist() == [0, 3]
+        assert t.tidset(3).tolist() == [0, 1, 2, 3]
+
+    def test_supports_match(self, small_db):
+        t = TidsetTable.from_database(small_db)
+        assert np.array_equal(t.supports(), small_db.item_supports())
+
+    def test_support_of_matches_db(self, small_db):
+        t = TidsetTable.from_database(small_db)
+        for items in ([2], [0, 1], [1, 3, 5]):
+            assert t.support_of(items) == small_db.support(items)
+
+    def test_intersect_empty_itemset(self, paper_db):
+        t = TidsetTable.from_database(paper_db)
+        assert t.intersect([]).tolist() == [0, 1, 2, 3]
+
+    def test_intersect_early_exit(self, paper_db):
+        t = TidsetTable.from_database(paper_db)
+        # item 0 never occurs; intersection with anything is empty
+        assert t.support_of([0, 3]) == 0
+
+    def test_item_bounds(self, paper_db):
+        t = TidsetTable.from_database(paper_db)
+        with pytest.raises(BitsetError):
+            t.tidset(99)
+
+    def test_rejects_out_of_range_tid(self):
+        with pytest.raises(BitsetError, match="out of range"):
+            TidsetTable([np.array([5])], n_transactions=3)
+
+    def test_nbytes_positive(self, small_db):
+        assert TidsetTable.from_database(small_db).nbytes > 0
+
+    def test_tidsets_read_only(self, paper_db):
+        t = TidsetTable.from_database(paper_db)
+        with pytest.raises(ValueError):
+            t.tidset(3)[0] = 9

@@ -1,0 +1,53 @@
+"""Unit tests for layout conversions (horizontal <-> tidset <-> bitset)."""
+
+import numpy as np
+import pytest
+
+from repro.bitset import (
+    bitset_to_tidsets,
+    build_bitset_matrix,
+    build_tidset_table,
+    tidsets_to_bitset,
+)
+
+
+class TestConversions:
+    def test_bitset_to_tidsets_roundtrip(self, small_db):
+        m = build_bitset_matrix(small_db)
+        t = bitset_to_tidsets(m)
+        t_direct = build_tidset_table(small_db)
+        for i in range(small_db.n_items):
+            assert np.array_equal(t.tidset(i), t_direct.tidset(i))
+
+    def test_tidsets_to_bitset_roundtrip(self, small_db):
+        t = build_tidset_table(small_db)
+        m = tidsets_to_bitset(t)
+        m_direct = build_bitset_matrix(small_db)
+        assert np.array_equal(m.words, m_direct.words)
+        assert m.n_transactions == m_direct.n_transactions
+
+    def test_double_roundtrip_is_identity(self, paper_db):
+        m = build_bitset_matrix(paper_db)
+        m2 = tidsets_to_bitset(bitset_to_tidsets(m))
+        assert np.array_equal(m.words, m2.words)
+
+    def test_unaligned_roundtrip(self, paper_db):
+        t = build_tidset_table(paper_db)
+        m = tidsets_to_bitset(t, aligned=False)
+        assert not m.is_aligned()
+        for i in range(paper_db.n_items):
+            assert np.array_equal(m.tidset(i), t.tidset(i))
+
+    def test_both_layouts_same_supports(self, dense_db):
+        m = build_bitset_matrix(dense_db)
+        t = build_tidset_table(dense_db)
+        assert np.array_equal(m.supports(), t.supports())
+
+    def test_empty_database(self):
+        from repro.datasets import TransactionDatabase
+
+        db = TransactionDatabase([], n_items=3)
+        m = build_bitset_matrix(db)
+        t = build_tidset_table(db)
+        assert m.n_items == 3 and t.n_items == 3
+        assert all(t.tidset(i).size == 0 for i in range(3))

@@ -1,0 +1,82 @@
+"""Shared fixtures: reference databases and a brute-force oracle."""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Tuple
+
+import numpy as np
+import pytest
+
+from repro.datasets import TransactionDatabase
+
+
+@pytest.fixture
+def paper_db() -> TransactionDatabase:
+    """The paper's Figure 2 worked example (converted to 0-indexed tids).
+
+    Transactions: {1,2,3,4,5}, {2,3,4,5,6}, {3,4,6,7}, {1,3,4,5,6}.
+    Figure 2B lists e.g. tidset(1) = {1,4} (1-indexed) = {0,3} here,
+    bitset(3) = 1111, bitset(7) = 0010.
+    """
+    return TransactionDatabase(
+        [[1, 2, 3, 4, 5], [2, 3, 4, 5, 6], [3, 4, 6, 7], [1, 3, 4, 5, 6]],
+        n_items=8,
+    )
+
+
+@pytest.fixture
+def small_db() -> TransactionDatabase:
+    """Deterministic 60-transaction database over 12 items."""
+    rng = np.random.default_rng(0)
+    rows = [
+        rng.choice(12, size=rng.integers(2, 8), replace=False) for _ in range(60)
+    ]
+    return TransactionDatabase(rows, n_items=12)
+
+
+@pytest.fixture
+def dense_db() -> TransactionDatabase:
+    """Dense chess-like database: long frequent itemsets at high support."""
+    rng = np.random.default_rng(3)
+    core = [0, 1, 2, 3]
+    rows = []
+    for _ in range(40):
+        row = [i for i in core if rng.random() < 0.95]
+        row += [int(x) for x in rng.choice(np.arange(4, 10), size=3, replace=False)]
+        rows.append(sorted(set(row)))
+    return TransactionDatabase(rows, n_items=10)
+
+
+@pytest.fixture
+def empty_db() -> TransactionDatabase:
+    return TransactionDatabase([], n_items=0)
+
+
+def brute_force_frequent(
+    db: TransactionDatabase, min_count: int, max_k: int | None = None
+) -> Dict[Tuple[int, ...], int]:
+    """Exponential-scan oracle: exact frequent itemsets by definition."""
+    out: Dict[Tuple[int, ...], int] = {}
+    n_items = db.n_items
+    cap = max_k if max_k is not None else n_items
+    for k in range(1, cap + 1):
+        found_any = False
+        for combo in combinations(range(n_items), k):
+            if k > 1 and any(
+                tuple(combo[:i] + combo[i + 1 :]) not in out for i in range(k)
+            ):
+                continue  # downward closure: skip unsupported supersets
+            support = db.support(combo)
+            if support >= min_count:
+                out[combo] = support
+                found_any = True
+        if not found_any:
+            break
+    return out
+
+
+@pytest.fixture
+def oracle():
+    """The brute-force oracle as a fixture-callable."""
+    return brute_force_frequent

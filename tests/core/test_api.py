@@ -1,0 +1,72 @@
+"""Unit tests for the mine() facade and algorithm registry."""
+
+import pytest
+
+from repro import ALGORITHMS, mine
+from repro.errors import MiningError
+
+
+class TestRegistry:
+    def test_paper_table1_algorithms_present(self):
+        """The five Table 1 entries, the related-work pair, and the
+        Section VI future-work extensions."""
+        assert set(ALGORITHMS) == {
+            "gpapriori",
+            "cpu_bitset",
+            "borgelt",
+            "bodon",
+            "goethals",
+            "eclat",
+            "fpgrowth",
+            "hybrid",
+            "gpu_eclat",
+            "partition",
+        }
+
+    def test_registry_names_match_paper(self):
+        assert ALGORITHMS["gpapriori"].name == "GPApriori"
+        assert ALGORITHMS["cpu_bitset"].name == "CPU_TEST"
+        assert ALGORITHMS["goethals"].name == "Gothel Apriori"
+
+    def test_platform_strings(self):
+        assert "GPU" in ALGORITHMS["gpapriori"].platform
+        for key in ("cpu_bitset", "borgelt", "bodon", "goethals"):
+            assert ALGORITHMS[key].platform == "Single thread CPU"
+
+    def test_descriptions_non_empty(self):
+        for info in ALGORITHMS.values():
+            assert info.description
+
+
+class TestMineFacade:
+    def test_default_is_gpapriori(self, small_db):
+        result = mine(small_db, 8)
+        assert result.metrics.algorithm == "gpapriori"
+
+    def test_unknown_algorithm(self, small_db):
+        with pytest.raises(MiningError, match="unknown algorithm"):
+            mine(small_db, 2, algorithm="mafia")
+
+    def test_case_insensitive(self, small_db):
+        result = mine(small_db, 8, algorithm="GPApriori")
+        assert result.metrics.algorithm == "gpapriori"
+
+    def test_kwargs_forwarded(self, small_db):
+        result = mine(small_db, 8, algorithm="eclat", diffsets=True)
+        assert result.metrics.algorithm == "eclat_diffset"
+
+    def test_config_fields_as_kwargs(self, small_db):
+        result = mine(small_db, 8, algorithm="gpapriori", plan="equivalence")
+        assert result.metrics.counters.get("prefix_row_bytes_written", 0) > 0
+
+    def test_max_k_forwarded_everywhere(self, small_db):
+        for alg in ALGORITHMS:
+            result = mine(small_db, 6, algorithm=alg, max_k=2)
+            assert result.max_size() <= 2, alg
+
+    def test_docstring_example(self):
+        from repro.datasets import TransactionDatabase
+
+        db = TransactionDatabase([[0, 1, 2], [0, 1], [0, 2], [1, 2]])
+        result = mine(db, min_support=0.5)
+        assert result.support_of((0, 1)) == 2

@@ -1,0 +1,64 @@
+"""Unit tests for GPApriori configuration."""
+
+import pytest
+
+from repro.core import GPAprioriConfig
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_paper_tuned_defaults(self):
+        cfg = GPAprioriConfig()
+        assert cfg.block_size == 256
+        assert cfg.preload_candidates is True
+        assert cfg.unroll == 4
+        assert cfg.plan == "complete"
+        assert cfg.engine == "vectorized"
+        assert cfg.aligned is True
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bs", [1, 2, 64, 512])
+    def test_power_of_two_blocks_ok(self, bs):
+        assert GPAprioriConfig(block_size=bs).block_size == bs
+
+    @pytest.mark.parametrize("bs", [0, -4, 3, 100, 255])
+    def test_non_power_of_two_rejected(self, bs):
+        with pytest.raises(ConfigError, match="power of two"):
+            GPAprioriConfig(block_size=bs)
+
+    def test_bool_block_rejected(self):
+        with pytest.raises(ConfigError):
+            GPAprioriConfig(block_size=True)
+
+    def test_float_block_rejected(self):
+        with pytest.raises(ConfigError):
+            GPAprioriConfig(block_size=256.0)
+
+    def test_unroll_zero_rejected(self):
+        with pytest.raises(ConfigError, match="unroll"):
+            GPAprioriConfig(unroll=0)
+
+    def test_bad_plan(self):
+        with pytest.raises(ConfigError, match="plan"):
+            GPAprioriConfig(plan="magic")
+
+    def test_bad_engine(self):
+        with pytest.raises(ConfigError, match="engine"):
+            GPAprioriConfig(engine="cuda")
+
+
+class TestWith:
+    def test_with_overrides(self):
+        cfg = GPAprioriConfig().with_(block_size=64, preload_candidates=False)
+        assert cfg.block_size == 64
+        assert cfg.preload_candidates is False
+        assert cfg.plan == "complete"  # untouched
+
+    def test_with_validates(self):
+        with pytest.raises(ConfigError):
+            GPAprioriConfig().with_(block_size=7)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            GPAprioriConfig().block_size = 128

@@ -1,0 +1,178 @@
+"""Unit tests for result value types."""
+
+import pytest
+
+from repro.core.itemset import Itemset, MiningResult, RunMetrics
+from repro.errors import MiningError
+
+
+class TestItemset:
+    def test_basic(self):
+        i = Itemset((1, 2, 3), 5)
+        assert len(i) == 3
+        assert i.ratio(10) == 0.5
+
+    def test_ordering(self):
+        assert Itemset((1,), 1) < Itemset((2,), 0)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(MiningError):
+            Itemset((2, 1), 5)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(MiningError):
+            Itemset((1, 1), 5)
+
+    def test_negative_support_rejected(self):
+        with pytest.raises(MiningError):
+            Itemset((1,), -1)
+
+    def test_ratio_bad_n(self):
+        with pytest.raises(MiningError):
+            Itemset((1,), 1).ratio(0)
+
+
+class TestRunMetrics:
+    def test_add_counter_accumulates(self):
+        m = RunMetrics()
+        m.add_counter("x", 3)
+        m.add_counter("x", 4)
+        assert m.counters["x"] == 7
+
+    def test_add_modeled_accumulates(self):
+        m = RunMetrics()
+        assert m.modeled_seconds is None
+        m.add_modeled("kernel", 0.5)
+        m.add_modeled("kernel", 0.25)
+        m.add_modeled("htod", 1.0)
+        assert m.modeled_seconds == pytest.approx(1.75)
+        assert m.modeled_breakdown == {"kernel": 0.75, "htod": 1.0}
+
+
+class TestMiningResult:
+    @pytest.fixture
+    def result(self):
+        return MiningResult(
+            {(0,): 5, (1,): 4, (2,): 3, (0, 1): 3, (0, 2): 2, (0, 1, 2): 2},
+            n_transactions=6,
+            min_support=2,
+        )
+
+    def test_len_iter(self, result):
+        assert len(result) == 6
+        items = list(result)
+        # sorted by (size, lexicographic)
+        assert items[0].items == (0,)
+        assert items[-1].items == (0, 1, 2)
+
+    def test_contains_and_support(self, result):
+        assert (0, 1) in result
+        assert [0, 1] in result
+        assert result.support_of((0, 1)) == 3
+
+    def test_support_of_missing(self, result):
+        with pytest.raises(MiningError):
+            result.support_of((9,))
+
+    def test_of_size(self, result):
+        assert [i.items for i in result.of_size(2)] == [(0, 1), (0, 2)]
+        assert result.of_size(5) == []
+
+    def test_max_size(self, result):
+        assert result.max_size() == 3
+
+    def test_max_size_empty(self):
+        assert MiningResult({}, 5, 1).max_size() == 0
+
+    def test_maximal_itemsets(self, result):
+        maximal = {i.items for i in result.maximal_itemsets()}
+        assert maximal == {(0, 1, 2)}
+
+    def test_maximal_with_disjoint_branches(self):
+        r = MiningResult({(0,): 3, (1,): 3, (5,): 2, (0, 1): 2}, 10, 2)
+        maximal = {i.items for i in r.maximal_itemsets()}
+        assert maximal == {(0, 1), (5,)}
+
+    def test_same_itemsets(self, result):
+        clone = MiningResult(result.as_dict(), 6, 2)
+        assert result.same_itemsets(clone)
+
+    def test_same_itemsets_support_sensitive(self, result):
+        other = result.as_dict()
+        other[(0,)] = 4
+        assert not result.same_itemsets(MiningResult(other, 6, 2))
+
+    def test_diff(self, result):
+        other = result.as_dict()
+        del other[(0, 1, 2)]
+        other[(2, 5)] = 2
+        other[(0,)] = 1
+        d = result.diff(MiningResult(other, 6, 2))
+        assert d["only_self"] == [(0, 1, 2)]
+        assert d["only_other"] == [(2, 5)]
+        assert d["support_mismatch"] == [(0,)]
+
+    def test_as_dict_is_copy(self, result):
+        d = result.as_dict()
+        d[(9,)] = 1
+        assert (9,) not in result
+
+    def test_validation_unsorted(self):
+        with pytest.raises(MiningError):
+            MiningResult({(2, 1): 3}, 5, 1)
+
+    def test_validation_support_range(self):
+        with pytest.raises(MiningError):
+            MiningResult({(0,): 10}, 5, 1)
+
+    def test_validation_negative_n(self):
+        with pytest.raises(MiningError):
+            MiningResult({}, -1, 1)
+
+    def test_repr(self, result):
+        assert "n_itemsets=6" in repr(result)
+
+
+class TestSerialization:
+    @pytest.fixture
+    def result(self):
+        return MiningResult(
+            {(0,): 5, (1,): 4, (2,): 3, (0, 1): 3, (0, 2): 2, (0, 1, 2): 2},
+            n_transactions=6,
+            min_support=2,
+        )
+
+    def test_roundtrip(self, result):
+        loaded = MiningResult.from_json(result.to_json())
+        assert loaded.same_itemsets(result)
+        assert loaded.n_transactions == result.n_transactions
+        assert loaded.min_support == result.min_support
+
+    def test_roundtrip_preserves_metrics(self, small_db):
+        from repro import mine
+
+        r = mine(small_db, 8)
+        loaded = MiningResult.from_json(r.to_json())
+        assert loaded.metrics.algorithm == "gpapriori"
+        assert loaded.metrics.generations == r.metrics.generations
+        assert loaded.metrics.modeled_seconds == pytest.approx(
+            r.metrics.modeled_seconds
+        )
+
+    def test_loaded_result_supports_rules(self, small_db):
+        from repro import mine
+        from repro.rules import generate_rules
+
+        r = mine(small_db, 8)
+        loaded = MiningResult.from_json(r.to_json())
+        assert generate_rules(loaded, 0.8) == generate_rules(r, 0.8)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(MiningError, match="JSON"):
+            MiningResult.from_json("{not json")
+        with pytest.raises(MiningError, match="serialized"):
+            MiningResult.from_json('{"format": "something-else"}')
+
+    def test_empty_result_roundtrip(self):
+        r = MiningResult({}, 5, 2)
+        assert len(MiningResult.from_json(r.to_json())) == 0

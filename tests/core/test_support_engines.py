@@ -1,0 +1,214 @@
+"""Unit tests for the vectorized and simulated counting engines."""
+
+import numpy as np
+import pytest
+
+from repro.bitset import BitsetMatrix
+from repro.core.config import GPAprioriConfig
+from repro.core.itemset import RunMetrics
+from repro.core.support import SimulatedEngine, VectorizedEngine, make_engine
+from repro.errors import ConfigError, DeviceMemoryError, MiningError
+from repro.gpusim.device import DeviceProperties, TESLA_T10
+
+
+def engines(db, **cfg_over):
+    matrix = BitsetMatrix.from_database(db)
+    out = []
+    for engine_name in ("vectorized", "simulated"):
+        cfg = GPAprioriConfig(engine=engine_name, block_size=8, **cfg_over)
+        eng = make_engine(cfg, RunMetrics())
+        eng.setup(matrix)
+        out.append(eng)
+    return out
+
+
+class TestMakeEngine:
+    def test_dispatch(self):
+        v = make_engine(GPAprioriConfig(engine="vectorized"), RunMetrics())
+        s = make_engine(GPAprioriConfig(engine="simulated"), RunMetrics())
+        assert isinstance(v, VectorizedEngine)
+        assert isinstance(s, SimulatedEngine)
+
+    def test_count_before_setup_raises(self):
+        eng = make_engine(GPAprioriConfig(), RunMetrics())
+        with pytest.raises(MiningError, match="setup"):
+            eng.count_complete(np.array([[0]]))
+
+
+class TestCountComplete:
+    def test_engines_agree(self, paper_db):
+        v, s = engines(paper_db)
+        cands = np.array([[1, 4], [3, 4], [2, 5], [0, 7]])
+        assert np.array_equal(v.count_complete(cands), s.count_complete(cands))
+
+    def test_matches_database(self, small_db):
+        v, s = engines(small_db)
+        cands = np.array([[0, 1, 2], [3, 4, 5]])
+        want = [small_db.support(c) for c in cands]
+        assert v.count_complete(cands).tolist() == want
+        assert s.count_complete(cands).tolist() == want
+
+    def test_empty_generation(self, paper_db):
+        v, s = engines(paper_db)
+        empty = np.empty((0, 2), dtype=np.int32)
+        assert v.count_complete(empty).size == 0
+        assert s.count_complete(empty).size == 0
+
+    def test_identical_modeled_costs(self, paper_db):
+        """Both engines charge the same modeled hardware time."""
+        v, s = engines(paper_db)
+        cands = np.array([[1, 4], [3, 4]])
+        v.count_complete(cands)
+        s.count_complete(cands)
+        assert v.metrics.modeled_breakdown == pytest.approx(
+            s.metrics.modeled_breakdown
+        )
+
+    def test_counters_recorded(self, paper_db):
+        v, _ = engines(paper_db)
+        v.count_complete(np.array([[1, 4]]))
+        c = v.metrics.counters
+        assert c["candidates_counted"] == 1
+        assert c["bitset_words_anded"] == 2 * v.matrix.n_words
+
+
+class TestCountExtend:
+    def test_engines_agree(self, paper_db):
+        v, s = engines(paper_db)
+        pairs = np.array([[1, 4], [3, 5]])
+        assert np.array_equal(v.count_extend(pairs), s.count_extend(pairs))
+
+    def test_retain_then_extend_deeper(self, paper_db):
+        """Gen-2 retain -> gen-3 extension produces 3-itemset supports."""
+        for eng in engines(paper_db):
+            s2 = eng.count_extend(np.array([[3, 4], [4, 5]]))
+            assert s2.tolist() == [
+                paper_db.support([3, 4]),
+                paper_db.support([4, 5]),
+            ]
+            eng.retain(np.array([0, 1]))
+            s3 = eng.count_extend(np.array([[0, 5], [1, 3]]))
+            assert s3.tolist() == [
+                paper_db.support([3, 4, 5]),
+                paper_db.support([3, 4, 5]),
+            ]
+
+    def test_retain_without_extend_raises(self, paper_db):
+        for eng in engines(paper_db):
+            with pytest.raises(MiningError, match="retain"):
+                eng.retain(np.array([0]))
+
+    def test_bad_pairs_shape(self, paper_db):
+        v, _ = engines(paper_db)
+        with pytest.raises(MiningError, match="\\(n, 2\\)"):
+            v.count_extend(np.array([[1, 2, 3]]))
+
+    def test_prefix_cache_counter(self, paper_db):
+        v, _ = engines(paper_db)
+        v.count_extend(np.array([[3, 4]]))
+        v.retain(np.array([0]))
+        assert v.metrics.counters["prefix_rows_resident_bytes"] > 0
+
+
+class TestSimulatedDeviceLimits:
+    def test_prefix_cache_oom_on_tiny_device(self, small_db):
+        """Equivalence-class caching can exceed device memory — the
+        failure mode the paper's complete-intersection design avoids."""
+        tiny = DeviceProperties(
+            name="tiny",
+            sm_count=1,
+            cores_per_sm=8,
+            clock_hz=1e9,
+            global_mem_bytes=4_000,  # fits the bitsets, not the cache
+            mem_bandwidth_bytes=1e9,
+            shared_mem_per_block=16 << 10,
+            max_threads_per_block=512,
+            warp_size=32,
+            compute_capability=(1, 3),
+            pcie_bandwidth_bytes=1e9,
+            pcie_latency_s=1e-6,
+            kernel_launch_overhead_s=1e-6,
+        )
+        matrix = BitsetMatrix.from_database(small_db)
+        assert matrix.nbytes < 4_000
+        eng = SimulatedEngine(
+            GPAprioriConfig(engine="simulated", block_size=8), RunMetrics(), tiny
+        )
+        eng.setup(matrix)
+        pairs = np.array([[i, (i + 1) % 12] for i in range(12)] * 6)
+        with pytest.raises(DeviceMemoryError):
+            eng.count_extend(pairs)
+
+    def test_block_dim_shrinks_to_words(self, paper_db):
+        """Functional block size never exceeds useful lane count."""
+        matrix = BitsetMatrix.from_database(paper_db)
+        eng = SimulatedEngine(
+            GPAprioriConfig(engine="simulated", block_size=512), RunMetrics()
+        )
+        eng.setup(matrix)
+        assert eng._block_dim() == matrix.n_words  # 16 words < 512
+
+    def test_coalescing_report_requires_trace(self, paper_db):
+        matrix = BitsetMatrix.from_database(paper_db)
+        eng = SimulatedEngine(
+            GPAprioriConfig(engine="simulated", block_size=8), RunMetrics()
+        )
+        eng.setup(matrix)
+        eng.count_complete(np.array([[3, 4]]))
+        assert eng.coalescing_report() is None
+
+    def test_coalescing_report_with_trace(self, paper_db):
+        matrix = BitsetMatrix.from_database(paper_db)
+        eng = SimulatedEngine(
+            GPAprioriConfig(engine="simulated", block_size=8, trace_accesses=True),
+            RunMetrics(),
+        )
+        eng.setup(matrix)
+        eng.count_complete(np.array([[3, 4]]))
+        rep = eng.coalescing_report()
+        assert rep is not None
+        assert rep.n_accesses > 0
+
+    def test_complete_chunks_under_memory_pressure(self, small_db):
+        """A generation whose candidate buffer exceeds free device
+        memory is processed in multiple launches, with results identical
+        to the unconstrained run."""
+        matrix = BitsetMatrix.from_database(small_db)
+        tight = DeviceProperties(
+            name="tight",
+            sm_count=1,
+            cores_per_sm=8,
+            clock_hz=1e9,
+            # bitsets + room for only ~half the candidate buffers
+            global_mem_bytes=matrix.nbytes + 1024,
+            mem_bandwidth_bytes=1e9,
+            shared_mem_per_block=16 << 10,
+            max_threads_per_block=512,
+            warp_size=32,
+            compute_capability=(1, 3),
+            pcie_bandwidth_bytes=1e9,
+            pcie_latency_s=1e-6,
+            kernel_launch_overhead_s=1e-6,
+        )
+        eng = SimulatedEngine(
+            GPAprioriConfig(engine="simulated", block_size=8), RunMetrics(), tight
+        )
+        eng.setup(matrix)
+        cands = np.array(
+            [[i, j] for i in range(12) for j in range(i + 1, 12)], dtype=np.int32
+        )
+        got = eng.count_complete(cands)
+        assert eng.kernel_stats.launches > 1, "memory pressure must chunk"
+        want = [small_db.support(c) for c in cands]
+        assert got.tolist() == want
+
+    def test_kernel_stats_recorded(self, paper_db):
+        matrix = BitsetMatrix.from_database(paper_db)
+        eng = SimulatedEngine(
+            GPAprioriConfig(engine="simulated", block_size=8), RunMetrics()
+        )
+        eng.setup(matrix)
+        eng.count_complete(np.array([[3, 4], [1, 2]]))
+        assert eng.kernel_stats.launches == 1
+        assert eng.kernel_stats.blocks == 2
+        assert eng.kernel_stats.barriers > 0

@@ -1,0 +1,100 @@
+"""Unit tests for the IBM Quest synthetic generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import QuestParameters, generate_quest
+from repro.errors import DatasetError
+
+
+class TestParameters:
+    def test_defaults_name(self):
+        assert QuestParameters().name == "T40I10D100K"
+
+    def test_name_non_k(self):
+        p = QuestParameters(n_transactions=1234)
+        assert p.name == "T40I10D1234"
+
+    def test_name_rounding(self):
+        p = QuestParameters(avg_transaction_len=10.4, avg_pattern_len=4.0, n_transactions=5000)
+        assert p.name == "T10I4D5K"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_transactions": 0},
+            {"n_items": 0},
+            {"n_patterns": 0},
+            {"avg_transaction_len": 0.0},
+            {"avg_pattern_len": -1.0},
+            {"correlation": 1.5},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(DatasetError):
+            QuestParameters(**kwargs)
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_quest(
+            n_transactions=400,
+            avg_transaction_len=10.0,
+            avg_pattern_len=4.0,
+            n_items=100,
+            n_patterns=50,
+            seed=42,
+        )
+
+    def test_shape(self, db):
+        assert db.n_transactions == 400
+        assert db.n_items == 100
+
+    def test_no_empty_transactions(self, db):
+        assert int(db.transaction_lengths().min()) >= 1
+
+    def test_avg_length_near_target(self, db):
+        # Poisson(10) sizes with pattern-fitting slack: generous band.
+        assert 6.0 <= db.stats().avg_length <= 14.0
+
+    def test_items_within_universe(self, db):
+        assert int(db.items_flat.max()) < 100
+
+    def test_deterministic(self):
+        a = generate_quest(n_transactions=50, n_items=60, seed=9)
+        b = generate_quest(n_transactions=50, n_items=60, seed=9)
+        assert a == b
+
+    def test_seed_changes_output(self):
+        a = generate_quest(n_transactions=50, n_items=60, seed=1)
+        b = generate_quest(n_transactions=50, n_items=60, seed=2)
+        assert a != b
+
+    def test_patterns_create_correlation(self):
+        """Quest data must contain 2-itemsets far above independence."""
+        db = generate_quest(
+            n_transactions=600, avg_transaction_len=10.0, avg_pattern_len=4.0,
+            n_items=200, n_patterns=30, seed=5,
+        )
+        n = db.n_transactions
+        sup = db.item_supports() / n
+        top = np.argsort(sup)[::-1][:12]
+        best_lift = 0.0
+        for i in top:
+            for j in top:
+                if i >= j:
+                    continue
+                pair = db.support([int(i), int(j)]) / n
+                indep = sup[i] * sup[j]
+                if indep > 0:
+                    best_lift = max(best_lift, pair / indep)
+        assert best_lift > 1.5, "pattern pool should induce correlated pairs"
+
+    def test_params_object_and_kwargs_conflict(self):
+        with pytest.raises(DatasetError, match="not both"):
+            generate_quest(QuestParameters(), n_transactions=5)
+
+    def test_kwargs_form(self):
+        db = generate_quest(n_transactions=10, n_items=20, seed=0)
+        assert db.n_transactions == 10

@@ -1,0 +1,76 @@
+"""Unit tests for shared-memory bank-conflict analysis."""
+
+import pytest
+
+from repro.errors import GpuSimError
+from repro.gpusim.bankconflict import (
+    N_BANKS,
+    bank_of,
+    conflict_degree,
+    reduction_conflicts,
+)
+
+
+class TestBankOf:
+    def test_striping(self):
+        assert bank_of(0) == 0
+        assert bank_of(15) == 15
+        assert bank_of(16) == 0
+        assert bank_of(17) == 1
+
+    def test_invalid(self):
+        with pytest.raises(GpuSimError):
+            bank_of(-1)
+        with pytest.raises(GpuSimError):
+            bank_of(0, n_banks=0)
+
+
+class TestConflictDegree:
+    def test_consecutive_words_conflict_free(self):
+        assert conflict_degree(list(range(16))) == 1
+
+    def test_same_word_broadcasts(self):
+        """All lanes on one address is a broadcast, not a conflict."""
+        assert conflict_degree([5] * 16) == 1
+
+    def test_stride_two_is_two_way(self):
+        assert conflict_degree([i * 2 for i in range(16)]) == 2
+
+    def test_stride_sixteen_fully_serializes(self):
+        assert conflict_degree([i * 16 for i in range(16)]) == 16
+
+    def test_empty(self):
+        assert conflict_degree([]) == 1
+
+    def test_odd_stride_conflict_free(self):
+        """Odd strides are co-prime with 16 banks: no conflicts."""
+        assert conflict_degree([i * 3 for i in range(16)]) == 1
+        assert conflict_degree([i * 5 for i in range(16)]) == 1
+
+
+class TestReductionConflicts:
+    @pytest.mark.parametrize("block", [16, 64, 256, 512])
+    def test_sequential_addressing_conflict_free(self, block):
+        """The SDK optimization our reduction uses: every level 1-way."""
+        assert all(c == 1 for c in reduction_conflicts(block, "sequential"))
+
+    def test_interleaved_addressing_conflicts(self):
+        """The naive kernel serializes up to 16-way — the documented
+        reason the SDK (and the paper's kernel) switched addressing."""
+        levels = reduction_conflicts(256, "interleaved")
+        assert max(levels) == N_BANKS
+        assert levels[0] == 2  # stride 1: two-way from the start
+
+    def test_level_count_is_log2(self):
+        assert len(reduction_conflicts(256)) == 8
+        assert len(reduction_conflicts(16)) == 4
+
+    def test_invalid_block(self):
+        with pytest.raises(GpuSimError):
+            reduction_conflicts(100)
+        with pytest.raises(GpuSimError):
+            reduction_conflicts(0)
+
+    def test_invalid_addressing(self):
+        with pytest.raises(GpuSimError):
+            reduction_conflicts(64, "diagonal")

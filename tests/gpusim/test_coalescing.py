@@ -1,0 +1,139 @@
+"""Unit tests for the coalescing analyzer (mechanism behind paper Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GpuSimError
+from repro.gpusim import GlobalMemory, TESLA_T10, analyze_trace, launch_kernel
+from repro.gpusim.coalescing import half_warp_transactions
+from repro.gpusim.kernel import LaunchConfig
+
+
+class TestHalfWarpTransactions:
+    def test_perfectly_coalesced_4byte(self):
+        """16 consecutive aligned 4-byte words -> one 64-byte transaction."""
+        addrs = [i * 4 for i in range(16)]
+        txs = half_warp_transactions(addrs, 4)
+        assert txs == [(0, 64)]
+
+    def test_single_address(self):
+        txs = half_warp_transactions([128], 4)
+        assert txs == [(128, 32)]
+
+    def test_fully_scattered(self):
+        """16 addresses in 16 different 128-byte segments -> 16 transactions."""
+        addrs = [i * 1024 for i in range(16)]
+        txs = half_warp_transactions(addrs, 4)
+        assert len(txs) == 16
+
+    def test_same_word_broadcast(self):
+        """All lanes hitting one address -> a single 32-byte transaction."""
+        txs = half_warp_transactions([64] * 16, 4)
+        assert txs == [(64, 32)]
+
+    def test_segment_shrinking(self):
+        """A span fitting the upper half of 128B shrinks to 64B then 32B."""
+        addrs = [96, 100, 104, 108]  # within [96, 128)
+        txs = half_warp_transactions(addrs, 4)
+        assert txs == [(96, 32)]
+
+    def test_straddling_two_segments(self):
+        addrs = [120, 132]  # crosses the 128-byte boundary
+        txs = half_warp_transactions(addrs, 4)
+        assert len(txs) == 2
+
+    def test_misaligned_sequential(self):
+        """A 64-byte-span starting off-alignment costs extra transactions
+        — the reason the paper pads rows to the 64-byte boundary."""
+        aligned = half_warp_transactions([i * 4 for i in range(16)], 4)
+        shifted = half_warp_transactions([4 + i * 4 for i in range(16)], 4)
+        total_aligned = sum(s for _, s in aligned)
+        total_shifted = sum(s for _, s in shifted)
+        assert total_shifted > total_aligned
+
+    def test_byte_access_segment(self):
+        txs = half_warp_transactions(list(range(16)), 1)
+        assert txs == [(0, 32)]
+
+    def test_invalid_size(self):
+        with pytest.raises(GpuSimError):
+            half_warp_transactions([0], 3)
+
+    def test_too_many_lanes(self):
+        with pytest.raises(GpuSimError):
+            half_warp_transactions(list(range(17)), 4)
+
+
+class TestAnalyzeTrace:
+    def _run(self, kernel, grid=1, block=16, args=()):
+        res = launch_kernel(
+            kernel, LaunchConfig(grid, block), args=args, trace=True
+        )
+        return analyze_trace(res.trace)
+
+    def test_coalesced_strided_kernel(self):
+        """The bitset kernel's access pattern: lane i reads word i."""
+        mem = GlobalMemory(TESLA_T10.global_mem_bytes)
+        buf = mem.alloc("b", (64,), np.uint32)
+
+        def kernel(ctx, buf):
+            w = ctx.thread_idx
+            while w < 64:
+                ctx.load(buf, w)
+                w += ctx.block_dim
+            return
+            yield
+
+        rep = self._run(kernel, block=16, args=(buf,))
+        assert rep.n_accesses == 64
+        # 4 rounds x 16 lanes of consecutive words = 4 transactions
+        assert rep.n_transactions == 4
+        assert rep.efficiency == 1.0
+        assert rep.transactions_per_halfwarp_request == pytest.approx(1.0)
+
+    def test_scattered_kernel_serializes(self):
+        """Tidset-like gathers: each lane reads a far-apart address."""
+        mem = GlobalMemory(TESLA_T10.global_mem_bytes)
+        buf = mem.alloc("b", (16 * 64,), np.uint32)
+
+        def kernel(ctx, buf):
+            ctx.load(buf, ctx.thread_idx * 64)  # 256-byte stride
+            return
+            yield
+
+        rep = self._run(kernel, block=16, args=(buf,))
+        assert rep.n_transactions == 16
+        assert rep.transactions_per_halfwarp_request == pytest.approx(16.0)
+        assert rep.efficiency < 0.15
+
+    def test_empty_trace(self):
+        rep = analyze_trace([])
+        assert rep.n_transactions == 0
+        assert rep.transactions_per_halfwarp_request == 0.0
+        assert rep.efficiency == 1.0
+
+    def test_loads_and_stores_not_merged(self):
+        mem = GlobalMemory(TESLA_T10.global_mem_bytes)
+        buf = mem.alloc("b", (16,), np.uint32)
+
+        def kernel(ctx, buf):
+            ctx.load(buf, ctx.thread_idx)
+            ctx.store(buf, ctx.thread_idx, 0)
+            return
+            yield
+
+        rep = self._run(kernel, block=16, args=(buf,))
+        assert rep.n_transactions == 2  # one load tx + one store tx
+
+    def test_bytes_accounting(self):
+        mem = GlobalMemory(TESLA_T10.global_mem_bytes)
+        buf = mem.alloc("b", (16,), np.uint32)
+
+        def kernel(ctx, buf):
+            ctx.load(buf, ctx.thread_idx)
+            return
+            yield
+
+        rep = self._run(kernel, block=16, args=(buf,))
+        assert rep.bytes_requested == 64
+        assert rep.bytes_transferred == 64

@@ -1,0 +1,71 @@
+"""Unit tests for device property sheets."""
+
+import pytest
+
+from repro.errors import GpuSimError
+from repro.gpusim import TESLA_T10, DeviceProperties, XEON_E5520
+from repro.gpusim.device import CpuProperties
+
+
+class TestTeslaT10:
+    def test_paper_testbed_values(self):
+        """The calibration must match the S1070's T10 spec sheet."""
+        assert TESLA_T10.sm_count == 30
+        assert TESLA_T10.cores_per_sm == 8
+        assert TESLA_T10.total_cores == 240
+        assert TESLA_T10.warp_size == 32
+        assert TESLA_T10.compute_capability == (1, 3)
+        assert TESLA_T10.max_threads_per_block == 512
+        assert TESLA_T10.shared_mem_per_block == 16 * 1024
+        assert TESLA_T10.global_mem_bytes == 4 * 2**30
+
+    def test_half_warp(self):
+        assert TESLA_T10.half_warp == 16
+
+    def test_peak_flops(self):
+        assert TESLA_T10.peak_flops() == pytest.approx(240 * 1.296e9)
+
+
+class TestValidation:
+    def _base(self, **over):
+        kw = dict(
+            name="x",
+            sm_count=1,
+            cores_per_sm=1,
+            clock_hz=1e9,
+            global_mem_bytes=1 << 20,
+            mem_bandwidth_bytes=1e9,
+            shared_mem_per_block=1024,
+            max_threads_per_block=64,
+            warp_size=32,
+            compute_capability=(1, 0),
+            pcie_bandwidth_bytes=1e9,
+            pcie_latency_s=1e-6,
+            kernel_launch_overhead_s=1e-6,
+        )
+        kw.update(over)
+        return DeviceProperties(**kw)
+
+    def test_valid(self):
+        assert self._base().total_cores == 1
+
+    def test_zero_sms_rejected(self):
+        with pytest.raises(GpuSimError):
+            self._base(sm_count=0)
+
+    def test_block_smaller_than_warp_rejected(self):
+        with pytest.raises(GpuSimError):
+            self._base(max_threads_per_block=16)
+
+    def test_zero_clock_rejected(self):
+        with pytest.raises(GpuSimError):
+            self._base(clock_hz=0.0)
+
+
+class TestCpuSheet:
+    def test_xeon_values(self):
+        assert XEON_E5520.clock_hz == pytest.approx(2.93e9)
+
+    def test_invalid_cpu(self):
+        with pytest.raises(GpuSimError):
+            CpuProperties(name="bad", clock_hz=0, mem_bandwidth_bytes=1)

@@ -1,0 +1,49 @@
+"""Unit tests for device intrinsics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GpuSimError
+from repro.gpusim.intrinsics import brev, popc
+
+
+class TestPopc:
+    @pytest.mark.parametrize(
+        "word,expect",
+        [(0, 0), (1, 1), (0xFFFFFFFF, 32), (0x80000000, 1), (0b1011, 3)],
+    )
+    def test_known_values(self, word, expect):
+        assert popc(word) == expect
+
+    def test_numpy_scalar(self):
+        assert popc(np.uint32(7)) == 3
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GpuSimError):
+            popc(1 << 32)
+        with pytest.raises(GpuSimError):
+            popc(-1)
+
+    def test_matches_numpy_bitwise_count(self):
+        rng = np.random.default_rng(0)
+        for w in rng.integers(0, 2**32, size=200, dtype=np.uint64):
+            assert popc(int(w)) == int(np.bitwise_count(np.uint32(w)))
+
+
+class TestBrev:
+    def test_identity_palindromes(self):
+        assert brev(0) == 0
+        assert brev(0xFFFFFFFF) == 0xFFFFFFFF
+
+    def test_single_bit(self):
+        assert brev(1) == 0x80000000
+        assert brev(0x80000000) == 1
+
+    def test_involution(self):
+        rng = np.random.default_rng(1)
+        for w in rng.integers(0, 2**32, size=50, dtype=np.uint64):
+            assert brev(brev(int(w))) == int(w)
+
+    def test_out_of_range(self):
+        with pytest.raises(GpuSimError):
+            brev(-5)

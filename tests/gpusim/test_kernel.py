@@ -1,0 +1,238 @@
+"""Unit tests for barrier-synchronous kernel execution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GpuSimError, KernelLaunchError
+from repro.gpusim import (
+    SYNCTHREADS,
+    GlobalMemory,
+    TESLA_T10,
+    launch_kernel,
+)
+from repro.gpusim.kernel import LaunchConfig
+
+
+@pytest.fixture
+def mem():
+    return GlobalMemory(TESLA_T10.global_mem_bytes)
+
+
+class TestLaunchConfig:
+    def test_valid(self):
+        LaunchConfig(4, 32).validate(TESLA_T10)
+
+    def test_zero_grid(self):
+        with pytest.raises(KernelLaunchError):
+            LaunchConfig(0, 32).validate(TESLA_T10)
+
+    def test_zero_block(self):
+        with pytest.raises(KernelLaunchError):
+            LaunchConfig(1, 0).validate(TESLA_T10)
+
+    def test_block_over_device_limit(self):
+        with pytest.raises(KernelLaunchError, match="exceeds"):
+            LaunchConfig(1, 513).validate(TESLA_T10)
+
+
+class TestExecution:
+    def test_thread_and_block_indices(self, mem):
+        out = mem.alloc("out", (6,), np.int64)
+
+        def kernel(ctx, out):
+            ctx.store(out, ctx.global_thread_id, ctx.block_idx * 100 + ctx.thread_idx)
+            return
+            yield  # make it a generator
+
+        launch_kernel(kernel, LaunchConfig(2, 3), args=(out,))
+        assert mem.dtoh(out).tolist() == [0, 1, 2, 100, 101, 102]
+
+    def test_barrier_orders_shared_memory(self, mem):
+        """Values written before a barrier are visible after it."""
+        out = mem.alloc("out", (4,), np.int64)
+
+        def kernel(ctx, out):
+            sh = ctx.shared_array("vals", ctx.block_dim, np.int64)
+            sh[ctx.thread_idx] = ctx.thread_idx + 1
+            yield SYNCTHREADS
+            # read the *other* threads' values
+            total = int(sh.sum())
+            ctx.store(out, ctx.thread_idx, total)
+
+        launch_kernel(kernel, LaunchConfig(1, 4), args=(out,))
+        assert mem.dtoh(out).tolist() == [10, 10, 10, 10]
+
+    def test_multiple_barriers(self, mem):
+        out = mem.alloc("out", (2,), np.int64)
+
+        def kernel(ctx, out):
+            sh = ctx.shared_array("v", ctx.block_dim, np.int64)
+            sh[ctx.thread_idx] = 1
+            yield SYNCTHREADS
+            if ctx.thread_idx == 0:
+                sh[0] = int(sh.sum())
+            yield SYNCTHREADS
+            ctx.store(out, ctx.thread_idx, sh[0])
+
+        result = launch_kernel(kernel, LaunchConfig(1, 2), args=(out,))
+        assert mem.dtoh(out).tolist() == [2, 2]
+        assert result.barriers == 2
+
+    def test_divergent_barrier_raises(self, mem):
+        def kernel(ctx):
+            if ctx.thread_idx == 0:
+                yield SYNCTHREADS
+
+        with pytest.raises(KernelLaunchError, match="divergent"):
+            launch_kernel(kernel, LaunchConfig(1, 2))
+
+    def test_yield_non_sentinel_raises(self):
+        def kernel(ctx):
+            yield "not a barrier"
+
+        with pytest.raises(KernelLaunchError, match="SYNCTHREADS"):
+            launch_kernel(kernel, LaunchConfig(1, 1))
+
+    def test_blocks_isolated_shared_memory(self, mem):
+        """Each block gets fresh shared memory."""
+        out = mem.alloc("out", (2,), np.int64)
+
+        def kernel(ctx, out):
+            sh = ctx.shared_array("v", 1, np.int64)
+            sh[0] += 1
+            yield SYNCTHREADS
+            if ctx.thread_idx == 0:
+                ctx.store(out, ctx.block_idx, sh[0])
+
+        launch_kernel(kernel, LaunchConfig(2, 3), args=(out,))
+        assert mem.dtoh(out).tolist() == [3, 3]
+
+    def test_block_subset_execution(self, mem):
+        out = mem.alloc("out", (4,), np.int64)
+
+        def kernel(ctx, out):
+            ctx.store(out, ctx.block_idx, 1)
+            return
+            yield
+
+        res = launch_kernel(kernel, LaunchConfig(4, 1), args=(out,), blocks=[1, 3])
+        assert mem.dtoh(out).tolist() == [0, 1, 0, 1]
+        assert res.blocks_run == 2
+
+    def test_block_subset_out_of_grid(self):
+        def kernel(ctx):
+            return
+            yield
+
+        with pytest.raises(KernelLaunchError, match="outside grid"):
+            launch_kernel(kernel, LaunchConfig(2, 1), blocks=[5])
+
+    def test_launch_result_counts(self, mem):
+        def kernel(ctx):
+            yield SYNCTHREADS
+
+        res = launch_kernel(kernel, LaunchConfig(3, 4))
+        assert res.threads_run == 12
+        assert res.blocks_run == 3
+        assert res.barriers == 3  # one barrier per block
+
+
+class TestContextMemoryOps:
+    def test_load_store_2d(self, mem):
+        buf = mem.alloc("m", (3, 4), np.uint32)
+        out = mem.alloc("o", (1,), np.uint32)
+
+        def kernel(ctx, buf, out):
+            ctx.store(buf, (2, 3), 7)
+            ctx.store(out, 0, ctx.load(buf, (2, 3)))
+            return
+            yield
+
+        launch_kernel(kernel, LaunchConfig(1, 1), args=(buf, out))
+        assert int(mem.dtoh(out)[0]) == 7
+        assert int(buf.data[2, 3]) == 7
+
+    def test_index_out_of_range(self, mem):
+        buf = mem.alloc("m", (4,), np.uint32)
+
+        def kernel(ctx, buf):
+            ctx.load(buf, 4)
+            return
+            yield
+
+        with pytest.raises(GpuSimError, match="out of range"):
+            launch_kernel(kernel, LaunchConfig(1, 1), args=(buf,))
+
+    def test_wrong_index_arity(self, mem):
+        buf = mem.alloc("m", (2, 2), np.uint32)
+
+        def kernel(ctx, buf):
+            ctx.load(buf, (1, 1, 1))
+            return
+            yield
+
+        with pytest.raises(GpuSimError, match="-D index"):
+            launch_kernel(kernel, LaunchConfig(1, 1), args=(buf,))
+
+    def test_atomic_add_returns_old(self, mem):
+        buf = mem.alloc("ctr", (1,), np.int64)
+        olds = mem.alloc("olds", (4,), np.int64)
+
+        def kernel(ctx, buf, olds):
+            old = ctx.atomic_add(buf, 0, 1)
+            ctx.store(olds, ctx.thread_idx, old)
+            return
+            yield
+
+        launch_kernel(kernel, LaunchConfig(1, 4), args=(buf, olds))
+        assert int(mem.dtoh(buf)[0]) == 4
+        assert sorted(mem.dtoh(olds).tolist()) == [0, 1, 2, 3]
+
+    def test_trace_records_accesses(self, mem):
+        buf = mem.alloc("m", (8,), np.uint32)
+
+        def kernel(ctx, buf):
+            ctx.load(buf, ctx.thread_idx)
+            ctx.store(buf, ctx.thread_idx, 1)
+            return
+            yield
+
+        res = launch_kernel(kernel, LaunchConfig(1, 4), args=(buf,), trace=True)
+        assert len(res.trace) == 8
+        loads = [a for a in res.trace if a.op == "load"]
+        stores = [a for a in res.trace if a.op == "store"]
+        assert len(loads) == 4 and len(stores) == 4
+        # ordinals: load is each thread's access 0, store is access 1
+        assert all(a.ordinal == 0 for a in loads)
+        assert all(a.ordinal == 1 for a in stores)
+
+    def test_no_trace_by_default(self, mem):
+        def kernel(ctx):
+            return
+            yield
+
+        res = launch_kernel(kernel, LaunchConfig(1, 1))
+        assert res.trace is None
+
+    def test_shared_array_redeclare_mismatch(self, mem):
+        def kernel(ctx):
+            if ctx.thread_idx == 0:
+                ctx.shared_array("v", 4, np.int64)
+            yield SYNCTHREADS
+            ctx.shared_array("v", 8, np.int64)
+
+        with pytest.raises(GpuSimError, match="redeclared"):
+            launch_kernel(kernel, LaunchConfig(1, 2))
+
+    def test_warp_id(self, mem):
+        out = mem.alloc("o", (64,), np.int64)
+
+        def kernel(ctx, out):
+            ctx.store(out, ctx.thread_idx, ctx.warp_id)
+            return
+            yield
+
+        launch_kernel(kernel, LaunchConfig(1, 64), args=(out,))
+        got = mem.dtoh(out)
+        assert got[:32].tolist() == [0] * 32
+        assert got[32:].tolist() == [1] * 32

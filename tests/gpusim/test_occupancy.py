@@ -1,0 +1,74 @@
+"""Unit tests for the SM occupancy calculator."""
+
+import pytest
+
+from repro.errors import GpuSimError
+from repro.gpusim.occupancy import best_block_size, occupancy
+
+
+class TestOccupancy:
+    def test_full_occupancy_at_256(self):
+        """256 threads, modest registers/smem: 4 blocks x 8 warps = 32
+        warps — the full-residency sweet spot the paper tuned into."""
+        res = occupancy(256, registers_per_thread=16, shared_mem_per_block=2048)
+        assert res.active_warps == 32
+        assert res.occupancy == pytest.approx(1.0)
+
+    def test_tiny_blocks_hit_block_limit(self):
+        """32-thread blocks cap at 8 blocks/SM -> only 8 warps resident."""
+        res = occupancy(32, registers_per_thread=16, shared_mem_per_block=512)
+        assert res.limiter == "blocks"
+        assert res.active_warps == 8
+        assert res.occupancy == pytest.approx(0.25)
+
+    def test_register_pressure_limits(self):
+        res = occupancy(256, registers_per_thread=60, shared_mem_per_block=1024)
+        assert res.limiter == "registers"
+        assert res.occupancy < 1.0
+
+    def test_shared_memory_limits(self):
+        res = occupancy(128, registers_per_thread=10, shared_mem_per_block=8192)
+        assert res.limiter == "shared"
+        assert res.blocks_per_sm == 2
+
+    def test_512_block_thread_limited(self):
+        res = occupancy(512, registers_per_thread=16, shared_mem_per_block=4096)
+        # 512 threads x 2 blocks = 1024 = the SM thread ceiling
+        assert res.blocks_per_sm == 2
+        assert res.active_warps == 32
+
+    def test_partial_warp_rounds_up(self):
+        res = occupancy(48, registers_per_thread=8, shared_mem_per_block=512)
+        assert res.warps_per_block == 2
+
+    def test_invalid_block(self):
+        with pytest.raises(GpuSimError):
+            occupancy(0)
+        with pytest.raises(GpuSimError):
+            occupancy(1024)
+
+    def test_oversized_shared_rejected(self):
+        with pytest.raises(GpuSimError, match="budget"):
+            occupancy(64, shared_mem_per_block=20_000)
+
+
+class TestBestBlockSize:
+    def test_kernel_profile_prefers_mid_blocks(self):
+        """With the support kernel's resource profile (8 B of shared
+        partials per thread), the tuner lands on a mid-to-large power of
+        two — consistent with the paper's hand-tuned 256."""
+        best = best_block_size(
+            registers_per_thread=16,
+            shared_per_thread_bytes=8,
+            shared_fixed_bytes=64,
+        )
+        assert best in (128, 256, 512)
+        res = occupancy(best, 16, 64 + 8 * best)
+        assert res.occupancy == pytest.approx(1.0)
+
+    def test_register_hungry_kernel_prefers_smaller(self):
+        fat = best_block_size(registers_per_thread=64)
+        lean = best_block_size(registers_per_thread=16)
+        fat_occ = occupancy(fat, 64, 64 + 8 * fat).occupancy
+        lean_occ = occupancy(lean, 16, 64 + 8 * lean).occupancy
+        assert lean_occ >= fat_occ

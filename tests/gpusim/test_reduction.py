@@ -1,0 +1,69 @@
+"""Unit tests for the block-level parallel summation reduction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GpuSimError, KernelLaunchError
+from repro.gpusim import GlobalMemory, TESLA_T10, block_reduce_sum, launch_kernel
+from repro.gpusim.kernel import SYNCTHREADS, LaunchConfig
+
+
+def _reduce_kernel(ctx, values, out):
+    """Load one value per thread, reduce, thread 0 writes the sum."""
+    sh = ctx.shared_array("partials", ctx.block_dim, np.int64)
+    sh[ctx.thread_idx] = ctx.load(values, (ctx.block_idx, ctx.thread_idx))
+    yield SYNCTHREADS
+    yield from block_reduce_sum(ctx, sh, ctx.block_dim)
+    if ctx.thread_idx == 0:
+        ctx.store(out, ctx.block_idx, sh[0])
+
+
+@pytest.mark.parametrize("block", [1, 2, 4, 8, 32, 128])
+def test_reduce_power_of_two_blocks(block):
+    mem = GlobalMemory(TESLA_T10.global_mem_bytes)
+    rng = np.random.default_rng(block)
+    host = rng.integers(0, 1000, size=(3, block)).astype(np.int64)
+    values = mem.alloc("v", (3, block), np.int64)
+    out = mem.alloc("o", (3,), np.int64)
+    mem.htod(values, host)
+    launch_kernel(_reduce_kernel, LaunchConfig(3, block), args=(values, out))
+    assert np.array_equal(mem.dtoh(out), host.sum(axis=1))
+
+
+def test_reduce_negative_values():
+    mem = GlobalMemory(TESLA_T10.global_mem_bytes)
+    host = np.array([[-5, 3, -2, 10]], dtype=np.int64)
+    values = mem.alloc("v", (1, 4), np.int64)
+    out = mem.alloc("o", (1,), np.int64)
+    mem.htod(values, host)
+    launch_kernel(_reduce_kernel, LaunchConfig(1, 4), args=(values, out))
+    assert int(mem.dtoh(out)[0]) == 6
+
+
+def test_reduce_requires_power_of_two():
+    def kernel(ctx):
+        sh = ctx.shared_array("p", ctx.block_dim, np.int64)
+        yield SYNCTHREADS
+        yield from block_reduce_sum(ctx, sh, ctx.block_dim)
+
+    with pytest.raises(GpuSimError, match="power-of-two"):
+        launch_kernel(kernel, LaunchConfig(1, 3))
+
+
+def test_reduce_requires_blockdim_match():
+    def kernel(ctx):
+        sh = ctx.shared_array("p", 8, np.int64)
+        yield SYNCTHREADS
+        yield from block_reduce_sum(ctx, sh, 8)  # but blockDim is 4
+
+    with pytest.raises(GpuSimError, match="blockDim"):
+        launch_kernel(kernel, LaunchConfig(1, 4))
+
+
+def test_reduce_barrier_count():
+    """log2(block) barriers inside the reduction + the preceding one."""
+    mem = GlobalMemory(TESLA_T10.global_mem_bytes)
+    values = mem.alloc("v", (1, 16), np.int64)
+    out = mem.alloc("o", (1,), np.int64)
+    res = launch_kernel(_reduce_kernel, LaunchConfig(1, 16), args=(values, out))
+    assert res.barriers == 1 + 4  # load barrier + log2(16) reduction levels

@@ -1,0 +1,37 @@
+"""Unit tests for KernelStats aggregation."""
+
+from repro.gpusim import KernelStats
+
+
+class TestKernelStats:
+    def test_record_launch_accumulates(self):
+        s = KernelStats()
+        s.record_launch(
+            blocks=10, threads_per_block=32, barriers=5, candidate_words=100, popcounts=50
+        )
+        s.record_launch(
+            blocks=4, threads_per_block=16, barriers=2, candidate_words=40, popcounts=20
+        )
+        assert s.launches == 2
+        assert s.blocks == 14
+        assert s.threads == 10 * 32 + 4 * 16
+        assert s.barriers == 7
+        assert s.candidate_words == 140
+        assert s.popcounts == 70
+
+    def test_merge(self):
+        a = KernelStats()
+        a.record_launch(1, 8, 1, 10, 5)
+        a.generations.append(3)
+        b = KernelStats()
+        b.record_launch(2, 8, 2, 20, 10)
+        b.generations.append(7)
+        a.merge(b)
+        assert a.launches == 2
+        assert a.blocks == 3
+        assert a.candidate_words == 30
+        assert a.generations == [3, 7]
+
+    def test_fresh_stats_zero(self):
+        s = KernelStats()
+        assert s.launches == 0 and s.threads == 0 and s.generations == []

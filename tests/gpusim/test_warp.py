@@ -1,0 +1,73 @@
+"""Unit tests for warp grouping and divergence accounting."""
+
+import pytest
+
+from repro.errors import GpuSimError
+from repro.gpusim.warp import divergence_factor, lane_of, warp_iteration_time, warp_of
+
+
+class TestIndexHelpers:
+    def test_warp_of(self):
+        assert warp_of(0) == 0
+        assert warp_of(31) == 0
+        assert warp_of(32) == 1
+
+    def test_lane_of(self):
+        assert lane_of(0) == 0
+        assert lane_of(33) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(GpuSimError):
+            warp_of(-1)
+        with pytest.raises(GpuSimError):
+            lane_of(-1)
+
+
+class TestWarpIterationTime:
+    def test_uniform_work(self):
+        # 32 lanes each doing 5 units = one warp costing 5 slots
+        assert warp_iteration_time([5.0] * 32) == 5.0
+
+    def test_max_lane_dominates(self):
+        work = [1.0] * 31 + [10.0]
+        assert warp_iteration_time(work) == 10.0
+
+    def test_multiple_warps(self):
+        work = [2.0] * 32 + [3.0] * 32
+        assert warp_iteration_time(work) == 5.0
+
+    def test_partial_warp_padded(self):
+        assert warp_iteration_time([4.0] * 8) == 4.0
+
+    def test_empty(self):
+        assert warp_iteration_time([]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(GpuSimError):
+            warp_iteration_time([-1.0])
+
+
+class TestDivergenceFactor:
+    def test_converged_is_one(self):
+        """The bitset kernel's uniform lanes have factor exactly 1."""
+        assert divergence_factor([7.0] * 64) == pytest.approx(1.0)
+
+    def test_fully_divergent(self):
+        """One busy lane per warp -> factor = warp size."""
+        work = [0.0] * 31 + [10.0]
+        assert divergence_factor(work) == pytest.approx(32.0)
+
+    def test_data_dependent_worse_than_uniform(self):
+        """Tidset-merge-like variable work diverges; bitset-like doesn't."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        ragged = rng.integers(1, 100, size=128).astype(float)
+        uniform = [float(ragged.mean())] * 128
+        assert divergence_factor(ragged) > divergence_factor(uniform)
+
+    def test_empty_is_one(self):
+        assert divergence_factor([]) == 1.0
+
+    def test_all_zero_is_one(self):
+        assert divergence_factor([0.0, 0.0]) == 1.0

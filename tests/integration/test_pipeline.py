@@ -1,0 +1,59 @@
+"""Integration: file IO -> mining -> rules, and harness consistency."""
+
+import io
+
+import pytest
+
+from repro import mine
+from repro.bench import build_figure6, support_sweep
+from repro.datasets import dataset_analog, read_fimi, write_fimi
+from repro.rules import generate_rules
+
+
+class TestFimiPipeline:
+    def test_roundtrip_then_mine(self, tmp_path, small_db):
+        """Writing a FIMI file and mining the re-read copy is identical
+        to mining the original."""
+        p = tmp_path / "db.dat"
+        write_fimi(small_db, p)
+        reread = read_fimi(p, n_items=small_db.n_items)
+        assert mine(reread, 8).same_itemsets(mine(small_db, 8))
+
+    def test_analog_roundtrip(self, tmp_path):
+        db = dataset_analog("chess", scale=0.02)
+        buf = io.StringIO()
+        write_fimi(db, buf)
+        buf.seek(0)
+        reread = read_fimi(buf, n_items=db.n_items)
+        assert reread == db
+
+
+class TestMineToRules:
+    def test_chess_rules(self):
+        db = dataset_analog("chess", scale=0.05)
+        result = mine(db, 0.85)
+        rules = generate_rules(result, min_confidence=0.95)
+        assert rules, "dense data at high support must yield strong rules"
+        for r in rules[:20]:
+            # verify each measure against raw database counts
+            union = tuple(sorted(r.antecedent + r.consequent))
+            union_sup = db.support(union)
+            ante_sup = db.support(r.antecedent)
+            assert r.confidence == pytest.approx(union_sup / ante_sup)
+            assert r.support == pytest.approx(union_sup / db.n_transactions)
+
+
+class TestHarnessConsistency:
+    def test_sweep_on_chess_analog(self):
+        db = dataset_analog("chess", scale=0.04)
+        sweep = support_sweep(
+            db,
+            "chess",
+            [0.9, 0.85],
+            ["gpapriori", "cpu_bitset", "borgelt", "bodon", "goethals"],
+        )
+        assert sweep.consistent_itemset_counts()
+        series = build_figure6(sweep)
+        # runtime grows (or stays equal) as support drops, for every algo
+        for s in series.values():
+            assert s.seconds[1] >= s.seconds[0] * 0.5  # allow noise floor

@@ -1,0 +1,65 @@
+"""Shared hypothesis strategies for transaction data."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.datasets import TransactionDatabase
+
+
+@st.composite
+def transaction_databases(
+    draw,
+    max_items: int = 12,
+    max_transactions: int = 40,
+    allow_empty_db: bool = True,
+):
+    """Random small databases (item universe <= max_items)."""
+    n_items = draw(st.integers(min_value=1, max_value=max_items))
+    min_tx = 0 if allow_empty_db else 1
+    n_tx = draw(st.integers(min_value=min_tx, max_value=max_transactions))
+    rows = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=n_items - 1),
+                min_size=0,
+                max_size=n_items,
+            ),
+            min_size=n_tx,
+            max_size=n_tx,
+        )
+    )
+    return TransactionDatabase(rows, n_items=n_items)
+
+
+@st.composite
+def tidsets(draw, max_tid: int = 200, max_size: int = 60):
+    """Strictly increasing transaction-id arrays."""
+    import numpy as np
+
+    values = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_tid),
+            max_size=max_size,
+            unique=True,
+        )
+    )
+    return np.array(sorted(values), dtype=np.int64)
+
+
+@st.composite
+def itemset_levels(draw, max_item: int = 10, k: int = 2, max_count: int = 15):
+    """A level of distinct sorted k-itemsets over a small universe."""
+    sets = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=max_item),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            ).map(lambda x: tuple(sorted(x))),
+            max_size=max_count,
+            unique=True,
+        )
+    )
+    return sets

@@ -1,0 +1,131 @@
+"""Property-based tests: simulator invariants (reduction, coalescing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import (
+    GlobalMemory,
+    TESLA_T10,
+    analyze_trace,
+    block_reduce_sum,
+    launch_kernel,
+)
+from repro.gpusim.coalescing import half_warp_transactions
+from repro.gpusim.kernel import SYNCTHREADS, LaunchConfig
+from repro.gpusim.warp import divergence_factor, warp_iteration_time
+
+
+class TestReductionProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=5),  # log2 block size
+        st.data(),
+    )
+    def test_reduction_equals_sum(self, log_block, data):
+        block = 1 << log_block
+        values = data.draw(
+            st.lists(
+                st.integers(min_value=-(10**6), max_value=10**6),
+                min_size=block,
+                max_size=block,
+            )
+        )
+        mem = GlobalMemory(TESLA_T10.global_mem_bytes)
+        vbuf = mem.alloc("v", (1, block), np.int64)
+        obuf = mem.alloc("o", (1,), np.int64)
+        mem.htod(vbuf, np.array([values], dtype=np.int64))
+
+        def kernel(ctx, vbuf, obuf):
+            sh = ctx.shared_array("p", ctx.block_dim, np.int64)
+            sh[ctx.thread_idx] = ctx.load(vbuf, (0, ctx.thread_idx))
+            yield SYNCTHREADS
+            yield from block_reduce_sum(ctx, sh, ctx.block_dim)
+            if ctx.thread_idx == 0:
+                ctx.store(obuf, 0, sh[0])
+
+        launch_kernel(kernel, LaunchConfig(1, block), args=(vbuf, obuf))
+        assert int(mem.dtoh(obuf)[0]) == sum(values)
+
+
+class TestCoalescingProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1 << 16),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    def test_transactions_cover_all_requests(self, raw):
+        addrs = [a * 4 for a in raw]
+        txs = half_warp_transactions(addrs, 4)
+        for a in addrs:
+            assert any(s <= a and a + 4 <= s + size for s, size in txs)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1 << 16),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    def test_transaction_count_bounds(self, raw):
+        addrs = [a * 4 for a in raw]
+        txs = half_warp_transactions(addrs, 4)
+        assert 1 <= len(txs) <= len(set(addrs))
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1 << 16),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    def test_segments_aligned(self, raw):
+        addrs = [a * 4 for a in raw]
+        for start, size in half_warp_transactions(addrs, 4):
+            assert size in (32, 64, 128)
+            assert start % size == 0
+
+
+class TestDivergenceProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=128,
+        )
+    )
+    def test_factor_at_least_one(self, work):
+        assert divergence_factor(work) >= 1.0 - 1e-9
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=128,
+        )
+    )
+    def test_factor_at_most_warp_size(self, work):
+        assert divergence_factor(work) <= 32.0 + 1e-9
+
+    @given(
+        st.floats(min_value=0.01, max_value=1e3, allow_nan=False),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_uniform_full_warps_converged(self, value, n_warps):
+        """Uniform lanes over whole warps have factor exactly 1; a
+        partially-filled warp legitimately reports idle-lane waste."""
+        assert divergence_factor([value] * (32 * n_warps)) == pytest.approx(1.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=128,
+        )
+    )
+    def test_iteration_time_bounds(self, work):
+        t = warp_iteration_time(work)
+        assert max(work) - 1e-9 <= t <= sum(work) + 1e-9

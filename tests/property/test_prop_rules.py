@@ -1,0 +1,84 @@
+"""Property-based tests: association-rule measures and completeness."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import gpapriori_mine
+from repro.rules import generate_rules
+from tests.property.strategies import transaction_databases
+
+SLOW = settings(max_examples=25, deadline=None)
+
+
+class TestRuleProperties:
+    @SLOW
+    @given(transaction_databases(max_items=7, max_transactions=20), st.data())
+    def test_measures_consistent_with_database(self, db, data):
+        if len(db) == 0:
+            return
+        min_count = max(1, len(db) // 3)
+        conf = data.draw(st.floats(min_value=0.0, max_value=1.0))
+        result = gpapriori_mine(db, min_count)
+        for rule in generate_rules(result, conf):
+            union = tuple(sorted(rule.antecedent + rule.consequent))
+            u = db.support(union)
+            a = db.support(rule.antecedent)
+            c = db.support(rule.consequent)
+            n = len(db)
+            assert rule.confidence == pytest.approx(u / a)
+            assert rule.support == pytest.approx(u / n)
+            assert rule.confidence >= conf
+            assert rule.leverage == pytest.approx(u / n - (a / n) * (c / n))
+
+    @SLOW
+    @given(transaction_databases(max_items=6, max_transactions=15), st.data())
+    def test_complete_against_bruteforce(self, db, data):
+        """ap-genrules finds exactly the rules a full split-enumeration
+        over every frequent itemset finds."""
+        if len(db) == 0:
+            return
+        min_count = max(1, len(db) // 3)
+        conf = data.draw(st.sampled_from([0.3, 0.6, 0.9]))
+        result = gpapriori_mine(db, min_count)
+        supports = result.as_dict()
+        got = {
+            (r.antecedent, r.consequent) for r in generate_rules(result, conf)
+        }
+        want = set()
+        for itemset, usup in supports.items():
+            for r in range(1, len(itemset)):
+                for cons in combinations(itemset, r):
+                    ante = tuple(i for i in itemset if i not in cons)
+                    if usup / supports[ante] >= conf:
+                        want.add((ante, cons))
+        assert got == want
+
+    @SLOW
+    @given(transaction_databases(max_items=7, max_transactions=20))
+    def test_antecedent_consequent_disjoint_and_union_frequent(self, db):
+        if len(db) == 0:
+            return
+        result = gpapriori_mine(db, max(1, len(db) // 3))
+        for rule in generate_rules(result, 0.2):
+            assert not set(rule.antecedent) & set(rule.consequent)
+            union = tuple(sorted(rule.antecedent + rule.consequent))
+            assert union in result
+
+    @SLOW
+    @given(transaction_databases(max_items=7, max_transactions=20), st.data())
+    def test_confidence_threshold_monotone(self, db, data):
+        if len(db) == 0:
+            return
+        result = gpapriori_mine(db, max(1, len(db) // 3))
+        lo = data.draw(st.floats(min_value=0.0, max_value=0.5))
+        hi = data.draw(st.floats(min_value=0.5, max_value=1.0))
+        rules_lo = {
+            (r.antecedent, r.consequent) for r in generate_rules(result, lo)
+        }
+        rules_hi = {
+            (r.antecedent, r.consequent) for r in generate_rules(result, hi)
+        }
+        assert rules_hi <= rules_lo

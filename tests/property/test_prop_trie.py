@@ -1,0 +1,108 @@
+"""Property-based tests: trie and candidate-generation invariants."""
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trie import CandidateTrie, HashTrie, generate_candidates, join_frequent
+from tests.property.strategies import itemset_levels, transaction_databases
+
+itemsets_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=5, unique=True)
+    .map(lambda x: tuple(sorted(x))),
+    min_size=0,
+    max_size=25,
+    unique=True,
+)
+
+
+class TestTrieInvariants:
+    @given(itemsets_strategy)
+    def test_insert_find_roundtrip(self, itemsets):
+        trie = CandidateTrie()
+        for i, s in enumerate(itemsets):
+            trie.insert(s, i + 1)
+        for i, s in enumerate(itemsets):
+            assert trie.support_of(s) == i + 1
+
+    @given(itemsets_strategy)
+    def test_node_count_equals_distinct_prefixes(self, itemsets):
+        trie = CandidateTrie()
+        for s in itemsets:
+            trie.insert(s, 1)
+        prefixes = {s[: i + 1] for s in itemsets for i in range(len(s))}
+        assert trie.n_nodes == len(prefixes)
+
+    @given(itemsets_strategy)
+    def test_itemsets_at_depth_sorted_and_complete(self, itemsets):
+        trie = CandidateTrie()
+        for s in itemsets:
+            trie.insert(s, 1)
+        prefixes = {s[: i + 1] for s in itemsets for i in range(len(s))}
+        for depth in range(1, 6):
+            got = trie.itemsets_at_depth(depth)
+            want = sorted(p for p in prefixes if len(p) == depth)
+            assert got == want
+
+
+class TestJoinProperties:
+    @settings(max_examples=60)
+    @given(itemset_levels(max_item=9, k=2, max_count=20))
+    def test_join_equals_bruteforce_definition(self, level):
+        """join_frequent == {all (k+1)-sets whose every k-subset is in
+        the level} — the Apriori candidate-set definition."""
+        got = set(join_frequent(level))
+        freq = set(level)
+        universe = sorted({i for t in level for i in t})
+        want = set()
+        for combo in combinations(universe, 3):
+            if all(
+                tuple(combo[:i] + combo[i + 1 :]) in freq for i in range(3)
+            ):
+                want.add(combo)
+        assert got == want
+
+    @settings(max_examples=60)
+    @given(itemset_levels(max_item=9, k=2, max_count=20))
+    def test_trie_join_equals_flat_join(self, level):
+        trie = CandidateTrie()
+        for s in level:
+            trie.insert(s, 1)
+        via_trie = [tuple(r) for r in generate_candidates(trie, 2)]
+        assert via_trie == join_frequent(level)
+
+    @given(itemset_levels(max_item=9, k=1, max_count=12))
+    def test_level1_join_is_all_pairs(self, level):
+        got = join_frequent(level)
+        items = sorted(t[0] for t in level)
+        want = [
+            (a, b) for i, a in enumerate(items) for b in items[i + 1 :]
+        ]
+        assert got == want
+
+
+class TestHashTrieProperties:
+    @settings(max_examples=30)
+    @given(transaction_databases(max_items=8, max_transactions=20), st.data())
+    def test_counts_equal_subset_scan(self, db, data):
+        if db.n_items < 2:
+            return
+        k = data.draw(st.integers(min_value=1, max_value=min(3, db.n_items)))
+        cands = data.draw(
+            st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=db.n_items - 1),
+                    min_size=k,
+                    max_size=k,
+                    unique=True,
+                ).map(lambda x: tuple(sorted(x))),
+                min_size=1,
+                max_size=10,
+                unique=True,
+            )
+        )
+        ht = HashTrie(cands)
+        ht.count_database(db)
+        for items, count in ht.supports():
+            assert count == db.support(items)

@@ -1,0 +1,144 @@
+"""Unit tests for association-rule generation."""
+
+import math
+
+import pytest
+
+from repro import mine
+from repro.core.itemset import MiningResult
+from repro.errors import MiningError
+from repro.rules import AssociationRule, generate_rules
+
+
+@pytest.fixture
+def basket_result():
+    """Hand-computed market-basket example.
+
+    6 baskets: {milk,bread} x3, {milk,bread,butter} x2, {butter} x1
+    with ids milk=0, bread=1, butter=2.
+    """
+    return MiningResult(
+        {(0,): 5, (1,): 5, (2,): 3, (0, 1): 5, (0, 2): 2, (1, 2): 2, (0, 1, 2): 2},
+        n_transactions=6,
+        min_support=2,
+    )
+
+
+class TestMeasures:
+    def test_confidence(self, basket_result):
+        rules = generate_rules(basket_result, min_confidence=0.0)
+        rule = next(
+            r for r in rules if r.antecedent == (0,) and r.consequent == (1,)
+        )
+        assert rule.confidence == pytest.approx(1.0)
+        assert rule.support == pytest.approx(5 / 6)
+
+    def test_lift(self, basket_result):
+        rules = generate_rules(basket_result, min_confidence=0.0)
+        rule = next(
+            r for r in rules if r.antecedent == (2,) and r.consequent == (0,)
+        )
+        # conf = 2/3, base rate of 0 = 5/6 -> lift = (2/3)/(5/6) = 0.8
+        assert rule.lift == pytest.approx(0.8)
+
+    def test_leverage(self, basket_result):
+        rules = generate_rules(basket_result, min_confidence=0.0)
+        rule = next(
+            r for r in rules if r.antecedent == (0,) and r.consequent == (1,)
+        )
+        assert rule.leverage == pytest.approx(5 / 6 - (5 / 6) * (5 / 6))
+
+    def test_conviction_infinite_for_exact_rules(self, basket_result):
+        rules = generate_rules(basket_result, min_confidence=0.0)
+        rule = next(
+            r for r in rules if r.antecedent == (0,) and r.consequent == (1,)
+        )
+        assert math.isinf(rule.conviction)
+
+    def test_conviction_finite(self, basket_result):
+        rules = generate_rules(basket_result, min_confidence=0.0)
+        rule = next(
+            r for r in rules if r.antecedent == (2,) and r.consequent == (0,)
+        )
+        # (1 - 5/6) / (1 - 2/3) = 0.5
+        assert rule.conviction == pytest.approx(0.5)
+
+
+class TestGeneration:
+    def test_threshold_filters(self, basket_result):
+        all_rules = generate_rules(basket_result, min_confidence=0.0)
+        strict = generate_rules(basket_result, min_confidence=0.9)
+        assert len(strict) < len(all_rules)
+        assert all(r.confidence >= 0.9 for r in strict)
+
+    def test_multi_item_consequents(self, basket_result):
+        rules = generate_rules(basket_result, min_confidence=0.5)
+        assert any(len(r.consequent) == 2 for r in rules)
+
+    def test_sorted_by_confidence(self, basket_result):
+        rules = generate_rules(basket_result, min_confidence=0.0)
+        confs = [r.confidence for r in rules]
+        assert confs == sorted(confs, reverse=True)
+
+    def test_deterministic(self, basket_result):
+        a = generate_rules(basket_result, min_confidence=0.3)
+        b = generate_rules(basket_result, min_confidence=0.3)
+        assert a == b
+
+    def test_no_rules_from_singletons(self):
+        result = MiningResult({(0,): 3, (1,): 2}, 5, 2)
+        assert generate_rules(result, 0.0) == []
+
+    def test_empty_result(self):
+        assert generate_rules(MiningResult({}, 5, 1), 0.5) == []
+
+    def test_zero_transactions(self):
+        assert generate_rules(MiningResult({}, 0, 1), 0.5) == []
+
+    def test_not_downward_closed_raises(self):
+        broken = MiningResult({(0, 1): 3}, 5, 2)  # singletons missing
+        with pytest.raises(MiningError, match="downward closed"):
+            generate_rules(broken, 0.5)
+
+    def test_bad_confidence_rejected(self, basket_result):
+        with pytest.raises(MiningError):
+            generate_rules(basket_result, min_confidence=1.5)
+
+    def test_str_rendering(self, basket_result):
+        rule = generate_rules(basket_result, 0.9)[0]
+        s = str(rule)
+        assert "->" in s and "conf=" in s
+
+
+class TestApGenrulesPruning:
+    def test_pruning_loses_nothing(self, small_db):
+        """ap-genrules pruning must produce exactly the rules a full
+        enumeration over all antecedent/consequent splits finds."""
+        from itertools import combinations
+
+        result = mine(small_db, 6)
+        threshold = 0.7
+        got = {
+            (r.antecedent, r.consequent)
+            for r in generate_rules(result, threshold)
+        }
+        supports = result.as_dict()
+        want = set()
+        for itemset, usup in supports.items():
+            if len(itemset) < 2:
+                continue
+            for r in range(1, len(itemset)):
+                for cons in combinations(itemset, r):
+                    ante = tuple(i for i in itemset if i not in cons)
+                    if usup / supports[ante] >= threshold:
+                        want.add((ante, cons))
+        assert got == want
+
+    def test_mined_pipeline_end_to_end(self, small_db):
+        result = mine(small_db, 8)
+        rules = generate_rules(result, 0.8)
+        for r in rules:
+            union = tuple(sorted(r.antecedent + r.consequent))
+            assert result.support_of(union) / result.support_of(
+                r.antecedent
+            ) == pytest.approx(r.confidence)

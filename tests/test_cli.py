@@ -1,0 +1,146 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import TransactionDatabase, write_fimi
+
+
+@pytest.fixture
+def fimi_file(tmp_path, small_db):
+    p = tmp_path / "small.dat"
+    write_fimi(small_db, p)
+    return str(p)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mine", "--algorithm", "nope"])
+
+
+class TestMineCommand:
+    def test_mine_file(self, fimi_file, capsys):
+        assert main(["mine", "--file", fimi_file, "--min-support", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "frequent itemsets" in out
+        assert "support=" in out
+
+    def test_mine_builtin_dataset(self, capsys):
+        code = main(
+            ["mine", "--dataset", "chess", "--scale", "0.03", "--min-support", "0.9"]
+        )
+        assert code == 0
+        assert "chess" in capsys.readouterr().out
+
+    def test_mine_each_algorithm(self, fimi_file, capsys):
+        for alg in ("borgelt", "fpgrowth", "eclat"):
+            assert (
+                main(
+                    [
+                        "mine",
+                        "--file",
+                        fimi_file,
+                        "--min-support",
+                        "0.15",
+                        "--algorithm",
+                        alg,
+                    ]
+                )
+                == 0
+            )
+
+    def test_top_truncation(self, fimi_file, capsys):
+        main(["mine", "--file", fimi_file, "--min-support", "0.05", "--top", "2"])
+        assert "more)" in capsys.readouterr().out
+
+    def test_error_exit_code(self, fimi_file, capsys):
+        code = main(["mine", "--file", fimi_file, "--min-support", "0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("rep", ["closed", "maximal"])
+    def test_condensed_representations(self, fimi_file, capsys, rep):
+        code = main(
+            [
+                "mine",
+                "--file",
+                fimi_file,
+                "--min-support",
+                "0.1",
+                "--representation",
+                rep,
+            ]
+        )
+        assert code == 0
+        assert f"{rep} representation:" in capsys.readouterr().out
+
+    def test_extension_algorithms_available(self, fimi_file, capsys):
+        for alg in ("hybrid", "gpu_eclat", "partition"):
+            assert (
+                main(
+                    [
+                        "mine",
+                        "--file",
+                        fimi_file,
+                        "--min-support",
+                        "0.15",
+                        "--algorithm",
+                        alg,
+                    ]
+                )
+                == 0
+            ), alg
+
+
+class TestOtherCommands:
+    def test_algorithms(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "GPApriori" in out and "Bodon" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        for name in ("chess", "pumsb", "accidents", "T40I10D100K"):
+            assert name in out
+
+    def test_rules(self, fimi_file, capsys):
+        assert (
+            main(
+                [
+                    "rules",
+                    "--file",
+                    fimi_file,
+                    "--min-support",
+                    "0.15",
+                    "--min-confidence",
+                    "0.6",
+                ]
+            )
+            == 0
+        )
+        assert "rules" in capsys.readouterr().out
+
+    def test_figure(self, fimi_file, capsys):
+        code = main(
+            [
+                "figure",
+                "--file",
+                fimi_file,
+                "--supports",
+                "0.2",
+                "0.15",
+                "--algorithms",
+                "gpapriori",
+                "cpu_bitset",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "borgelt" in out  # reference auto-added

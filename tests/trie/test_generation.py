@@ -1,0 +1,129 @@
+"""Unit tests for candidate generation (leaf/sibling join + pruning)."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.errors import TrieError
+from repro.trie import CandidateTrie, all_subsets_frequent, generate_candidates, join_frequent
+
+
+def trie_with_level(frequent, supports=None):
+    t = CandidateTrie()
+    for i, itemset in enumerate(frequent):
+        t.insert(itemset, supports[i] if supports else 1)
+    return t
+
+
+class TestAllSubsetsFrequent:
+    def test_singleton_always_true(self):
+        assert all_subsets_frequent((3,), set())
+
+    def test_pair(self):
+        freq = {(1,), (2,)}
+        assert all_subsets_frequent((1, 2), freq)
+        assert not all_subsets_frequent((1, 3), freq)
+
+    def test_triple_missing_middle_subset(self):
+        freq = {(1, 2), (2, 3)}  # (1,3) missing
+        assert not all_subsets_frequent((1, 2, 3), freq)
+
+    def test_triple_complete(self):
+        freq = {(1, 2), (1, 3), (2, 3)}
+        assert all_subsets_frequent((1, 2, 3), freq)
+
+
+class TestGenerateCandidates:
+    def test_level1_join(self):
+        t = trie_with_level([(1,), (3,), (7,)])
+        cands = generate_candidates(t, 1)
+        assert cands.tolist() == [[1, 3], [1, 7], [3, 7]]
+        # candidates were inserted into the trie
+        assert (1, 3) in t and (3, 7) in t
+
+    def test_level2_join_requires_shared_prefix(self):
+        t = trie_with_level([(1, 2), (1, 3), (2, 3)])
+        cands = generate_candidates(t, 2)
+        assert cands.tolist() == [[1, 2, 3]]
+
+    def test_subset_pruning(self):
+        # (1,2),(1,3) share prefix but (2,3) is not frequent -> prune 123
+        t = trie_with_level([(1, 2), (1, 3)])
+        cands = generate_candidates(t, 2)
+        assert cands.shape == (0, 3)
+
+    def test_no_candidates_from_single_leaf(self):
+        t = trie_with_level([(5,)])
+        assert generate_candidates(t, 1).shape == (0, 2)
+
+    def test_empty_trie_level(self):
+        t = CandidateTrie()
+        assert generate_candidates(t, 1).shape == (0, 2)
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(TrieError):
+            generate_candidates(CandidateTrie(), 0)
+
+    def test_dtype_and_shape(self):
+        t = trie_with_level([(0,), (1,), (2,)])
+        cands = generate_candidates(t, 1)
+        assert cands.dtype == np.int32
+        assert cands.shape == (3, 2)
+
+    def test_matches_join_frequent(self, small_db):
+        """Trie join == classic F_k x F_k join on real frequent levels."""
+        from repro import mine
+
+        result = mine(small_db, 6)
+        for k in range(1, result.max_size() + 1):
+            level = [i.items for i in result.of_size(k)]
+            if not level:
+                break
+            t = trie_with_level(level)
+            via_trie = [tuple(r) for r in generate_candidates(t, k)]
+            via_join = join_frequent(level)
+            assert via_trie == via_join
+
+
+class TestJoinFrequent:
+    def test_basic(self):
+        got = join_frequent([(1,), (2,), (3,)])
+        assert got == [(1, 2), (1, 3), (2, 3)]
+
+    def test_prefix_blocks(self):
+        got = join_frequent([(1, 2), (1, 3), (2, 4)])
+        # only (1,2)+(1,3) share a prefix; (1,2,3) needs (2,3) frequent
+        assert got == []
+
+    def test_with_closure(self):
+        got = join_frequent([(1, 2), (1, 3), (2, 3)])
+        assert got == [(1, 2, 3)]
+
+    def test_empty(self):
+        assert join_frequent([]) == []
+
+    def test_deduplicates_input(self):
+        got = join_frequent([(1,), (1,), (2,)])
+        assert got == [(1, 2)]
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(TrieError, match="equal length"):
+            join_frequent([(1,), (1, 2)])
+
+    def test_unsorted_tuple_rejected(self):
+        with pytest.raises(TrieError, match="strictly increasing"):
+            join_frequent([(2, 1)])
+
+    def test_candidate_superset_of_true_candidates(self, small_db):
+        """Every truly frequent (k+1)-itemset appears among candidates
+        joined from the frequent k-level (Apriori completeness)."""
+        from repro import mine
+
+        result = mine(small_db, 6)
+        freq = result.as_dict()
+        for k in range(1, result.max_size()):
+            level = [t for t in freq if len(t) == k]
+            candidates = set(join_frequent(level))
+            true_next = {t for t in freq if len(t) == k + 1}
+            assert true_next <= candidates

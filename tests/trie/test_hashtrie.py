@@ -1,0 +1,77 @@
+"""Unit tests for the Bodon-style counting HashTrie."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrieError
+from repro.trie import HashTrie
+from repro.trie.hashtrie import HashTrieCounters
+
+
+class TestConstruction:
+    def test_basic(self):
+        ht = HashTrie([(1, 2), (1, 3), (2, 4)])
+        assert ht.k == 2
+        assert ht.n_candidates == 3
+
+    def test_empty(self):
+        ht = HashTrie([])
+        assert ht.k == 0
+        assert ht.supports() == []
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(TrieError, match="share one length"):
+            HashTrie([(1, 2), (1, 2, 3)])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(TrieError, match="strictly increasing"):
+            HashTrie([(2, 1)])
+
+    def test_empty_candidate_rejected(self):
+        with pytest.raises(TrieError, match="non-empty"):
+            HashTrie([()])
+
+
+class TestCounting:
+    def test_count_single_transaction(self):
+        ht = HashTrie([(1, 2), (2, 3), (1, 4)])
+        ht.count_transaction(np.array([1, 2, 3]))
+        got = dict(ht.supports())
+        assert got == {(1, 2): 1, (2, 3): 1, (1, 4): 0}
+
+    def test_count_database_matches_oracle(self, small_db):
+        cands = [(0, 1), (2, 5), (1, 3, 7), (0, 2, 4)]
+        for k in (2, 3):
+            level = [c for c in cands if len(c) == k]
+            ht = HashTrie(level)
+            ht.count_database(small_db)
+            for items, count in ht.supports():
+                assert count == small_db.support(items)
+
+    def test_transaction_shorter_than_k(self):
+        ht = HashTrie([(1, 2, 3)])
+        ht.count_transaction(np.array([1, 2]))
+        assert dict(ht.supports()) == {(1, 2, 3): 0}
+
+    def test_empty_transaction(self):
+        ht = HashTrie([(1, 2)])
+        ht.count_transaction(np.array([], dtype=np.int64))
+        assert dict(ht.supports()) == {(1, 2): 0}
+
+    def test_k0_counting_noop(self, small_db):
+        ht = HashTrie([])
+        ht.count_database(small_db)  # must not raise
+
+    def test_counters_recorded(self, small_db):
+        ht = HashTrie([(0, 1), (1, 2)])
+        counters = HashTrieCounters()
+        ht.count_database(small_db, counters)
+        assert counters.hash_probes > 0
+        assert counters.items_touched > 0
+        assert counters.node_visits > 0
+        assert counters.node_visits <= counters.hash_probes
+
+    def test_supports_lexicographic(self):
+        ht = HashTrie([(3, 4), (1, 2), (1, 9)])
+        keys = [k for k, _ in ht.supports()]
+        assert keys == sorted(keys)
