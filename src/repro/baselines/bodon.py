@@ -12,7 +12,6 @@ items touched, each priced by the CPU cost model.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Tuple
 
 import numpy as np
@@ -20,6 +19,7 @@ import numpy as np
 from .._validation import check_support
 from ..errors import MiningError
 from ..gpusim.perfmodel import CpuCostModel
+from ..obs import mining_run, span
 from ..trie.generation import generate_candidates
 from ..trie.hashtrie import HashTrie, HashTrieCounters
 from ..trie.trie import CandidateTrie
@@ -35,43 +35,43 @@ def bodon_mine(db, min_support, max_k: int | None = None) -> MiningResult:
         raise MiningError(f"max_k must be >= 1, got {max_k}")
     metrics = RunMetrics(algorithm="bodon")
     cost = CpuCostModel()
-    t0 = time.perf_counter()
 
-    trie = CandidateTrie()
-    found: Dict[Tuple[int, ...], int] = {}
+    with mining_run("bodon", metrics):
+        trie = CandidateTrie()
+        found: Dict[Tuple[int, ...], int] = {}
 
-    # Generation 1: one vectorized scan (Bodon counts items in an array).
-    item_supports = db.item_supports()
-    metrics.generations.append(db.n_items)
-    metrics.add_counter("items_scanned", int(db.items_flat.size))
-    metrics.add_modeled("cpu_scan", cost.scan_time(int(db.items_flat.size)))
-    for item in np.nonzero(item_supports >= min_count)[0]:
-        trie.insert((int(item),), int(item_supports[item]))
-        found[(int(item),)] = int(item_supports[item])
+        # Generation 1: one vectorized scan (Bodon counts items in an array).
+        item_supports = db.item_supports()
+        metrics.generations.append(db.n_items)
+        metrics.add_counter("items_scanned", int(db.items_flat.size))
+        metrics.add_modeled("cpu_scan", cost.scan_time(int(db.items_flat.size)))
+        for item in np.nonzero(item_supports >= min_count)[0]:
+            trie.insert((int(item),), int(item_supports[item]))
+            found[(int(item),)] = int(item_supports[item])
 
-    k = 1
-    while True:
-        if max_k is not None and k >= max_k:
-            break
-        cands = generate_candidates(trie, k)
-        if cands.shape[0] == 0:
-            break
-        metrics.generations.append(int(cands.shape[0]))
-        counter_trie = HashTrie(tuple(int(x) for x in row) for row in cands)
-        counters = HashTrieCounters()
-        counter_trie.count_database(db, counters)
-        metrics.add_counter("trie_node_visits", counters.node_visits)
-        metrics.add_counter("hash_probes", counters.hash_probes)
-        metrics.add_counter("items_scanned", counters.items_touched)
-        metrics.add_counter("candidates_counted", int(cands.shape[0]))
-        metrics.add_modeled("cpu_trie", cost.trie_time(counters.node_visits))
-        metrics.add_modeled("cpu_hash", cost.hash_time(counters.hash_probes))
-        for key, support in counter_trie.supports():
-            trie.find(key).support = support
-            if support >= min_count:
-                found[key] = support
-        trie.prune_level(k + 1, min_count)
-        k += 1
+        k = 1
+        while True:
+            if max_k is not None and k >= max_k:
+                break
+            cands = generate_candidates(trie, k)
+            if cands.shape[0] == 0:
+                break
+            metrics.generations.append(int(cands.shape[0]))
+            with span("count", candidates=int(cands.shape[0]), k=k + 1):
+                counter_trie = HashTrie(tuple(int(x) for x in row) for row in cands)
+                counters = HashTrieCounters()
+                counter_trie.count_database(db, counters)
+                metrics.add_counter("trie_node_visits", counters.node_visits)
+                metrics.add_counter("hash_probes", counters.hash_probes)
+                metrics.add_counter("items_scanned", counters.items_touched)
+                metrics.add_counter("candidates_counted", int(cands.shape[0]))
+                metrics.add_modeled("cpu_trie", cost.trie_time(counters.node_visits))
+                metrics.add_modeled("cpu_hash", cost.hash_time(counters.hash_probes))
+            for key, support in counter_trie.supports():
+                trie.find(key).support = support
+                if support >= min_count:
+                    found[key] = support
+            trie.prune_level(k + 1, min_count)
+            k += 1
 
-    metrics.wall_seconds = time.perf_counter() - t0
     return MiningResult(found, db.n_transactions, min_count, metrics)

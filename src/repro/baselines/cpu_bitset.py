@@ -10,8 +10,6 @@ operation counts priced by the *CPU* cost model instead of the GPU one.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from .._validation import check_support
@@ -19,6 +17,7 @@ from ..bitset.bitset import BitsetMatrix
 from ..bitset.ops import support_many
 from ..errors import MiningError
 from ..gpusim.perfmodel import CpuCostModel
+from ..obs import mining_run, span
 from ..trie.generation import generate_candidates
 from ..trie.trie import CandidateTrie
 from ..core.itemset import MiningResult, RunMetrics
@@ -37,43 +36,44 @@ def cpu_bitset_mine(db, min_support, max_k: int | None = None) -> MiningResult:
         raise MiningError(f"max_k must be >= 1, got {max_k}")
     metrics = RunMetrics(algorithm="cpu_bitset")
     cost = CpuCostModel()
-    t0 = time.perf_counter()
 
-    matrix = BitsetMatrix.from_database(db, aligned=True)
-    n_words = matrix.n_words
-    trie = CandidateTrie()
-    found: dict[tuple, int] = {}
+    with mining_run("cpu_bitset", metrics):
+        with span("transpose"):
+            matrix = BitsetMatrix.from_database(db, aligned=True)
+        n_words = matrix.n_words
+        trie = CandidateTrie()
+        found: dict[tuple, int] = {}
 
-    def count(cands: np.ndarray) -> np.ndarray:
-        supports = support_many(matrix, cands)
-        words = int(cands.shape[0]) * int(cands.shape[1]) * n_words
-        metrics.add_counter("bitset_words_anded", words)
-        metrics.add_counter("candidates_counted", int(cands.shape[0]))
-        metrics.add_modeled("cpu_bitset", cost.bitset_time(words))
-        return supports
+        def count(cands: np.ndarray) -> np.ndarray:
+            with span("count", candidates=int(cands.shape[0]), k=int(cands.shape[1])):
+                supports = support_many(matrix, cands)
+                words = int(cands.shape[0]) * int(cands.shape[1]) * n_words
+                metrics.add_counter("bitset_words_anded", words)
+                metrics.add_counter("candidates_counted", int(cands.shape[0]))
+                metrics.add_modeled("cpu_bitset", cost.bitset_time(words))
+            return supports
 
-    cands = np.arange(db.n_items, dtype=np.int32).reshape(-1, 1)
-    metrics.generations.append(db.n_items)
-    supports = count(cands)
-    for i in np.nonzero(supports >= min_count)[0]:
-        trie.insert((int(i),), int(supports[i]))
-        found[(int(i),)] = int(supports[i])
-
-    k = 1
-    while True:
-        if max_k is not None and k >= max_k:
-            break
-        cands = generate_candidates(trie, k)
-        if cands.shape[0] == 0:
-            break
-        metrics.generations.append(int(cands.shape[0]))
+        cands = np.arange(db.n_items, dtype=np.int32).reshape(-1, 1)
+        metrics.generations.append(db.n_items)
         supports = count(cands)
-        for i, row in enumerate(cands):
-            trie.find(row.tolist()).support = int(supports[i])
-        trie.prune_level(k + 1, min_count)
         for i in np.nonzero(supports >= min_count)[0]:
-            found[tuple(int(x) for x in cands[i])] = int(supports[i])
-        k += 1
+            trie.insert((int(i),), int(supports[i]))
+            found[(int(i),)] = int(supports[i])
 
-    metrics.wall_seconds = time.perf_counter() - t0
+        k = 1
+        while True:
+            if max_k is not None and k >= max_k:
+                break
+            cands = generate_candidates(trie, k)
+            if cands.shape[0] == 0:
+                break
+            metrics.generations.append(int(cands.shape[0]))
+            supports = count(cands)
+            for i, row in enumerate(cands):
+                trie.find(row.tolist()).support = int(supports[i])
+            trie.prune_level(k + 1, min_count)
+            for i in np.nonzero(supports >= min_count)[0]:
+                found[tuple(int(x) for x in cands[i])] = int(supports[i])
+            k += 1
+
     return MiningResult(found, db.n_transactions, min_count, metrics)

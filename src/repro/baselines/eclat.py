@@ -17,7 +17,6 @@ variant is the strongest tidset-family CPU competitor.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -26,6 +25,7 @@ from .._validation import check_support
 from ..bitset.tidset import TidsetTable, intersect_tidsets
 from ..errors import MiningError
 from ..gpusim.perfmodel import CpuCostModel
+from ..obs import mining_run, span
 from ..core.itemset import MiningResult, RunMetrics
 
 __all__ = ["eclat_mine"]
@@ -47,78 +47,81 @@ def eclat_mine(
     min_count = check_support(min_support, db.n_transactions, MiningError)
     if max_k is not None and max_k < 1:
         raise MiningError(f"max_k must be >= 1, got {max_k}")
-    metrics = RunMetrics(algorithm="eclat_diffset" if diffsets else "eclat")
+    algorithm = "eclat_diffset" if diffsets else "eclat"
+    metrics = RunMetrics(algorithm=algorithm)
     cost = CpuCostModel()
-    t0 = time.perf_counter()
 
-    table = TidsetTable.from_database(db)
-    found: Dict[Tuple[int, ...], int] = {}
-    merge_steps = 0
+    with mining_run(algorithm, metrics):
+        with span("tidset_build"):
+            table = TidsetTable.from_database(db)
+        found: Dict[Tuple[int, ...], int] = {}
+        merge_steps = 0
 
-    # Level 1.
-    metrics.generations.append(db.n_items)
-    level1: List[Tuple[int, np.ndarray]] = []
-    for item in range(db.n_items):
-        t = table.tidset(item)
-        merge_steps += int(t.size)
-        if t.size >= min_count:
-            found[(item,)] = int(t.size)
-            level1.append((item, t))
+        # Level 1.
+        metrics.generations.append(db.n_items)
+        level1: List[Tuple[int, np.ndarray]] = []
+        for item in range(db.n_items):
+            t = table.tidset(item)
+            merge_steps += int(t.size)
+            if t.size >= min_count:
+                found[(item,)] = int(t.size)
+                level1.append((item, t))
 
-    def recurse(
-        prefix: Tuple[int, ...],
-        siblings: List[Tuple[int, np.ndarray, int]],
-        depth: int,
-    ) -> None:
-        """Extend ``prefix`` by each sibling; siblings carry (item, set, support).
+        def recurse(
+            prefix: Tuple[int, ...],
+            siblings: List[Tuple[int, np.ndarray, int]],
+            depth: int,
+        ) -> None:
+            """Extend ``prefix`` by each sibling; siblings carry (item, set, support).
 
-        In tidset mode ``set`` is the extension's tidset. In diffset
-        mode it is ``diffset(prefix + item)`` and ``support`` is exact.
-        """
-        nonlocal merge_steps
-        if max_k is not None and depth >= max_k:
-            return
-        for idx, (item, iset, isupport) in enumerate(siblings):
-            new_prefix = prefix + (item,)
-            children: List[Tuple[int, np.ndarray, int]] = []
-            for jtem, jset, jsupport in siblings[idx + 1 :]:
-                merge_steps += int(iset.size + jset.size)
-                if diffsets:
-                    # diffset(P,i,j) = diffset(P,j) - diffset(P,i)
-                    dset = np.setdiff1d(jset, iset, assume_unique=True)
-                    support = isupport - int(dset.size)
-                    out = dset
-                else:
-                    out = intersect_tidsets(iset, jset)
-                    support = int(out.size)
-                if support >= min_count:
-                    key = tuple(sorted(new_prefix + (jtem,)))
-                    found[key] = support
-                    children.append((jtem, out, support))
-            if children:
-                recurse(new_prefix, children, depth + 1)
-
-    if level1:
-        if diffsets and (max_k is None or max_k >= 2):
-            # Diffsets start at level 2 (d(ij) = t(i) - t(j)); level 1
-            # stays in tidset form, so run one explicit pair level to
-            # switch representation, then recurse on diffsets.
-            for idx, (item, iset) in enumerate(level1):
+            In tidset mode ``set`` is the extension's tidset. In diffset
+            mode it is ``diffset(prefix + item)`` and ``support`` is exact.
+            """
+            nonlocal merge_steps
+            if max_k is not None and depth >= max_k:
+                return
+            for idx, (item, iset, isupport) in enumerate(siblings):
+                new_prefix = prefix + (item,)
                 children: List[Tuple[int, np.ndarray, int]] = []
-                for jtem, jset in level1[idx + 1 :]:
+                for jtem, jset, jsupport in siblings[idx + 1 :]:
                     merge_steps += int(iset.size + jset.size)
-                    dset = np.setdiff1d(iset, jset, assume_unique=True)
-                    support = int(iset.size) - int(dset.size)
+                    if diffsets:
+                        # diffset(P,i,j) = diffset(P,j) - diffset(P,i)
+                        dset = np.setdiff1d(jset, iset, assume_unique=True)
+                        support = isupport - int(dset.size)
+                        out = dset
+                    else:
+                        out = intersect_tidsets(iset, jset)
+                        support = int(out.size)
                     if support >= min_count:
-                        found[(item, jtem)] = support
-                        children.append((jtem, dset, support))
-                if children and (max_k is None or max_k > 2):
-                    recurse((item,), children, 2)
-        else:
-            seeds = [(item, tset, int(tset.size)) for item, tset in level1]
-            recurse((), seeds, 1)
+                        key = tuple(sorted(new_prefix + (jtem,)))
+                        found[key] = support
+                        children.append((jtem, out, support))
+                if children:
+                    recurse(new_prefix, children, depth + 1)
 
-    metrics.add_counter("tidset_merge_steps", merge_steps)
-    metrics.add_modeled("cpu_tidset", cost.tidset_time(merge_steps))
-    metrics.wall_seconds = time.perf_counter() - t0
+        if level1:
+            with span("dfs", diffsets=diffsets):
+                if diffsets and (max_k is None or max_k >= 2):
+                    # Diffsets start at level 2 (d(ij) = t(i) - t(j)); level 1
+                    # stays in tidset form, so run one explicit pair level to
+                    # switch representation, then recurse on diffsets.
+                    for idx, (item, iset) in enumerate(level1):
+                        children: List[Tuple[int, np.ndarray, int]] = []
+                        for jtem, jset in level1[idx + 1 :]:
+                            merge_steps += int(iset.size + jset.size)
+                            dset = np.setdiff1d(iset, jset, assume_unique=True)
+                            support = int(iset.size) - int(dset.size)
+                            if support >= min_count:
+                                found[(item, jtem)] = support
+                                children.append((jtem, dset, support))
+                        if children and (max_k is None or max_k > 2):
+                            recurse((item,), children, 2)
+                else:
+                    seeds = [(item, tset, int(tset.size)) for item, tset in level1]
+                    recurse((), seeds, 1)
+
+        metrics.add_counter("tidset_merge_steps", merge_steps)
+        metrics.add_modeled("cpu_tidset", cost.tidset_time(merge_steps))
+
     return MiningResult(found, db.n_transactions, min_count, metrics)

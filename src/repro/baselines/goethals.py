@@ -23,7 +23,6 @@ Two execution details:
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -31,6 +30,7 @@ import numpy as np
 from .._validation import check_support
 from ..errors import MiningError
 from ..gpusim.perfmodel import CpuCostModel
+from ..obs import mining_run, span
 from ..trie.generation import join_frequent
 from ..core.itemset import MiningResult, RunMetrics
 
@@ -44,45 +44,46 @@ def goethals_mine(db, min_support, max_k: int | None = None) -> MiningResult:
         raise MiningError(f"max_k must be >= 1, got {max_k}")
     metrics = RunMetrics(algorithm="goethals")
     cost = CpuCostModel()
-    t0 = time.perf_counter()
 
-    found: Dict[Tuple[int, ...], int] = {}
+    with mining_run("goethals", metrics):
+        found: Dict[Tuple[int, ...], int] = {}
 
-    item_supports = db.item_supports()
-    metrics.generations.append(db.n_items)
-    items_touched = int(db.items_flat.size)
-    frequent_level: List[Tuple[int, ...]] = []
-    for item in np.nonzero(item_supports >= min_count)[0]:
-        key = (int(item),)
-        found[key] = int(item_supports[item])
-        frequent_level.append(key)
+        item_supports = db.item_supports()
+        metrics.generations.append(db.n_items)
+        items_touched = int(db.items_flat.size)
+        frequent_level: List[Tuple[int, ...]] = []
+        for item in np.nonzero(item_supports >= min_count)[0]:
+            key = (int(item),)
+            found[key] = int(item_supports[item])
+            frequent_level.append(key)
 
-    k = 1
-    while frequent_level:
-        if max_k is not None and k >= max_k:
-            break
-        candidates = join_frequent(frequent_level)
-        if not candidates:
-            break
-        metrics.generations.append(len(candidates))
-        cand_mat = np.asarray(candidates, dtype=np.int64)
-        counts = np.zeros(len(candidates), dtype=np.int64)
-        for row in db:
-            if row.size < k + 1:
-                continue
-            # flat-list subset tests over every candidate (no trie):
-            contained = np.isin(cand_mat, row).all(axis=1)
-            counts += contained
-            items_touched += len(candidates) * (k + 1 + int(row.size))
-        metrics.add_counter("candidates_counted", len(candidates))
-        frequent_level = []
-        for ci, cand in enumerate(candidates):
-            if counts[ci] >= min_count:
-                found[cand] = int(counts[ci])
-                frequent_level.append(cand)
-        k += 1
+        k = 1
+        while frequent_level:
+            if max_k is not None and k >= max_k:
+                break
+            candidates = join_frequent(frequent_level)
+            if not candidates:
+                break
+            metrics.generations.append(len(candidates))
+            with span("count", candidates=len(candidates), k=k + 1):
+                cand_mat = np.asarray(candidates, dtype=np.int64)
+                counts = np.zeros(len(candidates), dtype=np.int64)
+                for row in db:
+                    if row.size < k + 1:
+                        continue
+                    # flat-list subset tests over every candidate (no trie):
+                    contained = np.isin(cand_mat, row).all(axis=1)
+                    counts += contained
+                    items_touched += len(candidates) * (k + 1 + int(row.size))
+            metrics.add_counter("candidates_counted", len(candidates))
+            frequent_level = []
+            for ci, cand in enumerate(candidates):
+                if counts[ci] >= min_count:
+                    found[cand] = int(counts[ci])
+                    frequent_level.append(cand)
+            k += 1
 
-    metrics.add_counter("items_scanned", items_touched)
-    metrics.add_modeled("cpu_scan", cost.scan_time(items_touched))
-    metrics.wall_seconds = time.perf_counter() - t0
+        metrics.add_counter("items_scanned", items_touched)
+        metrics.add_modeled("cpu_scan", cost.scan_time(items_touched))
+
     return MiningResult(found, db.n_transactions, min_count, metrics)

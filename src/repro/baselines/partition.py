@@ -23,7 +23,6 @@ partitions shrink.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Tuple
 
 import numpy as np
@@ -33,6 +32,7 @@ from ..bitset.bitset import BitsetMatrix
 from ..bitset.ops import support_many
 from ..datasets.transaction_db import TransactionDatabase
 from ..errors import MiningError
+from ..obs import mining_run, span
 from .cpu_bitset import cpu_bitset_mine
 from ..core.itemset import MiningResult, RunMetrics
 
@@ -73,42 +73,47 @@ def partition_mine(
     if max_k is not None and max_k < 1:
         raise MiningError(f"max_k must be >= 1, got {max_k}")
     metrics = RunMetrics(algorithm="partition")
-    t0 = time.perf_counter()
 
-    n = db.n_transactions
-    ratio = min_count / n if n else 1.0
+    with mining_run("partition", metrics, partitions=n_partitions):
+        n = db.n_transactions
+        ratio = min_count / n if n else 1.0
 
-    # ---- phase 1: local mining.
-    union: set[Tuple[int, ...]] = set()
-    for chunk in _partition(db, n_partitions):
-        local_min = max(1, int(-(-ratio * chunk.n_transactions // 1)))
-        local = cpu_bitset_mine(chunk, local_min, max_k=max_k)
-        union.update(local.as_dict().keys())
-        metrics.add_counter("local_itemsets", len(local))
-        metrics.add_modeled("cpu_phase1", local.metrics.modeled_seconds or 0.0)
-    metrics.add_counter("union_candidates", len(union))
+        # ---- phase 1: local mining.
+        union: set[Tuple[int, ...]] = set()
+        with span("local_mining", partitions=n_partitions) as sp:
+            for chunk in _partition(db, n_partitions):
+                local_min = max(1, int(-(-ratio * chunk.n_transactions // 1)))
+                local = cpu_bitset_mine(chunk, local_min, max_k=max_k)
+                union.update(local.as_dict().keys())
+                metrics.add_counter("local_itemsets", len(local))
+                metrics.add_modeled(
+                    "cpu_phase1", local.metrics.modeled_seconds or 0.0
+                )
+            sp.set(union_candidates=len(union))
+        metrics.add_counter("union_candidates", len(union))
 
-    # ---- phase 2: one global counting pass over the union, per size.
-    matrix = BitsetMatrix.from_database(db)
-    found: Dict[Tuple[int, ...], int] = {}
-    by_size: Dict[int, list] = {}
-    for items in union:
-        by_size.setdefault(len(items), []).append(items)
-    from ..gpusim.perfmodel import CpuCostModel
+        # ---- phase 2: one global counting pass over the union, per size.
+        found: Dict[Tuple[int, ...], int] = {}
+        with span("global_count", candidates=len(union)):
+            matrix = BitsetMatrix.from_database(db)
+            by_size: Dict[int, list] = {}
+            for items in union:
+                by_size.setdefault(len(items), []).append(items)
+            from ..gpusim.perfmodel import CpuCostModel
 
-    cost = CpuCostModel()
-    for k, group in sorted(by_size.items()):
-        cands = np.asarray(sorted(group), dtype=np.int64)
-        supports = support_many(matrix, cands)
-        words = int(cands.shape[0]) * k * matrix.n_words
-        metrics.add_counter("bitset_words_anded", words)
-        metrics.add_modeled("cpu_phase2", cost.bitset_time(words))
-        for row, support in zip(cands, supports):
-            if support >= min_count:
-                found[tuple(int(x) for x in row)] = int(support)
-    metrics.add_counter(
-        "false_positives", len(union) - len(found)
-    )
-    metrics.generations.append(db.n_items)
-    metrics.wall_seconds = time.perf_counter() - t0
+            cost = CpuCostModel()
+            for k, group in sorted(by_size.items()):
+                cands = np.asarray(sorted(group), dtype=np.int64)
+                supports = support_many(matrix, cands)
+                words = int(cands.shape[0]) * k * matrix.n_words
+                metrics.add_counter("bitset_words_anded", words)
+                metrics.add_modeled("cpu_phase2", cost.bitset_time(words))
+                for row, support in zip(cands, supports):
+                    if support >= min_count:
+                        found[tuple(int(x) for x in row)] = int(support)
+        metrics.add_counter(
+            "false_positives", len(union) - len(found)
+        )
+        metrics.generations.append(db.n_items)
+
     return MiningResult(found, n, min_count, metrics)

@@ -10,8 +10,8 @@ GPApriori/Borgelt).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, List
 
 from .runner import SweepResult
 

@@ -7,6 +7,7 @@ from typing import Dict, List, Sequence
 
 from ..core.api import mine
 from ..core.itemset import MiningResult
+from ..obs import Tracer, current_tracer, phase_totals
 
 __all__ = ["RunRecord", "SweepResult", "run_algorithm", "support_sweep"]
 
@@ -25,6 +26,9 @@ class RunRecord:
     modeled_seconds: float | None
     modeled_breakdown: Dict[str, float]
     generations: List[int]
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    """Per-phase *self* wall time from the span trace (phase name ->
+    seconds); additive, so the values sum to roughly ``wall_seconds``."""
 
     @property
     def time_for_ranking(self) -> float:
@@ -38,8 +42,23 @@ class RunRecord:
 
 
 def run_algorithm(db, min_support, algorithm: str, **kwargs) -> RunRecord:
-    """Run one miner and condense its result into a :class:`RunRecord`."""
-    result: MiningResult = mine(db, min_support, algorithm=algorithm, **kwargs)
+    """Run one miner and condense its result into a :class:`RunRecord`.
+
+    Each run is traced: if a tracer is already active (e.g. the CLI's
+    ``--trace``) its spans are reused, otherwise a private tracer is
+    activated just for this run. Either way the record carries the
+    per-phase self-time breakdown of its own spans.
+    """
+    active = current_tracer()
+    if active is not None:
+        start_idx = len(active.finished())
+        result: MiningResult = mine(db, min_support, algorithm=algorithm, **kwargs)
+        spans = active.finished()[start_idx:]
+    else:
+        tracer = Tracer()
+        with tracer.activate():
+            result = mine(db, min_support, algorithm=algorithm, **kwargs)
+        spans = tracer.finished()
     m = result.metrics
     return RunRecord(
         algorithm=algorithm,
@@ -50,6 +69,7 @@ def run_algorithm(db, min_support, algorithm: str, **kwargs) -> RunRecord:
         modeled_seconds=m.modeled_seconds,
         modeled_breakdown=dict(m.modeled_breakdown),
         generations=list(m.generations),
+        phase_seconds=phase_totals(spans),
     )
 
 

@@ -20,7 +20,7 @@ is asserted in the test suite rather than assumed.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 

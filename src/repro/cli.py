@@ -7,6 +7,15 @@ Subcommands
 ``datasets``   Print Table 2 (dataset statistics) for the analogs.
 ``algorithms`` Print Table 1 (the algorithm registry).
 ``figure``     Run a Figure 6-style support sweep on one dataset.
+``trace``      Summarize a trace file written by ``--trace``.
+
+Tracing
+-------
+Every subcommand accepts the top-level ``--trace PATH`` /
+``--trace-format {chrome,jsonl,ascii}`` options, which activate the
+:mod:`repro.obs` tracer around the command and export the recorded
+spans: ``gpapriori --trace run.json --trace-format chrome mine ...``
+produces a Chrome ``chrome://tracing`` / Perfetto-loadable timeline.
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ from .core.api import ALGORITHMS, mine
 from .datasets.io import read_fimi
 from .datasets.synthetic import DATASET_REGISTRY, dataset_analog
 from .errors import ReproError
+from .obs import TRACE_FORMATS, Tracer, aggregate, load_trace, write_trace
 from .rules.rules import generate_rules
 
 __all__ = ["main", "build_parser"]
@@ -56,6 +66,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gpapriori",
         description="GPApriori reproduction: GPU-accelerated frequent itemset mining",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a span trace of the command and write it to PATH",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=TRACE_FORMATS,
+        default="chrome",
+        help="trace export format (default: chrome, for chrome://tracing/Perfetto)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -101,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=["gpapriori", "cpu_bitset", "borgelt", "bodon"],
         choices=sorted(ALGORITHMS),
+    )
+
+    p_trace = sub.add_parser("trace", help="summarize a recorded trace file")
+    p_trace.add_argument("trace_file", help="trace written by --trace (chrome or jsonl)")
+    p_trace.add_argument(
+        "--top", type=int, default=20, help="show at most this many phases"
     )
     return parser
 
@@ -183,12 +211,40 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        spans = load_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not spans:
+        print(f"{args.trace_file}: no spans recorded")
+        return 0
+    stats = aggregate(spans)
+    rows = [
+        [
+            s.name,
+            str(s.count),
+            format_seconds(s.total_seconds),
+            format_seconds(s.self_seconds),
+            format_seconds(s.mean_seconds),
+        ]
+        for s in stats[: args.top]
+    ]
+    print(f"{args.trace_file}: {len(spans)} spans, {len(stats)} distinct phases")
+    print(render_table(["Phase", "Count", "Total", "Self", "Mean"], rows))
+    if len(stats) > args.top:
+        print(f"... ({len(stats) - args.top} more phases)")
+    return 0
+
+
 _COMMANDS = {
     "mine": _cmd_mine,
     "rules": _cmd_rules,
     "datasets": _cmd_datasets,
     "algorithms": _cmd_algorithms,
     "figure": _cmd_figure,
+    "trace": _cmd_trace,
 }
 
 
@@ -196,6 +252,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     try:
+        if args.trace and args.command != "trace":
+            tracer = Tracer()
+            with tracer.activate():
+                code = _COMMANDS[args.command](args)
+            try:
+                write_trace(tracer, args.trace, args.trace_format)
+            except OSError as exc:
+                print(f"error: cannot write trace: {exc}", file=sys.stderr)
+                return 2
+            print(
+                f"trace: {len(tracer.finished())} spans -> "
+                f"{args.trace} ({args.trace_format})",
+                file=sys.stderr,
+            )
+            return code
         return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -17,14 +17,13 @@ itemsets (asserted in the integration tests).
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from .._validation import check_support
 from ..bitset.bitset import BitsetMatrix
 from ..errors import MiningError
 from ..gpusim.device import TESLA_T10, DeviceProperties
+from ..obs import mining_run, span
 from ..trie.generation import generate_candidates
 from ..trie.trie import CandidateTrie
 from .config import GPAprioriConfig
@@ -71,50 +70,70 @@ def gpapriori_mine(
         raise MiningError(f"max_k must be >= 1, got {max_k}")
 
     metrics = RunMetrics(algorithm="gpapriori")
-    t0 = time.perf_counter()
 
-    matrix = BitsetMatrix.from_database(db, aligned=config.aligned)
-    engine = make_engine(config, metrics, device)
-    engine.setup(matrix)
-    plan = make_plan(config.plan)
+    with mining_run(
+        "gpapriori",
+        metrics,
+        engine=config.engine,
+        plan=config.plan,
+        n_transactions=db.n_transactions,
+        n_items=db.n_items,
+    ):
+        with span("transpose", aligned=config.aligned) as sp:
+            matrix = BitsetMatrix.from_database(db, aligned=config.aligned)
+            sp.set(n_items=matrix.n_items, n_words=matrix.n_words, bytes=matrix.nbytes)
+        engine = make_engine(config, metrics, device)
+        with span("install", bytes=matrix.nbytes):
+            engine.setup(matrix)
+        plan = make_plan(config.plan)
 
-    trie = CandidateTrie()
-    found: dict[tuple, int] = {}
+        trie = CandidateTrie()
+        found: dict[tuple, int] = {}
 
-    # ---- generation 1: every item is a candidate.
-    n_items = db.n_items
-    cands = np.arange(n_items, dtype=np.int32).reshape(-1, 1)
-    metrics.generations.append(n_items)
-    supports = plan.count(engine, cands, {})
-    frequent_mask = supports >= min_count
-    for i in np.nonzero(frequent_mask)[0]:
-        trie.insert((int(i),), int(supports[i]))
-        found[(int(i),)] = int(supports[i])
-    prefix_index = plan.after_prune(engine, cands, frequent_mask, {})
+        # ---- generation 1: every item is a candidate.
+        n_items = db.n_items
+        with span("generation", k=1, candidates=n_items) as gen_sp:
+            cands = np.arange(n_items, dtype=np.int32).reshape(-1, 1)
+            metrics.generations.append(n_items)
+            supports = plan.count(engine, cands, {})
+            frequent_mask = supports >= min_count
+            with span("prune", k=1):
+                for i in np.nonzero(frequent_mask)[0]:
+                    trie.insert((int(i),), int(supports[i]))
+                    found[(int(i),)] = int(supports[i])
+                prefix_index = plan.after_prune(engine, cands, frequent_mask, {})
+            gen_sp.set(frequent=int(frequent_mask.sum()))
 
-    # ---- generations k >= 2.
-    k = 1
-    while frequent_mask.any():
-        if max_k is not None and k >= max_k:
-            break
-        cands = generate_candidates(trie, k)
-        if cands.shape[0] == 0:
-            break
-        metrics.generations.append(int(cands.shape[0]))
-        supports = plan.count(engine, cands, prefix_index)
-        frequent_mask = supports >= min_count
-        for i, row in enumerate(cands):
-            node = trie.find(row.tolist())
-            if node is None:  # pragma: no cover - generation inserted it
-                raise MiningError("generated candidate missing from trie")
-            node.support = int(supports[i])
-        trie.prune_level(k + 1, min_count)
-        for i in np.nonzero(frequent_mask)[0]:
-            found[tuple(int(x) for x in cands[i])] = int(supports[i])
-        prefix_index = plan.after_prune(engine, cands, frequent_mask, prefix_index)
-        k += 1
+        # ---- generations k >= 2.
+        k = 1
+        while frequent_mask.any():
+            if max_k is not None and k >= max_k:
+                break
+            with span("generation", k=k + 1) as gen_sp:
+                cands = generate_candidates(trie, k)
+                gen_sp.set(candidates=int(cands.shape[0]))
+                if cands.shape[0] == 0:
+                    break
+                metrics.generations.append(int(cands.shape[0]))
+                supports = plan.count(engine, cands, prefix_index)
+                frequent_mask = supports >= min_count
+                with span("prune", k=k + 1):
+                    for i, row in enumerate(cands):
+                        node = trie.find(row.tolist())
+                        if node is None:  # pragma: no cover - generation inserted it
+                            raise MiningError("generated candidate missing from trie")
+                        node.support = int(supports[i])
+                    trie.prune_level(k + 1, min_count)
+                    for i in np.nonzero(frequent_mask)[0]:
+                        found[tuple(int(x) for x in cands[i])] = int(supports[i])
+                    prefix_index = plan.after_prune(
+                        engine, cands, frequent_mask, prefix_index
+                    )
+                gen_sp.set(frequent=int(frequent_mask.sum()))
+            k += 1
 
-    metrics.wall_seconds = time.perf_counter() - t0
+        engine.finalize()
+
     return MiningResult(
         itemsets=found,
         n_transactions=db.n_transactions,

@@ -20,7 +20,6 @@ paper's level-wise design batches whole generations.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -31,6 +30,7 @@ from ..bitset.ops import popcount_words
 from ..errors import MiningError
 from ..gpusim.device import TESLA_T10, DeviceProperties
 from ..gpusim.perfmodel import GpuCostModel
+from ..obs import mining_run, span
 from .config import GPAprioriConfig
 from .itemset import MiningResult, RunMetrics
 
@@ -57,79 +57,81 @@ def gpu_eclat_mine(
 
     metrics = RunMetrics(algorithm="gpu_eclat")
     model = GpuCostModel(device)
-    t0 = time.perf_counter()
+    with mining_run("gpu_eclat", metrics):
 
-    matrix = BitsetMatrix.from_database(db, aligned=config.aligned)
-    n_words = matrix.n_words
-    metrics.add_modeled("htod_bitsets", model.transfer_time(matrix.nbytes).seconds)
+        with span("transpose", aligned=config.aligned):
+            matrix = BitsetMatrix.from_database(db, aligned=config.aligned)
+        n_words = matrix.n_words
+        metrics.add_modeled("htod_bitsets", model.transfer_time(matrix.nbytes).seconds)
 
-    found: Dict[Tuple[int, ...], int] = {}
-    supports1 = matrix.supports()
-    metrics.generations.append(db.n_items)
-    frequent_items = [
-        int(i) for i in np.nonzero(supports1 >= min_count)[0]
-    ]
-    for i in frequent_items:
-        found[(i,)] = int(supports1[i])
+        found: Dict[Tuple[int, ...], int] = {}
+        supports1 = matrix.supports()
+        metrics.generations.append(db.n_items)
+        frequent_items = [
+            int(i) for i in np.nonzero(supports1 >= min_count)[0]
+        ]
+        for i in frequent_items:
+            found[(i,)] = int(supports1[i])
 
-    launches = 0
-    peak_chain_bytes = 0
+        launches = 0
+        peak_chain_bytes = 0
 
-    def extend_class(
-        prefix: Tuple[int, ...],
-        rows: np.ndarray,
-        items: List[int],
-        supports: np.ndarray,
-        depth: int,
-        chain_bytes: int,
-    ) -> None:
-        """Extend every member of one equivalence class by its right
-        siblings; recurse into surviving sub-classes."""
-        nonlocal launches, peak_chain_bytes
-        if max_k is not None and depth >= max_k:
-            return
-        for idx in range(len(items)):
-            n_pairs = len(items) - idx - 1
-            if n_pairs <= 0:
-                continue
-            # one extend-kernel batch: block b ANDs rows[idx] & rows[idx+1+b]
-            new_rows = rows[idx] & rows[idx + 1 :]
-            new_supports = popcount_words(new_rows).sum(axis=1, dtype=np.int64)
-            launches += 1
-            metrics.add_modeled(
-                "kernel",
-                model.extend_kernel_time(
-                    n_pairs, n_words, config.block_size
-                ).seconds,
-            )
-            metrics.add_counter("bitset_words_anded", n_pairs * 2 * n_words)
-            keep = new_supports >= min_count
-            if not keep.any():
-                continue
-            sub_items = [items[idx + 1 + j] for j in np.nonzero(keep)[0]]
-            sub_rows = new_rows[keep]
-            sub_supports = new_supports[keep]
-            new_prefix = prefix + (items[idx],)
-            for item, support in zip(sub_items, sub_supports):
-                found[new_prefix + (item,)] = int(support)
-            next_chain = chain_bytes + sub_rows.nbytes
-            peak_chain_bytes = max(peak_chain_bytes, next_chain)
-            extend_class(
-                new_prefix, sub_rows, sub_items, sub_supports, depth + 1, next_chain
-            )
+        def extend_class(
+            prefix: Tuple[int, ...],
+            rows: np.ndarray,
+            items: List[int],
+            supports: np.ndarray,
+            depth: int,
+            chain_bytes: int,
+        ) -> None:
+            """Extend every member of one equivalence class by its right
+            siblings; recurse into surviving sub-classes."""
+            nonlocal launches, peak_chain_bytes
+            if max_k is not None and depth >= max_k:
+                return
+            for idx in range(len(items)):
+                n_pairs = len(items) - idx - 1
+                if n_pairs <= 0:
+                    continue
+                # one extend-kernel batch: block b ANDs rows[idx] & rows[idx+1+b]
+                new_rows = rows[idx] & rows[idx + 1 :]
+                new_supports = popcount_words(new_rows).sum(axis=1, dtype=np.int64)
+                launches += 1
+                metrics.add_modeled(
+                    "kernel",
+                    model.extend_kernel_time(
+                        n_pairs, n_words, config.block_size
+                    ).seconds,
+                )
+                metrics.add_counter("bitset_words_anded", n_pairs * 2 * n_words)
+                keep = new_supports >= min_count
+                if not keep.any():
+                    continue
+                sub_items = [items[idx + 1 + j] for j in np.nonzero(keep)[0]]
+                sub_rows = new_rows[keep]
+                sub_supports = new_supports[keep]
+                new_prefix = prefix + (items[idx],)
+                for item, support in zip(sub_items, sub_supports):
+                    found[new_prefix + (item,)] = int(support)
+                next_chain = chain_bytes + sub_rows.nbytes
+                peak_chain_bytes = max(peak_chain_bytes, next_chain)
+                extend_class(
+                    new_prefix, sub_rows, sub_items, sub_supports, depth + 1, next_chain
+                )
 
-    if frequent_items:
-        root_rows = matrix.words[frequent_items]
-        extend_class(
-            (),
-            root_rows,
-            frequent_items,
-            supports1[frequent_items],
-            1,
-            int(root_rows.nbytes),
-        )
+        if frequent_items:
+            with span("dfs", roots=len(frequent_items)) as sp:
+                root_rows = matrix.words[frequent_items]
+                extend_class(
+                    (),
+                    root_rows,
+                    frequent_items,
+                    supports1[frequent_items],
+                    1,
+                    int(root_rows.nbytes),
+                )
+                sp.set(kernel_launches=launches, peak_chain_bytes=peak_chain_bytes)
 
-    metrics.add_counter("kernel_launches", launches)
-    metrics.add_counter("peak_chain_bytes", peak_chain_bytes)
-    metrics.wall_seconds = time.perf_counter() - t0
+        metrics.add_counter("kernel_launches", launches)
+        metrics.add_counter("peak_chain_bytes", peak_chain_bytes)
     return MiningResult(found, db.n_transactions, min_count, metrics)

@@ -22,9 +22,8 @@ Balancers:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 
@@ -34,6 +33,7 @@ from ..bitset.ops import support_many
 from ..errors import ConfigError, MiningError
 from ..gpusim.device import TESLA_T10, DeviceProperties
 from ..gpusim.perfmodel import CpuCostModel, GpuCostModel
+from ..obs import mining_run, span
 from ..trie.generation import generate_candidates
 from ..trie.trie import CandidateTrie
 from .config import GPAprioriConfig
@@ -148,68 +148,80 @@ def hybrid_mine(
     metrics = RunMetrics(algorithm="hybrid")
     gpu_model = GpuCostModel(device)
     cpu_model = CpuCostModel()
-    t0 = time.perf_counter()
+    with mining_run("hybrid", metrics):
 
-    matrix = BitsetMatrix.from_database(db, aligned=config.aligned)
-    n_words = matrix.n_words
-    metrics.add_modeled("htod_bitsets", gpu_model.transfer_time(matrix.nbytes).seconds)
+        with span("transpose", aligned=config.aligned):
+            matrix = BitsetMatrix.from_database(db, aligned=config.aligned)
+        n_words = matrix.n_words
+        metrics.add_modeled("htod_bitsets", gpu_model.transfer_time(matrix.nbytes).seconds)
 
-    trie = CandidateTrie()
-    found: dict[tuple, int] = {}
-    splits: List[_GenerationSplit] = []
+        trie = CandidateTrie()
+        found: dict[tuple, int] = {}
+        splits: List[_GenerationSplit] = []
 
-    def count_generation(cands: np.ndarray, k: int) -> np.ndarray:
-        n = cands.shape[0]
-        g = int(np.clip(balancer.split(n, k, n_words), 0, n))
-        supports = np.empty(n, dtype=np.int64)
-        # Both halves execute for real on the same vectorized kernel
-        # arithmetic; attribution differs.
-        if g:
-            supports[:g] = support_many(matrix, cands[:g])
-        if g < n:
-            supports[g:] = support_many(matrix, cands[g:])
-        cfg = config
-        gpu_t = 0.0
-        if g:
-            gpu_t = (
-                gpu_model.transfer_time(g * k * 4).seconds
-                + gpu_model.support_kernel_time(
-                    g, k, n_words, cfg.block_size, cfg.preload_candidates, cfg.unroll
-                ).seconds
-                + gpu_model.transfer_time(g * 8).seconds
-            )
-        cpu_t = cpu_model.bitset_time((n - g) * k * n_words)
-        splits.append(_GenerationSplit(k, n, g, gpu_t, cpu_t))
-        metrics.add_counter("gpu_candidates", g)
-        metrics.add_counter("cpu_candidates", n - g)
-        metrics.add_modeled("hybrid_makespan", max(gpu_t, cpu_t))
-        return supports
+        def count_generation(cands: np.ndarray, k: int) -> np.ndarray:
+            n = cands.shape[0]
+            with span("count", k=k, candidates=n) as sp:
+                g = int(np.clip(balancer.split(n, k, n_words), 0, n))
+                supports = np.empty(n, dtype=np.int64)
+                # Both halves execute for real on the same vectorized kernel
+                # arithmetic; attribution differs.
+                if g:
+                    supports[:g] = support_many(matrix, cands[:g])
+                if g < n:
+                    supports[g:] = support_many(matrix, cands[g:])
+                cfg = config
+                gpu_t = 0.0
+                if g:
+                    gpu_t = (
+                        gpu_model.transfer_time(g * k * 4).seconds
+                        + gpu_model.support_kernel_time(
+                            g,
+                            k,
+                            n_words,
+                            cfg.block_size,
+                            cfg.preload_candidates,
+                            cfg.unroll,
+                        ).seconds
+                        + gpu_model.transfer_time(g * 8).seconds
+                    )
+                cpu_t = cpu_model.bitset_time((n - g) * k * n_words)
+                splits.append(_GenerationSplit(k, n, g, gpu_t, cpu_t))
+                metrics.add_counter("gpu_candidates", g)
+                metrics.add_counter("cpu_candidates", n - g)
+                metrics.add_modeled("hybrid_makespan", max(gpu_t, cpu_t))
+                sp.set(
+                    gpu_candidates=g,
+                    cpu_candidates=n - g,
+                    modeled_gpu_seconds=gpu_t,
+                    modeled_cpu_seconds=cpu_t,
+                )
+            return supports
 
-    # generation 1
-    cands = np.arange(db.n_items, dtype=np.int32).reshape(-1, 1)
-    metrics.generations.append(db.n_items)
-    supports = count_generation(cands, 1)
-    for i in np.nonzero(supports >= min_count)[0]:
-        trie.insert((int(i),), int(supports[i]))
-        found[(int(i),)] = int(supports[i])
-
-    k = 1
-    while True:
-        if max_k is not None and k >= max_k:
-            break
-        cands = generate_candidates(trie, k)
-        if cands.shape[0] == 0:
-            break
-        metrics.generations.append(int(cands.shape[0]))
-        supports = count_generation(cands, k + 1)
-        for i, row in enumerate(cands):
-            trie.find(row.tolist()).support = int(supports[i])
-        trie.prune_level(k + 1, min_count)
+        # generation 1
+        cands = np.arange(db.n_items, dtype=np.int32).reshape(-1, 1)
+        metrics.generations.append(db.n_items)
+        supports = count_generation(cands, 1)
         for i in np.nonzero(supports >= min_count)[0]:
-            found[tuple(int(x) for x in cands[i])] = int(supports[i])
-        k += 1
+            trie.insert((int(i),), int(supports[i]))
+            found[(int(i),)] = int(supports[i])
 
-    metrics.wall_seconds = time.perf_counter() - t0
+        k = 1
+        while True:
+            if max_k is not None and k >= max_k:
+                break
+            cands = generate_candidates(trie, k)
+            if cands.shape[0] == 0:
+                break
+            metrics.generations.append(int(cands.shape[0]))
+            supports = count_generation(cands, k + 1)
+            for i, row in enumerate(cands):
+                trie.find(row.tolist()).support = int(supports[i])
+            trie.prune_level(k + 1, min_count)
+            for i in np.nonzero(supports >= min_count)[0]:
+                found[tuple(int(x) for x in cands[i])] = int(supports[i])
+            k += 1
+
     result = MiningResult(found, db.n_transactions, min_count, metrics)
     # expose the split history for benches/tests
     result.metrics.counters["generations_on_gpu_only"] = sum(

@@ -7,10 +7,11 @@ in the test suite and the Figure 6 benchmark harness one-liners.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import MiningError
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["Itemset", "RunMetrics", "MiningResult"]
 
@@ -40,7 +41,6 @@ class Itemset:
         return self.support / n_transactions
 
 
-@dataclass
 class RunMetrics:
     """Measured and modeled costs of one mining run.
 
@@ -48,22 +48,55 @@ class RunMetrics:
     prices the run's *operation counts* on era hardware via
     :mod:`repro.gpusim.perfmodel` — the basis of the paper-comparable
     Figure 6 speedups (see EXPERIMENTS.md for the distinction).
+
+    Counter storage lives in a :class:`repro.obs.MetricsRegistry` —
+    the single accounting store shared with the tracing subsystem and
+    the simulator's kernel/transfer stats — and ``counters`` is a live
+    view of that registry, so existing dict-style access keeps working.
+    ``generations`` (candidate count per generation, k = 1, 2, ...) is
+    the single source of truth that the simulator's ``KernelStats``
+    shares by reference rather than re-recording.
     """
 
-    algorithm: str = ""
-    wall_seconds: float = 0.0
-    modeled_seconds: float | None = None
-    modeled_breakdown: Dict[str, float] = field(default_factory=dict)
-    counters: Dict[str, int] = field(default_factory=dict)
-    generations: List[int] = field(default_factory=list)
-    """Candidate count per generation (k = 1, 2, ...)."""
+    def __init__(
+        self,
+        algorithm: str = "",
+        wall_seconds: float = 0.0,
+        modeled_seconds: float | None = None,
+        modeled_breakdown: Optional[Mapping[str, float]] = None,
+        counters: Optional[Mapping[str, int]] = None,
+        generations: Optional[Sequence[int]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.algorithm = algorithm
+        self.wall_seconds = wall_seconds
+        self.modeled_seconds = modeled_seconds
+        self.modeled_breakdown: Dict[str, float] = dict(modeled_breakdown or {})
+        self.registry = registry if registry is not None else MetricsRegistry()
+        for name, amount in (counters or {}).items():
+            self.registry.inc(name, amount)
+        self.generations: List[int] = list(generations or [])
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Live counter mapping backed by :attr:`registry`."""
+        return self.registry.counters
 
     def add_counter(self, name: str, amount: int) -> None:
-        self.counters[name] = self.counters.get(name, 0) + int(amount)
+        self.registry.inc(name, amount)
 
     def add_modeled(self, name: str, seconds: float) -> None:
         self.modeled_breakdown[name] = self.modeled_breakdown.get(name, 0.0) + seconds
         self.modeled_seconds = (self.modeled_seconds or 0.0) + seconds
+        self.registry.observe(f"modeled.{name}", seconds)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunMetrics(algorithm={self.algorithm!r}, "
+            f"wall_seconds={self.wall_seconds!r}, "
+            f"modeled_seconds={self.modeled_seconds!r}, "
+            f"generations={self.generations!r})"
+        )
 
 
 class MiningResult:

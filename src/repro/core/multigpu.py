@@ -17,7 +17,6 @@ scaling bench.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List
 
@@ -29,6 +28,7 @@ from ..bitset.ops import support_many
 from ..errors import ConfigError, MiningError
 from ..gpusim.device import TESLA_T10, DeviceProperties
 from ..gpusim.perfmodel import GpuCostModel
+from ..obs import mining_run, span
 from ..trie.generation import generate_candidates
 from ..trie.trie import CandidateTrie
 from .config import GPAprioriConfig
@@ -99,58 +99,62 @@ def multigpu_mine(
 
     metrics = RunMetrics(algorithm=f"gpapriori_x{n_devices}")
     model = GpuCostModel(device)
-    t0 = time.perf_counter()
+    with mining_run(f"gpapriori_x{n_devices}", metrics, devices=n_devices):
 
-    matrix = BitsetMatrix.from_database(db, aligned=config.aligned)
-    n_words = matrix.n_words
-    # every device uploads its own replica of the bitset table
-    replica_upload = model.transfer_time(matrix.nbytes).seconds
-    makespan = replica_upload  # replicas upload concurrently
-    single = replica_upload
-    # (the replica upload is part of fleet_makespan, charged at the end)
+        with span("transpose", aligned=config.aligned):
+            matrix = BitsetMatrix.from_database(db, aligned=config.aligned)
+        n_words = matrix.n_words
+        # every device uploads its own replica of the bitset table
+        replica_upload = model.transfer_time(matrix.nbytes).seconds
+        makespan = replica_upload  # replicas upload concurrently
+        single = replica_upload
+        # (the replica upload is part of fleet_makespan, charged at the end)
 
-    trie = CandidateTrie()
-    found: dict[tuple, int] = {}
+        trie = CandidateTrie()
+        found: dict[tuple, int] = {}
 
-    def count(cands: np.ndarray, k: int) -> np.ndarray:
-        nonlocal makespan, single
-        n = cands.shape[0]
-        supports = support_many(matrix, cands)
-        # block partition: device d gets ceil-ish share
-        shares = [len(chunk) for chunk in np.array_split(np.arange(n), n_devices)]
-        slice_times = [
-            _device_time(model, s, k, n_words, config) for s in shares
-        ]
-        makespan += max(slice_times) if slice_times else 0.0
-        single += _device_time(model, n, k, n_words, config)
-        metrics.add_counter("candidates_counted", n)
-        return supports
+        def count(cands: np.ndarray, k: int) -> np.ndarray:
+            nonlocal makespan, single
+            n = cands.shape[0]
+            with span("count", k=k, candidates=n, devices=n_devices) as sp:
+                supports = support_many(matrix, cands)
+                # block partition: device d gets ceil-ish share
+                shares = [
+                    len(chunk) for chunk in np.array_split(np.arange(n), n_devices)
+                ]
+                slice_times = [
+                    _device_time(model, s, k, n_words, config) for s in shares
+                ]
+                makespan += max(slice_times) if slice_times else 0.0
+                single += _device_time(model, n, k, n_words, config)
+                metrics.add_counter("candidates_counted", n)
+                sp.set(modeled_slice_seconds=max(slice_times) if slice_times else 0.0)
+            return supports
 
-    cands = np.arange(db.n_items, dtype=np.int32).reshape(-1, 1)
-    metrics.generations.append(db.n_items)
-    supports = count(cands, 1)
-    for i in np.nonzero(supports >= min_count)[0]:
-        trie.insert((int(i),), int(supports[i]))
-        found[(int(i),)] = int(supports[i])
-
-    k = 1
-    while True:
-        if max_k is not None and k >= max_k:
-            break
-        cands = generate_candidates(trie, k)
-        if cands.shape[0] == 0:
-            break
-        metrics.generations.append(int(cands.shape[0]))
-        supports = count(cands, k + 1)
-        for i, row in enumerate(cands):
-            trie.find(row.tolist()).support = int(supports[i])
-        trie.prune_level(k + 1, min_count)
+        cands = np.arange(db.n_items, dtype=np.int32).reshape(-1, 1)
+        metrics.generations.append(db.n_items)
+        supports = count(cands, 1)
         for i in np.nonzero(supports >= min_count)[0]:
-            found[tuple(int(x) for x in cands[i])] = int(supports[i])
-        k += 1
+            trie.insert((int(i),), int(supports[i]))
+            found[(int(i),)] = int(supports[i])
 
-    metrics.add_modeled("fleet_makespan", makespan)
-    metrics.wall_seconds = time.perf_counter() - t0
+        k = 1
+        while True:
+            if max_k is not None and k >= max_k:
+                break
+            cands = generate_candidates(trie, k)
+            if cands.shape[0] == 0:
+                break
+            metrics.generations.append(int(cands.shape[0]))
+            supports = count(cands, k + 1)
+            for i, row in enumerate(cands):
+                trie.find(row.tolist()).support = int(supports[i])
+            trie.prune_level(k + 1, min_count)
+            for i in np.nonzero(supports >= min_count)[0]:
+                found[tuple(int(x) for x in cands[i])] = int(supports[i])
+            k += 1
+
+        metrics.add_modeled("fleet_makespan", makespan)
     result = MiningResult(found, db.n_transactions, min_count, metrics)
     return MultiGpuResult(
         result=result,

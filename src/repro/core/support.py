@@ -31,6 +31,7 @@ from ..gpusim.kernel import LaunchConfig, launch_kernel
 from ..gpusim.memory import GlobalMemory
 from ..gpusim.perfmodel import GpuCostModel
 from ..gpusim.stats import KernelStats
+from ..obs import span
 from .config import GPAprioriConfig
 from .itemset import RunMetrics
 from .kernels import extend_kernel, support_count_kernel
@@ -52,6 +53,9 @@ class SupportEngine:
         self.device = device
         self.cost = GpuCostModel(device)
         self.kernel_stats = KernelStats()
+        # RunMetrics.generations is the single source of truth for
+        # per-generation candidate counts; the stats share the list.
+        self.kernel_stats.bind_generations(metrics.generations)
         self._matrix: Optional[BitsetMatrix] = None
 
     # -- common bookkeeping -----------------------------------------------------
@@ -70,12 +74,20 @@ class SupportEngine:
         )
         self.metrics.add_counter("bitset_bytes_device", matrix.nbytes)
 
-    def _charge_complete(self, n: int, k: int) -> None:
+    def finalize(self) -> None:
+        """Publish accumulated kernel stats into the metric registry."""
+        self.kernel_stats.publish(self.metrics.registry)
+
+    def _charge_complete(self, n: int, k: int) -> dict:
+        """Account modeled costs for one complete-intersection batch.
+
+        Returns the per-phase modeled seconds so callers can attach
+        them as span attributes.
+        """
         n_words = self.matrix.n_words
         cfg = self.config
-        self.metrics.add_modeled(
-            "htod_candidates", self.cost.transfer_time(n * k * 4).seconds
-        )
+        htod = self.cost.transfer_time(n * k * 4).seconds
+        self.metrics.add_modeled("htod_candidates", htod)
         kc = self.cost.support_kernel_time(
             n_candidates=n,
             k=k,
@@ -86,16 +98,22 @@ class SupportEngine:
             coalescing_factor=1.0 if cfg.aligned else 2.0,
         )
         self.metrics.add_modeled("kernel", kc.seconds)
-        self.metrics.add_modeled("dtoh_supports", self.cost.transfer_time(n * 8).seconds)
+        dtoh = self.cost.transfer_time(n * 8).seconds
+        self.metrics.add_modeled("dtoh_supports", dtoh)
         self.metrics.add_counter("bitset_words_anded", n * k * n_words)
         self.metrics.add_counter("popcounts", n * n_words)
         self.metrics.add_counter("candidates_counted", n)
+        return {
+            "modeled_htod_seconds": htod,
+            "modeled_kernel_seconds": kc.seconds,
+            "modeled_dtoh_seconds": dtoh,
+        }
 
-    def _charge_extend(self, n: int) -> None:
+    def _charge_extend(self, n: int) -> dict:
+        """Account modeled costs for one extend batch (see above)."""
         n_words = self.matrix.n_words
-        self.metrics.add_modeled(
-            "htod_candidates", self.cost.transfer_time(n * 2 * 4).seconds
-        )
+        htod = self.cost.transfer_time(n * 2 * 4).seconds
+        self.metrics.add_modeled("htod_candidates", htod)
         kc = self.cost.extend_kernel_time(
             n_candidates=n,
             n_words=n_words,
@@ -103,11 +121,17 @@ class SupportEngine:
             coalescing_factor=1.0 if self.config.aligned else 2.0,
         )
         self.metrics.add_modeled("kernel", kc.seconds)
-        self.metrics.add_modeled("dtoh_supports", self.cost.transfer_time(n * 8).seconds)
+        dtoh = self.cost.transfer_time(n * 8).seconds
+        self.metrics.add_modeled("dtoh_supports", dtoh)
         self.metrics.add_counter("bitset_words_anded", n * 2 * n_words)
         self.metrics.add_counter("popcounts", n * n_words)
         self.metrics.add_counter("candidates_counted", n)
         self.metrics.add_counter("prefix_row_bytes_written", n * n_words * 4)
+        return {
+            "modeled_htod_seconds": htod,
+            "modeled_kernel_seconds": kc.seconds,
+            "modeled_dtoh_seconds": dtoh,
+        }
 
     # -- interface ----------------------------------------------------------------
 
@@ -134,8 +158,11 @@ class VectorizedEngine(SupportEngine):
         n, k = candidates.shape
         if n == 0:
             return np.zeros(0, dtype=np.int64)
-        supports = support_many(self.matrix, candidates)
-        self._charge_complete(n, k)
+        with span(
+            "kernel_launch", engine="vectorized", kind="complete", k=k, candidates=n
+        ) as sp:
+            supports = support_many(self.matrix, candidates)
+            sp.set(**self._charge_complete(n, k))
         return supports
 
     def count_extend(self, pairs: np.ndarray) -> np.ndarray:
@@ -146,11 +173,17 @@ class VectorizedEngine(SupportEngine):
         if n == 0:
             self._pending_rows = np.empty((0, self.matrix.n_words), dtype=np.uint32)
             return np.zeros(0, dtype=np.int64)
-        base = self._prefix_rows if self._prefix_rows is not None else self.matrix.words
-        rows = base[pairs[:, 0]] & self.matrix.words[pairs[:, 1]]
-        self._pending_rows = rows
-        self._charge_extend(n)
-        return popcount_words(rows).sum(axis=1, dtype=np.int64)
+        with span(
+            "kernel_launch", engine="vectorized", kind="extend", k=2, candidates=n
+        ) as sp:
+            base = (
+                self._prefix_rows if self._prefix_rows is not None else self.matrix.words
+            )
+            rows = base[pairs[:, 0]] & self.matrix.words[pairs[:, 1]]
+            self._pending_rows = rows
+            sp.set(**self._charge_extend(n))
+            supports = popcount_words(rows).sum(axis=1, dtype=np.int64)
+        return supports
 
     def retain(self, indices: np.ndarray) -> None:
         """Keep only the surviving candidates' rows as the prefix cache."""
@@ -222,38 +255,41 @@ class SimulatedEngine(SupportEngine):
             return np.zeros(0, dtype=np.int64)
         out = np.empty(n, dtype=np.int64)
         chunk = self._chunk_size(n, k)
-        for start in range(0, n, chunk):
-            stop = min(start + chunk, n)
-            m = stop - start
-            cand_buf = self.memory.alloc("candidates", (m, k), np.int32)
-            self.memory.htod(cand_buf, candidates[start:stop])
-            sup_buf = self.memory.alloc("supports", (m,), np.int64)
-            result = launch_kernel(
-                support_count_kernel,
-                LaunchConfig(grid_dim=m, block_dim=self._block_dim()),
-                args=(
-                    self._bitset_buf,
-                    cand_buf,
-                    k,
-                    self.matrix.n_words,
-                    sup_buf,
-                    self.config.preload_candidates,
-                ),
-                device=self.device,
-                trace=self.config.trace_accesses,
-            )
-            self.last_trace = result.trace
-            self.kernel_stats.record_launch(
-                blocks=m,
-                threads_per_block=result.config.block_dim,
-                barriers=result.barriers,
-                candidate_words=m * k * self.matrix.n_words,
-                popcounts=m * self.matrix.n_words,
-            )
-            out[start:stop] = self.memory.dtoh(sup_buf)
-            self.memory.free(cand_buf)
-            self.memory.free(sup_buf)
-        self._charge_complete(n, k)
+        with span(
+            "kernel_launch", engine="simulated", kind="complete", k=k, candidates=n
+        ) as sp:
+            for start in range(0, n, chunk):
+                stop = min(start + chunk, n)
+                m = stop - start
+                cand_buf = self.memory.alloc("candidates", (m, k), np.int32)
+                self.memory.htod(cand_buf, candidates[start:stop])
+                sup_buf = self.memory.alloc("supports", (m,), np.int64)
+                result = launch_kernel(
+                    support_count_kernel,
+                    LaunchConfig(grid_dim=m, block_dim=self._block_dim()),
+                    args=(
+                        self._bitset_buf,
+                        cand_buf,
+                        k,
+                        self.matrix.n_words,
+                        sup_buf,
+                        self.config.preload_candidates,
+                    ),
+                    device=self.device,
+                    trace=self.config.trace_accesses,
+                )
+                self.last_trace = result.trace
+                self.kernel_stats.record_launch(
+                    blocks=m,
+                    threads_per_block=result.config.block_dim,
+                    barriers=result.barriers,
+                    candidate_words=m * k * self.matrix.n_words,
+                    popcounts=m * self.matrix.n_words,
+                )
+                out[start:stop] = self.memory.dtoh(sup_buf)
+                self.memory.free(cand_buf)
+                self.memory.free(sup_buf)
+            sp.set(chunks=-(-n // chunk), **self._charge_complete(n, k))
         return out
 
     def count_extend(self, pairs: np.ndarray) -> np.ndarray:
@@ -263,31 +299,36 @@ class SimulatedEngine(SupportEngine):
         if n == 0:
             self._pending_buf = self.memory.alloc("prefix_rows_next", (0, n_words), np.uint32)
             return np.zeros(0, dtype=np.int64)
-        pair_buf = self.memory.alloc("pairs", (n, 2), np.int32)
-        self.memory.htod(pair_buf, pairs)
-        out_rows = self.memory.alloc("prefix_rows_next", (n, n_words), np.uint32)
-        sup_buf = self.memory.alloc("supports", (n,), np.int64)
-        prefix_buf = self._prefix_buf if self._prefix_buf is not None else self._bitset_buf
-        result = launch_kernel(
-            extend_kernel,
-            LaunchConfig(grid_dim=n, block_dim=self._block_dim()),
-            args=(prefix_buf, self._bitset_buf, pair_buf, n_words, out_rows, sup_buf),
-            device=self.device,
-            trace=self.config.trace_accesses,
-        )
-        self.last_trace = result.trace
-        self.kernel_stats.record_launch(
-            blocks=n,
-            threads_per_block=result.config.block_dim,
-            barriers=result.barriers,
-            candidate_words=n * 2 * n_words,
-            popcounts=n * n_words,
-        )
-        supports = self.memory.dtoh(sup_buf)
-        self.memory.free(pair_buf)
-        self.memory.free(sup_buf)
-        self._pending_buf = out_rows
-        self._charge_extend(n)
+        with span(
+            "kernel_launch", engine="simulated", kind="extend", k=2, candidates=n
+        ) as sp:
+            pair_buf = self.memory.alloc("pairs", (n, 2), np.int32)
+            self.memory.htod(pair_buf, pairs)
+            out_rows = self.memory.alloc("prefix_rows_next", (n, n_words), np.uint32)
+            sup_buf = self.memory.alloc("supports", (n,), np.int64)
+            prefix_buf = (
+                self._prefix_buf if self._prefix_buf is not None else self._bitset_buf
+            )
+            result = launch_kernel(
+                extend_kernel,
+                LaunchConfig(grid_dim=n, block_dim=self._block_dim()),
+                args=(prefix_buf, self._bitset_buf, pair_buf, n_words, out_rows, sup_buf),
+                device=self.device,
+                trace=self.config.trace_accesses,
+            )
+            self.last_trace = result.trace
+            self.kernel_stats.record_launch(
+                blocks=n,
+                threads_per_block=result.config.block_dim,
+                barriers=result.barriers,
+                candidate_words=n * 2 * n_words,
+                popcounts=n * n_words,
+            )
+            supports = self.memory.dtoh(sup_buf)
+            self.memory.free(pair_buf)
+            self.memory.free(sup_buf)
+            self._pending_buf = out_rows
+            sp.set(**self._charge_extend(n))
         return supports
 
     def retain(self, indices: np.ndarray) -> None:
@@ -305,6 +346,14 @@ class SimulatedEngine(SupportEngine):
         self._prefix_buf.data[...] = kept
         self._pending_buf = None
         self.metrics.add_counter("prefix_rows_resident_bytes", int(kept.nbytes))
+
+    def finalize(self) -> None:
+        """Publish kernel *and* PCIe transfer stats into the registry."""
+        super().finalize()
+        self.memory.stats.publish(self.metrics.registry)
+        self.metrics.registry.set_gauge(
+            "device_bytes_in_use", self.memory.bytes_in_use
+        )
 
     def coalescing_report(self):
         """Coalescing analysis of the last traced launch (or None)."""

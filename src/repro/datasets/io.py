@@ -17,8 +17,6 @@ import io
 import os
 from typing import List, Union
 
-import numpy as np
-
 from ..errors import DatasetError
 from .transaction_db import TransactionDatabase
 

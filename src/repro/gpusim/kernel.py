@@ -20,14 +20,15 @@ barrier *convergence* (CUDA leaves divergent ``__syncthreads`` undefined
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from ..errors import GpuSimError, KernelLaunchError
+from ..obs import span as _obs_span
 from .device import DeviceProperties, TESLA_T10
-from .memory import DeviceBuffer, GlobalMemory, SharedMemory
+from .memory import DeviceBuffer, SharedMemory
 
 __all__ = [
     "SYNCTHREADS",
@@ -301,42 +302,56 @@ def launch_kernel(
     threads_run = 0
     barriers = 0
     shared_peak = 0
-    for b in block_ids:
-        if not 0 <= b < config.grid_dim:
-            raise KernelLaunchError(f"block id {b} outside grid of {config.grid_dim}")
-        shared = SharedMemory(device.shared_mem_per_block)
-        contexts = [
-            KernelContext(t, b, config, shared, access_trace)
-            for t in range(config.block_dim)
-        ]
-        gens = [kernel(ctx, *args) for ctx in contexts]
-        live = list(range(config.block_dim))
-        threads_run += config.block_dim
-        while live:
-            at_barrier: List[int] = []
-            finished: List[int] = []
-            for t in live:
-                try:
-                    yielded = next(gens[t])
-                except StopIteration:
-                    finished.append(t)
-                    continue
-                if yielded is not SYNCTHREADS:
-                    raise KernelLaunchError(
-                        f"kernel yielded {yielded!r}; only SYNCTHREADS may be yielded"
-                    )
-                at_barrier.append(t)
-            if at_barrier and finished:
+    with _obs_span(
+        "kernel_exec",
+        kernel=getattr(kernel, "__name__", str(kernel)),
+        grid_dim=config.grid_dim,
+        block_dim=config.block_dim,
+    ) as exec_span:
+        for b in block_ids:
+            if not 0 <= b < config.grid_dim:
                 raise KernelLaunchError(
-                    f"divergent __syncthreads in block {b}: threads "
-                    f"{finished[:4]}... exited while {at_barrier[:4]}... wait"
+                    f"block id {b} outside grid of {config.grid_dim}"
                 )
-            if at_barrier:
-                barriers += 1
-                for t in at_barrier:
-                    contexts[t]._cross_barrier()
-            live = at_barrier
-        shared_peak = max(shared_peak, shared.bytes_in_use)
+            shared = SharedMemory(device.shared_mem_per_block)
+            contexts = [
+                KernelContext(t, b, config, shared, access_trace)
+                for t in range(config.block_dim)
+            ]
+            gens = [kernel(ctx, *args) for ctx in contexts]
+            live = list(range(config.block_dim))
+            threads_run += config.block_dim
+            while live:
+                at_barrier: List[int] = []
+                finished: List[int] = []
+                for t in live:
+                    try:
+                        yielded = next(gens[t])
+                    except StopIteration:
+                        finished.append(t)
+                        continue
+                    if yielded is not SYNCTHREADS:
+                        raise KernelLaunchError(
+                            f"kernel yielded {yielded!r}; only SYNCTHREADS may be yielded"
+                        )
+                    at_barrier.append(t)
+                if at_barrier and finished:
+                    raise KernelLaunchError(
+                        f"divergent __syncthreads in block {b}: threads "
+                        f"{finished[:4]}... exited while {at_barrier[:4]}... wait"
+                    )
+                if at_barrier:
+                    barriers += 1
+                    for t in at_barrier:
+                        contexts[t]._cross_barrier()
+                live = at_barrier
+            shared_peak = max(shared_peak, shared.bytes_in_use)
+        exec_span.set(
+            blocks_run=len(list(block_ids)),
+            threads_run=threads_run,
+            barriers=barriers,
+            shared_bytes_peak=shared_peak,
+        )
     return LaunchResult(
         config=config,
         blocks_run=len(list(block_ids)),

@@ -16,12 +16,13 @@ the performance model can price them. Device buffers are intentionally
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 import numpy as np
 
 from ..errors import DeviceMemoryError, GpuSimError
+from ..obs import span
 
 __all__ = ["DeviceBuffer", "GlobalMemory", "SharedMemory", "TransferStats"]
 
@@ -44,6 +45,17 @@ class TransferStats:
     def record_dtoh(self, nbytes: int) -> None:
         self.dtoh_bytes += nbytes
         self.dtoh_count += 1
+
+    def publish(self, registry, prefix: str = "transfer.") -> None:
+        """Write the transfer totals into a
+        :class:`repro.obs.MetricsRegistry`, unifying PCIe accounting
+        with the run's metric store."""
+        registry.inc(prefix + "htod_bytes", self.htod_bytes)
+        registry.inc(prefix + "dtoh_bytes", self.dtoh_bytes)
+        registry.inc(prefix + "htod_count", self.htod_count)
+        registry.inc(prefix + "dtoh_count", self.dtoh_count)
+        registry.inc(prefix + "alloc_bytes", self.alloc_bytes)
+        registry.set_gauge(prefix + "peak_bytes", self.peak_bytes)
 
 
 class DeviceBuffer:
@@ -165,13 +177,15 @@ class GlobalMemory:
                 f"htod mismatch for {buf.name!r}: host {host_array.shape}:"
                 f"{host_array.dtype} vs device {buf.shape}:{buf.dtype}"
             )
-        buf.data[...] = host_array
-        self.stats.record_htod(buf.nbytes)
+        with span("htod", buffer=buf.name, bytes=buf.nbytes):
+            buf.data[...] = host_array
+            self.stats.record_htod(buf.nbytes)
 
     def dtoh(self, buf: DeviceBuffer) -> np.ndarray:
         """Copy device -> host (cudaMemcpyDeviceToHost); returns a host copy."""
-        out = buf.data.copy()
-        self.stats.record_dtoh(buf.nbytes)
+        with span("dtoh", buffer=buf.name, bytes=buf.nbytes):
+            out = buf.data.copy()
+            self.stats.record_dtoh(buf.nbytes)
         return out
 
 

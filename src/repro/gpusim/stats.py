@@ -28,7 +28,19 @@ class KernelStats:
     """Total __popc invocations (one per surviving word per candidate)."""
 
     generations: List[int] = field(default_factory=list)
-    """Candidate count per generation, in order."""
+    """Candidate count per generation, in order.
+
+    Inside a support engine this is *the same list object* as the
+    driver's ``RunMetrics.generations`` (see
+    :meth:`bind_generations`): the driver's record is the single source
+    of truth and the stats merely hold a view, so the two can never
+    drift apart. A standalone ``KernelStats`` keeps its own list.
+    """
+
+    def bind_generations(self, shared: List[int]) -> None:
+        """Adopt ``shared`` (typically ``RunMetrics.generations``) as
+        this record's generation history instead of tracking a copy."""
+        self.generations = shared
 
     def record_launch(
         self,
@@ -54,3 +66,14 @@ class KernelStats:
         self.candidate_words += other.candidate_words
         self.popcounts += other.popcounts
         self.generations.extend(other.generations)
+
+    def publish(self, registry, prefix: str = "kernel.") -> None:
+        """Write the launch totals into a
+        :class:`repro.obs.MetricsRegistry` as counters, unifying the
+        simulator's accounting with the run's metric store."""
+        registry.inc(prefix + "launches", self.launches)
+        registry.inc(prefix + "blocks", self.blocks)
+        registry.inc(prefix + "threads", self.threads)
+        registry.inc(prefix + "barriers", self.barriers)
+        registry.inc(prefix + "candidate_words", self.candidate_words)
+        registry.inc(prefix + "popcounts", self.popcounts)

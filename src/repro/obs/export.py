@@ -1,0 +1,224 @@
+"""Trace exporters: JSON-lines, Chrome ``trace_event``, ASCII timeline.
+
+Three consumers, three formats:
+
+* **jsonl** — one span per line, trivially greppable and the format the
+  ``gpapriori trace`` summary subcommand reads back;
+* **chrome** — the Trace Event Format's complete (``"ph": "X"``)
+  events, loadable in ``chrome://tracing`` or https://ui.perfetto.dev
+  for interactive flame charts;
+* **ascii** — a terminal timeline in the spirit of
+  :mod:`repro.bench.ascii_plot`, for persisted reports with no tooling.
+
+All exporters accept either a :class:`~repro.obs.tracer.Tracer` or an
+iterable of spans / span dicts, so they work on live tracers and on
+reloaded trace files alike.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, List, Union
+
+from .tracer import Span, Tracer
+
+__all__ = [
+    "spans_to_dicts",
+    "write_jsonl",
+    "write_chrome_trace",
+    "render_ascii",
+    "write_trace",
+    "load_trace",
+    "TRACE_FORMATS",
+]
+
+TRACE_FORMATS = ("jsonl", "chrome", "ascii")
+
+SpanSource = Union[Tracer, Iterable[Union[Span, Dict[str, Any]]]]
+
+
+def spans_to_dicts(source: SpanSource) -> List[Dict[str, Any]]:
+    """Normalize a tracer / span list / dict list to sorted span dicts."""
+    if isinstance(source, Tracer):
+        return [s.to_dict() for s in source.finished()]
+    out: List[Dict[str, Any]] = []
+    for item in source:
+        out.append(item.to_dict() if isinstance(item, Span) else dict(item))
+    out.sort(key=lambda d: (d.get("start") or 0.0, d.get("id") or 0))
+    return out
+
+
+def write_jsonl(source: SpanSource, fp: IO[str]) -> int:
+    """One JSON object per span per line; returns the span count."""
+    records = spans_to_dicts(source)
+    for record in records:
+        fp.write(json.dumps(record, default=str) + "\n")
+    return len(records)
+
+
+def write_chrome_trace(source: SpanSource, fp: IO[str]) -> int:
+    """Chrome Trace Event Format (complete ``X`` events, microseconds).
+
+    Timestamps are rebased so the earliest span starts at t=0; thread
+    names become ``M`` (metadata) events so Perfetto labels the tracks.
+    Span identity/nesting travels in reserved ``args`` keys
+    (``span_id``/``parent_id``/``depth``) so :func:`load_trace` can
+    reconstruct the hierarchy; viewers just show them as attributes.
+    """
+    records = spans_to_dicts(source)
+    t0 = min((r["start"] for r in records if r.get("start") is not None), default=0.0)
+    tids: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+    for record in records:
+        thread = str(record.get("thread") or "main")
+        tid = tids.setdefault(thread, len(tids) + 1)
+        start = record.get("start")
+        args = dict(record.get("attrs") or {})
+        args["span_id"] = record.get("id")
+        args["parent_id"] = record.get("parent")
+        args["depth"] = record.get("depth") or 0
+        events.append(
+            {
+                "name": record["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": ((start or t0) - t0) * 1e6,
+                "dur": (record.get("duration") or 0.0) * 1e6,
+                "pid": 1,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    for thread, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": thread},
+            }
+        )
+    json.dump(
+        {"traceEvents": events, "displayTimeUnit": "ms"},
+        fp,
+        default=str,
+    )
+    return len(records)
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.3g} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3g} ms"
+    return f"{seconds:.3g} s"
+
+
+def render_ascii(source: SpanSource, width: int = 48, max_spans: int = 200) -> str:
+    """Indented flame-style timeline: one bar per span, scaled to the
+    full trace duration, nesting shown by indentation."""
+    records = spans_to_dicts(source)
+    if not records:
+        return "(empty trace)"
+    starts = [r["start"] for r in records if r.get("start") is not None]
+    ends = [r.get("end") for r in records if r.get("end") is not None]
+    t0 = min(starts) if starts else 0.0
+    t1 = max(ends) if ends else t0
+    total = max(t1 - t0, 1e-12)
+    lines = [
+        f"trace: {len(records)} spans over {_format_duration(total)}",
+        "",
+    ]
+    shown = records[:max_spans]
+    for record in shown:
+        start = (record.get("start") or t0) - t0
+        dur = record.get("duration") or 0.0
+        left = int(round(start / total * width))
+        bar = max(1, int(round(dur / total * width)))
+        left = min(left, width - 1)
+        bar = min(bar, width - left)
+        track = " " * left + "#" * bar + " " * (width - left - bar)
+        indent = "  " * int(record.get("depth") or 0)
+        label = f"{indent}{record['name']}"
+        lines.append(f"|{track}| {label}  {_format_duration(dur)}")
+    if len(records) > len(shown):
+        lines.append(f"... ({len(records) - len(shown)} more spans)")
+    return "\n".join(lines)
+
+
+def write_trace(source: SpanSource, path: str, fmt: str = "jsonl") -> int:
+    """Write a trace file in the named format; returns the span count."""
+    if fmt not in TRACE_FORMATS:
+        raise ValueError(f"unknown trace format {fmt!r}; choose from {TRACE_FORMATS}")
+    if fmt == "ascii":
+        text = render_ascii(source)
+        with open(path, "w", encoding="utf-8") as fp:
+            fp.write(text + "\n")
+        return len(spans_to_dicts(source))
+    with open(path, "w", encoding="utf-8") as fp:
+        if fmt == "jsonl":
+            return write_jsonl(source, fp)
+        return write_chrome_trace(source, fp)
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Read back a ``jsonl`` or ``chrome`` trace as span dicts.
+
+    Chrome traces written by :func:`write_chrome_trace` carry span
+    identity in reserved ``args`` keys and round-trip their hierarchy;
+    foreign Chrome traces fall back to ``parent: None`` and the summary
+    aggregation handles both shapes.
+    """
+    with open(path, "r", encoding="utf-8") as fp:
+        text = fp.read()
+    # A chrome trace is one JSON document; jsonl is one document per
+    # line (which also starts with "{"), so detection must try the
+    # whole-file parse and fall back on "extra data".
+    doc = None
+    if text.lstrip().startswith("{"):
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            doc = None
+    if isinstance(doc, dict):
+        if "traceEvents" not in doc:
+            if "name" in doc:  # a single-span jsonl file
+                return [doc]
+            raise ValueError(f"{path}: JSON object is not a Chrome trace")
+        spans: List[Dict[str, Any]] = []
+        for i, event in enumerate(doc["traceEvents"]):
+            if event.get("ph") != "X":
+                continue
+            attrs = dict(event.get("args") or {})
+            span_id = attrs.pop("span_id", None)
+            parent_id = attrs.pop("parent_id", None)
+            depth = attrs.pop("depth", 0)
+            spans.append(
+                {
+                    "name": event.get("name", "?"),
+                    "id": span_id if span_id is not None else i + 1,
+                    "parent": parent_id,
+                    "depth": depth or 0,
+                    "thread": str(event.get("tid", "main")),
+                    "start": float(event.get("ts", 0.0)) / 1e6,
+                    "end": (float(event.get("ts", 0.0)) + float(event.get("dur", 0.0)))
+                    / 1e6,
+                    "duration": float(event.get("dur", 0.0)) / 1e6,
+                    "attrs": attrs,
+                }
+            )
+        return spans
+    spans = []
+    for line_no, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{line_no}: not valid JSON ({exc})") from None
+        if not isinstance(record, dict) or "name" not in record:
+            raise ValueError(f"{path}:{line_no}: not a span record")
+        spans.append(record)
+    return spans

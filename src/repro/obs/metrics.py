@@ -1,0 +1,160 @@
+"""Unified counters, gauges, and histograms for mining runs.
+
+Before this module existed the repo kept three independent accounting
+systems: ``RunMetrics.counters`` (ad-hoc dict), ``KernelStats``
+(simulator launch totals) and per-baseline hand-rolled timers. The
+:class:`MetricsRegistry` is the single store they all feed:
+``RunMetrics`` delegates its counters here, and the simulator's kernel
+and transfer stats are published into the same registry at the end of a
+run, so one snapshot describes everything that happened.
+
+Zero dependencies; safe to import from anywhere in the package.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Tuple
+
+__all__ = ["HistogramSummary", "MetricsRegistry"]
+
+
+class HistogramSummary:
+    """Streaming summary of observed values (count/total/min/max).
+
+    Not a bucketed histogram — the mining pipeline needs distribution
+    *summaries* (how many launches, total and extreme modeled costs),
+    and a four-number summary merges exactly and costs O(1) per
+    observation.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "HistogramSummary") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HistogramSummary(count={self.count}, total={self.total})"
+
+
+class MetricsRegistry:
+    """Thread-safe registry of named counters, gauges, and histograms.
+
+    * **counters** — monotonically accumulated integers
+      (``bitset_words_anded``, ``kernel.launches``);
+    * **gauges** — last-written values (``device_bytes_in_use``);
+    * **histograms** — :class:`HistogramSummary` of repeated
+      observations (per-launch modeled seconds).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, HistogramSummary] = {}
+
+    # -- counters ---------------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> int:
+        """Add ``amount`` to a counter; returns the new value."""
+        with self._lock:
+            value = self._counters.get(name, 0) + int(amount)
+            self._counters[name] = value
+        return value
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """The live counter mapping (shared with ``RunMetrics.counters``)."""
+        return self._counters
+
+    # -- gauges -------------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        return self._gauges
+
+    # -- histograms ----------------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = HistogramSummary()
+        hist.observe(value)
+
+    def histogram(self, name: str) -> HistogramSummary | None:
+        return self._histograms.get(name)
+
+    def histograms(self) -> Iterable[Tuple[str, HistogramSummary]]:
+        return list(self._histograms.items())
+
+    # -- aggregation ----------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (counters add, gauges
+        overwrite, histograms merge)."""
+        for name, amount in other._counters.items():
+            self.inc(name, amount)
+        for name, value in other._gauges.items():
+            self.set_gauge(name, value)
+        for name, hist in other._histograms.items():
+            with self._lock:
+                mine = self._histograms.get(name)
+                if mine is None:
+                    mine = self._histograms[name] = HistogramSummary()
+            mine.merge(hist)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-ready copy of everything the registry holds."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {n: h.as_dict() for n, h in self._histograms.items()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )

@@ -1,0 +1,96 @@
+"""Aggregation of span lists into per-phase breakdowns.
+
+Turns a flat span list (live or reloaded from a trace file) into the
+phase tables the paper's evaluation reasons about: how much of a run
+was candidate generation versus kernel time versus transfers. *Self*
+time — a span's duration minus its direct children — is what makes the
+per-name totals additive: summing self time over every span recovers
+the root's duration instead of double-counting nested work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List
+
+from .export import SpanSource, spans_to_dicts
+
+__all__ = ["PhaseStat", "aggregate", "phase_totals", "trace_coverage"]
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """Aggregated timing of all spans sharing one name."""
+
+    name: str
+    count: int
+    total_seconds: float
+    """Sum of span durations (nested work counted in every ancestor)."""
+
+    self_seconds: float
+    """Sum of durations minus direct children — additive across names."""
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+def _self_seconds(spans: List[Dict[str, Any]]) -> Dict[int, float]:
+    """Per-span self time, keyed by span id (0.0 for parentless dumps)."""
+    child_time: Dict[int, float] = {}
+    for record in spans:
+        parent = record.get("parent")
+        if parent is not None:
+            child_time[parent] = child_time.get(parent, 0.0) + (
+                record.get("duration") or 0.0
+            )
+    out: Dict[int, float] = {}
+    for record in spans:
+        sid = record.get("id")
+        dur = record.get("duration") or 0.0
+        out[sid] = max(0.0, dur - child_time.get(sid, 0.0))
+    return out
+
+
+def aggregate(source: SpanSource) -> List[PhaseStat]:
+    """Per-name phase statistics, largest total first."""
+    spans = spans_to_dicts(source)
+    selfs = _self_seconds(spans)
+    by_name: Dict[str, List[Dict[str, Any]]] = {}
+    for record in spans:
+        by_name.setdefault(record["name"], []).append(record)
+    stats = [
+        PhaseStat(
+            name=name,
+            count=len(group),
+            total_seconds=sum(r.get("duration") or 0.0 for r in group),
+            self_seconds=sum(selfs.get(r.get("id"), 0.0) for r in group),
+        )
+        for name, group in by_name.items()
+    ]
+    stats.sort(key=lambda s: (-s.total_seconds, s.name))
+    return stats
+
+
+def phase_totals(source: SpanSource) -> Dict[str, float]:
+    """``{span name: self seconds}`` — an additive phase breakdown.
+
+    The benchmark harness attaches this to each
+    :class:`~repro.bench.runner.RunRecord` so Figure-6 sweeps can show
+    where modeled *and* measured time goes per algorithm.
+    """
+    return {s.name: s.self_seconds for s in aggregate(source)}
+
+
+def trace_coverage(source: SpanSource, wall_seconds: float) -> float:
+    """Fraction of ``wall_seconds`` covered by root spans (0..1+).
+
+    The acceptance bar for instrumentation completeness: the union of
+    root spans should cover at least 95% of the reported wall-clock.
+    """
+    if wall_seconds <= 0:
+        return 0.0
+    spans = spans_to_dicts(source)
+    roots: Iterable[Dict[str, Any]] = [s for s in spans if s.get("parent") is None]
+    covered = sum(r.get("duration") or 0.0 for r in roots)
+    return covered / wall_seconds

@@ -15,12 +15,12 @@ equivalent in the test suite.
 
 from __future__ import annotations
 
-from itertools import combinations
 from typing import Iterable, List, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..errors import TrieError
+from ..obs import span
 from .trie import CandidateTrie
 
 __all__ = ["generate_candidates", "join_frequent", "all_subsets_frequent"]
@@ -60,20 +60,22 @@ def generate_candidates(trie: CandidateTrie, k: int) -> np.ndarray:
     """
     if k < 1:
         raise TrieError("k must be >= 1")
-    frequent_k: Set[Tuple[int, ...]] = set(trie.itemsets_at_depth(k))
-    new_rows: List[Tuple[int, ...]] = []
-    # Group leaves by parent: siblings share the (k-1)-prefix.
-    parent_nodes = [trie.root] if k == 1 else list(trie.nodes_at_depth(k - 1))
-    for parent in parent_nodes:
-        siblings = parent.sorted_children()
-        for i, left in enumerate(siblings):
-            prefix = left.path()
-            for right in siblings[i + 1 :]:
-                candidate = prefix + (right.item,)
-                if all_subsets_frequent(candidate, frequent_k):
-                    new_rows.append(candidate)
-    for row in new_rows:
-        trie.insert(row)
+    with span("candidate_gen", k=k) as sp:
+        frequent_k: Set[Tuple[int, ...]] = set(trie.itemsets_at_depth(k))
+        new_rows: List[Tuple[int, ...]] = []
+        # Group leaves by parent: siblings share the (k-1)-prefix.
+        parent_nodes = [trie.root] if k == 1 else list(trie.nodes_at_depth(k - 1))
+        for parent in parent_nodes:
+            siblings = parent.sorted_children()
+            for i, left in enumerate(siblings):
+                prefix = left.path()
+                for right in siblings[i + 1 :]:
+                    candidate = prefix + (right.item,)
+                    if all_subsets_frequent(candidate, frequent_k):
+                        new_rows.append(candidate)
+        for row in new_rows:
+            trie.insert(row)
+        sp.set(frequent_k=len(frequent_k), produced=len(new_rows))
     if not new_rows:
         return np.empty((0, k + 1), dtype=np.int32)
     return np.asarray(new_rows, dtype=np.int32)

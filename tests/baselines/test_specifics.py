@@ -1,7 +1,5 @@
 """Strategy-specific behaviour of each baseline."""
 
-import numpy as np
-import pytest
 
 from repro import mine
 from repro.baselines import (

@@ -1,7 +1,6 @@
 """Unit tests for layout conversions (horizontal <-> tidset <-> bitset)."""
 
 import numpy as np
-import pytest
 
 from repro.bitset import (
     bitset_to_tidsets,

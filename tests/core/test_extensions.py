@@ -5,7 +5,6 @@ GPU Eclat, and the Partition baseline beyond what the shared algorithm
 contract already asserts.
 """
 
-import numpy as np
 import pytest
 
 from repro import (

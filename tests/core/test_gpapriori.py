@@ -1,11 +1,9 @@
 """Unit tests for the GPApriori mining driver."""
 
-import numpy as np
 import pytest
 
 from repro import GPAprioriConfig, gpapriori_mine
 from repro.errors import MiningError
-from tests.conftest import brute_force_frequent
 
 
 class TestCorrectness:

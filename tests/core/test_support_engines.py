@@ -7,8 +7,8 @@ from repro.bitset import BitsetMatrix
 from repro.core.config import GPAprioriConfig
 from repro.core.itemset import RunMetrics
 from repro.core.support import SimulatedEngine, VectorizedEngine, make_engine
-from repro.errors import ConfigError, DeviceMemoryError, MiningError
-from repro.gpusim.device import DeviceProperties, TESLA_T10
+from repro.errors import DeviceMemoryError, MiningError
+from repro.gpusim.device import DeviceProperties
 
 
 def engines(db, **cfg_over):

@@ -1,6 +1,5 @@
 """Unit tests for the Table 2 dataset analogs."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import (

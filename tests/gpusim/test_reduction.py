@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import GpuSimError, KernelLaunchError
+from repro.errors import GpuSimError
 from repro.gpusim import GlobalMemory, TESLA_T10, block_reduce_sum, launch_kernel
 from repro.gpusim.kernel import SYNCTHREADS, LaunchConfig
 

@@ -1,0 +1,122 @@
+"""CLI tracing flags and the ``trace`` summary subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def fimi_file(tmp_path):
+    path = tmp_path / "tiny.dat"
+    rows = [
+        "0 1 2 3",
+        "1 2 3 4",
+        "0 2 3",
+        "0 1 3 4",
+        "1 2 4",
+        "0 1 2 3 4",
+    ]
+    path.write_text("\n".join(rows) + "\n")
+    return str(path)
+
+
+def test_trace_chrome_export(fimi_file, tmp_path, capsys):
+    trace_path = str(tmp_path / "run.json")
+    code = main(
+        [
+            "--trace",
+            trace_path,
+            "--trace-format",
+            "chrome",
+            "mine",
+            "--file",
+            fimi_file,
+            "--min-support",
+            "0.5",
+        ]
+    )
+    assert code == 0
+    doc = json.loads(open(trace_path).read())
+    complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert any(e["name"] == "mining_run" for e in complete)
+    assert any(e["name"] == "kernel_launch" for e in complete)
+    launches = [e for e in complete if e["name"] == "kernel_launch"]
+    for event in launches:
+        assert event["args"]["candidates"] > 0
+        assert event["args"]["modeled_kernel_seconds"] > 0.0
+    err = capsys.readouterr().err
+    assert "trace:" in err
+
+
+def test_trace_jsonl_and_summary(fimi_file, tmp_path, capsys):
+    trace_path = str(tmp_path / "run.jsonl")
+    assert (
+        main(
+            [
+                "--trace",
+                trace_path,
+                "--trace-format",
+                "jsonl",
+                "mine",
+                "--file",
+                fimi_file,
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["trace", trace_path]) == 0
+    out = capsys.readouterr().out
+    assert "mining_run" in out
+    assert "Phase" in out
+
+
+def test_trace_ascii_export(fimi_file, tmp_path):
+    trace_path = str(tmp_path / "run.txt")
+    assert (
+        main(
+            [
+                "--trace",
+                trace_path,
+                "--trace-format",
+                "ascii",
+                "mine",
+                "--file",
+                fimi_file,
+            ]
+        )
+        == 0
+    )
+    text = open(trace_path).read()
+    assert "mining_run" in text
+    assert "#" in text
+
+
+def test_untraced_mine_unchanged(fimi_file, capsys):
+    assert main(["mine", "--file", fimi_file]) == 0
+    out = capsys.readouterr().out
+    assert "frequent itemsets" in out
+
+
+def test_trace_subcommand_rejects_bad_file(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("garbage\n")
+    assert main(["trace", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_trace_subcommand_missing_file(tmp_path, capsys):
+    assert main(["trace", str(tmp_path / "absent.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_unwritable_trace_path(fimi_file, tmp_path, capsys):
+    code = main(
+        ["--trace", "/nonexistent-dir/out.json", "mine", "--file", fimi_file]
+    )
+    assert code == 2
+    assert "cannot write trace" in capsys.readouterr().err

@@ -1,0 +1,151 @@
+"""Exporter round-trips: JSONL, Chrome trace_event, ASCII rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    aggregate,
+    load_trace,
+    render_ascii,
+    span,
+    spans_to_dicts,
+    trace_coverage,
+    write_trace,
+)
+
+
+@pytest.fixture
+def traced() -> Tracer:
+    tracer = Tracer()
+    with tracer.activate():
+        with span("mining_run", algorithm="demo"):
+            with span("transpose", n_items=8):
+                pass
+            with span("generation", k=2):
+                with span("kernel_launch", candidates=12):
+                    pass
+    return tracer
+
+
+class TestJsonl:
+    def test_round_trip(self, traced, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        count = write_trace(traced, path, "jsonl")
+        assert count == 4
+        reloaded = load_trace(path)
+        original = spans_to_dicts(traced)
+        assert [s["name"] for s in reloaded] == [s["name"] for s in original]
+        for got, want in zip(reloaded, original):
+            assert got["id"] == want["id"]
+            assert got["parent"] == want["parent"]
+            assert got["depth"] == want["depth"]
+            assert got["attrs"] == want["attrs"]
+            assert got["duration"] == pytest.approx(want["duration"])
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError):
+            load_trace(str(path))
+
+
+class TestChrome:
+    def test_valid_trace_event_document(self, traced, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_trace(traced, path, "chrome")
+        doc = json.loads(open(path).read())
+        assert "traceEvents" in doc
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 4
+        for event in complete:
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["cat"] == "repro"
+        # thread metadata present for Perfetto track naming
+        assert any(e["ph"] == "M" for e in doc["traceEvents"])
+
+    def test_round_trip_preserves_hierarchy(self, traced, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_trace(traced, path, "chrome")
+        reloaded = load_trace(path)
+        by_name = {s["name"]: s for s in reloaded}
+        assert by_name["mining_run"]["parent"] is None
+        assert by_name["transpose"]["parent"] == by_name["mining_run"]["id"]
+        assert by_name["kernel_launch"]["parent"] == by_name["generation"]["id"]
+        assert by_name["kernel_launch"]["depth"] == 2
+        # reserved keys are stripped back out of attrs
+        assert by_name["kernel_launch"]["attrs"] == {"candidates": 12}
+
+    def test_self_time_correct_after_round_trip(self, traced, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_trace(traced, path, "chrome")
+        stats = {s.name: s for s in aggregate(load_trace(path))}
+        root = stats["mining_run"]
+        children = stats["transpose"].total_seconds + stats["generation"].total_seconds
+        assert root.self_seconds == pytest.approx(
+            max(0.0, root.total_seconds - children), abs=1e-9
+        )
+
+    def test_foreign_trace_without_reserved_keys(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "traceEvents": [
+                        {"name": "x", "ph": "X", "ts": 0, "dur": 10, "args": {"k": 1}}
+                    ]
+                }
+            )
+        )
+        (sp,) = load_trace(str(path))
+        assert sp["name"] == "x"
+        assert sp["parent"] is None
+        assert sp["attrs"] == {"k": 1}
+
+
+class TestAscii:
+    def test_contains_names_and_durations(self, traced):
+        text = render_ascii(traced)
+        for name in ("mining_run", "transpose", "generation", "kernel_launch"):
+            assert name in text
+        assert "4 spans" in text
+
+    def test_empty(self):
+        assert render_ascii([]) == "(empty trace)"
+
+    def test_write_trace_ascii(self, traced, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        count = write_trace(traced, path, "ascii")
+        assert count == 4
+        assert "mining_run" in open(path).read()
+
+
+class TestWriteTrace:
+    def test_unknown_format(self, traced, tmp_path):
+        with pytest.raises(ValueError):
+            write_trace(traced, str(tmp_path / "x"), "protobuf")
+
+
+class TestSummary:
+    def test_aggregate_orders_by_total(self, traced):
+        stats = aggregate(traced)
+        totals = [s.total_seconds for s in stats]
+        assert totals == sorted(totals, reverse=True)
+        assert stats[0].name == "mining_run"
+
+    def test_phase_totals_additive(self, traced):
+        from repro.obs import phase_totals
+
+        totals = phase_totals(traced)
+        root = spans_to_dicts(traced)[0]
+        assert sum(totals.values()) == pytest.approx(root["duration"], rel=1e-6)
+
+    def test_trace_coverage(self, traced):
+        root = spans_to_dicts(traced)[0]
+        wall = root["duration"]
+        assert trace_coverage(traced, wall) == pytest.approx(1.0, rel=1e-6)
+        assert trace_coverage(traced, 0.0) == 0.0

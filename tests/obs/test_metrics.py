@@ -1,0 +1,147 @@
+"""MetricsRegistry behaviour and its integration with RunMetrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.itemset import RunMetrics
+from repro.gpusim.stats import KernelStats
+from repro.obs import HistogramSummary, MetricsRegistry
+
+
+class TestRegistry:
+    def test_counters(self):
+        reg = MetricsRegistry()
+        assert reg.inc("launches") == 1
+        assert reg.inc("launches", 4) == 5
+        assert reg.counter("launches") == 5
+        assert reg.counter("missing") == 0
+        assert reg.counters == {"launches": 5}
+
+    def test_counters_are_live(self):
+        reg = MetricsRegistry()
+        view = reg.counters
+        reg.inc("x", 3)
+        assert view["x"] == 3
+
+    def test_gauges(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("bytes_in_use", 100.0)
+        reg.set_gauge("bytes_in_use", 42.0)
+        assert reg.gauge("bytes_in_use") == 42.0
+        assert reg.gauge("missing", default=-1.0) == -1.0
+
+    def test_histograms(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 3.0, 2.0):
+            reg.observe("launch_seconds", v)
+        hist = reg.histogram("launch_seconds")
+        assert hist is not None
+        assert hist.count == 3
+        assert hist.total == pytest.approx(6.0)
+        assert hist.mean == pytest.approx(2.0)
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+        assert reg.histogram("missing") is None
+
+    def test_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("n", 1)
+        b.inc("n", 2)
+        b.inc("m", 5)
+        a.set_gauge("g", 1.0)
+        b.set_gauge("g", 2.0)
+        a.observe("h", 1.0)
+        b.observe("h", 9.0)
+        a.merge(b)
+        assert a.counter("n") == 3
+        assert a.counter("m") == 5
+        assert a.gauge("g") == 2.0
+        assert a.histogram("h").count == 2
+        assert a.histogram("h").max == 9.0
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 1)
+        reg.set_gauge("g", 2.0)
+        reg.observe("h", 3.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"] == {"g": 2.0}
+        assert snap["histograms"]["h"]["count"] == 1
+        snap["counters"]["c"] = 99
+        assert reg.counter("c") == 1
+
+
+class TestHistogramSummary:
+    def test_empty_as_dict(self):
+        h = HistogramSummary()
+        d = h.as_dict()
+        assert d["count"] == 0
+        assert d["min"] == 0.0 and d["max"] == 0.0
+        assert h.mean == 0.0
+
+    def test_merge_exact(self):
+        a, b = HistogramSummary(), HistogramSummary()
+        for v in (1.0, 2.0):
+            a.observe(v)
+        for v in (0.5, 4.0):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 4
+        assert a.total == pytest.approx(7.5)
+        assert a.min == 0.5
+        assert a.max == 4.0
+
+
+class TestRunMetricsIntegration:
+    def test_counters_backed_by_registry(self):
+        m = RunMetrics(algorithm="demo")
+        m.add_counter("candidates", 10)
+        m.add_counter("candidates", 5)
+        assert m.counters["candidates"] == 15
+        assert m.registry.counter("candidates") == 15
+        # dict-style writes (used by hybrid) hit the same store
+        m.counters["direct"] = 7
+        assert m.registry.counter("direct") == 7
+
+    def test_constructor_seeds_counters(self):
+        m = RunMetrics(algorithm="demo", counters={"a": 1, "b": 2})
+        assert m.counters == {"a": 1, "b": 2}
+
+    def test_add_modeled_also_observes(self):
+        m = RunMetrics(algorithm="demo")
+        m.add_modeled("kernel", 0.25)
+        m.add_modeled("kernel", 0.75)
+        assert m.modeled_seconds == pytest.approx(1.0)
+        assert m.modeled_breakdown["kernel"] == pytest.approx(1.0)
+        hist = m.registry.histogram("modeled.kernel")
+        assert hist.count == 2
+        assert hist.total == pytest.approx(1.0)
+
+    def test_generations_single_source_of_truth(self):
+        """KernelStats bound to RunMetrics appends into the *same* list."""
+        m = RunMetrics(algorithm="demo")
+        ks = KernelStats()
+        ks.bind_generations(m.generations)
+        ks.generations.append(42)
+        m.generations.append(7)
+        assert m.generations == [42, 7]
+        assert ks.generations is m.generations
+
+    def test_kernel_stats_publish(self):
+        m = RunMetrics(algorithm="demo")
+        ks = KernelStats()
+        ks.launches = 3
+        ks.blocks = 12
+        ks.threads = 768
+        ks.barriers = 24
+        ks.candidate_words = 1000
+        ks.popcounts = 500
+        ks.publish(m.registry)
+        assert m.counters["kernel.launches"] == 3
+        assert m.counters["kernel.blocks"] == 12
+        assert m.counters["kernel.threads"] == 768
+        assert m.counters["kernel.barriers"] == 24
+        assert m.counters["kernel.candidate_words"] == 1000
+        assert m.counters["kernel.popcounts"] == 500

@@ -1,0 +1,234 @@
+"""Span nesting, attribute capture, activation isolation, no-op path."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    NOOP_SPAN,
+    Tracer,
+    current_tracer,
+    mining_run,
+    span,
+)
+
+
+class TestSpanNesting:
+    def test_parent_links_and_depth(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with span("outer") as outer:
+                with span("middle") as middle:
+                    with span("inner") as inner:
+                        pass
+        assert outer.parent_id is None
+        assert outer.depth == 0
+        assert middle.parent_id == outer.span_id
+        assert middle.depth == 1
+        assert inner.parent_id == middle.span_id
+        assert inner.depth == 2
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with span("root") as root:
+                with span("a") as a:
+                    pass
+                with span("b") as b:
+                    pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        assert {s.name for s in tracer.roots()} == {"root"}
+
+    def test_finished_sorted_by_start(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        names = [s.name for s in tracer.finished()]
+        assert names == ["first", "second"]
+
+    def test_timestamps_monotonic(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with span("timed") as sp:
+                time.sleep(0.001)
+        assert sp.t_end is not None and sp.t_start is not None
+        assert sp.t_end > sp.t_start
+        assert sp.duration == pytest.approx(sp.t_end - sp.t_start)
+
+
+class TestAttributes:
+    def test_construction_and_set(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with span("kernel_launch", k=3, candidates=412) as sp:
+                sp.set(modeled_kernel_seconds=0.5)
+        assert sp.attrs == {
+            "k": 3,
+            "candidates": 412,
+            "modeled_kernel_seconds": 0.5,
+        }
+
+    def test_exception_records_error_attr(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with pytest.raises(ValueError):
+                with span("failing"):
+                    raise ValueError("boom")
+        (sp,) = tracer.finished()
+        assert sp.attrs["error"] == "ValueError"
+        assert sp.t_end is not None  # still finished and recorded
+
+    def test_to_dict_shape(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with span("phase", k=2):
+                pass
+        record = tracer.finished()[0].to_dict()
+        assert record["name"] == "phase"
+        assert record["attrs"] == {"k": 2}
+        for key in ("id", "parent", "depth", "thread", "start", "end", "duration"):
+            assert key in record
+
+
+class TestActivation:
+    def test_no_tracer_returns_shared_noop(self):
+        assert current_tracer() is None
+        assert span("anything") is NOOP_SPAN
+        assert span("other", k=1) is NOOP_SPAN
+
+    def test_noop_supports_span_surface(self):
+        with span("disabled") as sp:
+            assert sp.set(k=1) is sp
+        assert not sp.enabled
+
+    def test_activation_scoped(self):
+        tracer = Tracer()
+        with tracer.activate():
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+    def test_independent_tracers_do_not_interleave(self):
+        t1, t2 = Tracer(), Tracer()
+        with t1.activate():
+            with span("one"):
+                pass
+        with t2.activate():
+            with span("two"):
+                pass
+        assert [s.name for s in t1.finished()] == ["one"]
+        assert [s.name for s in t2.finished()] == ["two"]
+
+    def test_nested_activation_restores_outer(self):
+        outer, inner = Tracer(), Tracer()
+        with outer.activate():
+            with inner.activate():
+                with span("deep"):
+                    pass
+            with span("shallow"):
+                pass
+        assert [s.name for s in inner.finished()] == ["deep"]
+        assert [s.name for s in outer.finished()] == ["shallow"]
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with span("x"):
+                pass
+        tracer.clear()
+        assert tracer.finished() == []
+
+
+class TestThreadSafety:
+    def test_worker_threads_record_disjoint_subtrees(self):
+        tracer = Tracer()
+        errors = []
+
+        def work(tag: str) -> None:
+            try:
+                with tracer.activate():
+                    with span(f"outer_{tag}"):
+                        for i in range(50):
+                            with span(f"inner_{tag}", i=i):
+                                pass
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(str(i),)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        spans = tracer.finished()
+        assert len(spans) == 4 * 51
+        # ids unique across threads
+        ids = [s.span_id for s in spans]
+        assert len(set(ids)) == len(ids)
+        # every inner span parents to its own thread's outer span
+        outers = {s.name: s.span_id for s in spans if s.name.startswith("outer_")}
+        for s in spans:
+            if s.name.startswith("inner_"):
+                tag = s.name.split("_", 1)[1]
+                assert s.parent_id == outers[f"outer_{tag}"]
+
+
+class TestNoopOverhead:
+    def test_disabled_span_is_cheap(self):
+        """The disabled path must stay far below a microsecond per call.
+
+        The bound here is deliberately loose (10µs) so slow CI boxes
+        never flake, while still catching accidental allocation or
+        locking on the fast path.
+        """
+        n = 20_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with span("hot"):
+                pass
+        per_call = (time.perf_counter() - t0) / n
+        assert per_call < 10e-6
+
+
+class TestMiningRun:
+    def test_sets_wall_seconds_without_tracer(self):
+        class M:
+            wall_seconds = 0.0
+
+        m = M()
+        with mining_run("demo", m):
+            time.sleep(0.001)
+        assert m.wall_seconds > 0.0
+
+    def test_sets_wall_seconds_on_error(self):
+        class M:
+            wall_seconds = 0.0
+
+        m = M()
+        with pytest.raises(RuntimeError):
+            with mining_run("demo", m):
+                raise RuntimeError
+        assert m.wall_seconds > 0.0
+
+    def test_emits_root_span_when_traced(self):
+        tracer = Tracer()
+
+        class M:
+            wall_seconds = 0.0
+
+        with tracer.activate():
+            with mining_run("demo", M(), engine="vectorized"):
+                with span("child"):
+                    pass
+        roots = tracer.roots()
+        assert [r.name for r in roots] == ["mining_run"]
+        assert roots[0].attrs["algorithm"] == "demo"
+        assert roots[0].attrs["engine"] == "vectorized"

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.gpusim import (
     GlobalMemory,
     TESLA_T10,
-    analyze_trace,
     block_reduce_sum,
     launch_kernel,
 )

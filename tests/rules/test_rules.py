@@ -7,7 +7,7 @@ import pytest
 from repro import mine
 from repro.core.itemset import MiningResult
 from repro.errors import MiningError
-from repro.rules import AssociationRule, generate_rules
+from repro.rules import generate_rules
 
 
 @pytest.fixture

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
-from repro.datasets import TransactionDatabase, write_fimi
+from repro.datasets import write_fimi
 
 
 @pytest.fixture

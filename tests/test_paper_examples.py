@@ -10,7 +10,7 @@ import pytest
 
 from repro.bitset import BitsetMatrix, TidsetTable
 from repro.datasets import TransactionDatabase
-from repro.trie import CandidateTrie, generate_candidates, join_frequent
+from repro.trie import CandidateTrie, join_frequent
 
 
 @pytest.fixture

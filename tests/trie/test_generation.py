@@ -1,6 +1,5 @@
 """Unit tests for candidate generation (leaf/sibling join + pruning)."""
 
-from itertools import combinations
 
 import numpy as np
 import pytest
