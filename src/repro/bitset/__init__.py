@@ -21,6 +21,8 @@ from .ops import (
     intersect_pair,
     support_of_rows,
     support_many,
+    support_words,
+    tile_bounds,
 )
 from .tidset import TidsetTable, intersect_tidsets, intersect_tidsets_merge
 from .vertical import build_bitset_matrix, build_tidset_table, bitset_to_tidsets, tidsets_to_bitset
@@ -36,6 +38,8 @@ __all__ = [
     "intersect_pair",
     "support_of_rows",
     "support_many",
+    "support_words",
+    "tile_bounds",
     "TidsetTable",
     "intersect_tidsets",
     "intersect_tidsets_merge",

@@ -24,7 +24,13 @@ __all__ = [
     "intersect_rows",
     "support_of_rows",
     "support_many",
+    "support_words",
+    "tile_bounds",
+    "TILE_BUDGET_BYTES",
 ]
+
+TILE_BUDGET_BYTES = 8 << 20
+"""Default per-tile gather budget (~8 MB keeps blocks cache-friendly)."""
 
 _HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
 
@@ -93,6 +99,50 @@ def support_of_rows(matrix: BitsetMatrix, items: Sequence[int]) -> int:
     return popcount(intersect_rows(matrix, items))
 
 
+def tile_bounds(
+    n: int,
+    row_bytes: int,
+    budget_bytes: int = TILE_BUDGET_BYTES,
+    min_tiles: int = 1,
+) -> list:
+    """Contiguous ``(start, stop)`` tiles over ``n`` candidate rows.
+
+    The tile size is the largest count whose gathered ``(tile,
+    row_bytes)`` block stays within ``budget_bytes`` — the cache-bound
+    batching :func:`support_many` has always used — optionally split
+    further so at least ``min_tiles`` non-empty tiles come back (the
+    parallel engine's per-worker sharding reuses this exact math).
+    """
+    if n <= 0:
+        return []
+    if min_tiles < 1:
+        raise BitsetError(f"min_tiles must be >= 1, got {min_tiles}")
+    tile = max(1, min(n, budget_bytes // max(row_bytes, 1)))
+    if min_tiles > 1:
+        tile = min(tile, -(-n // min_tiles))
+    return [(start, min(start + tile, n)) for start in range(0, n, tile)]
+
+
+def support_words(words: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """Tile-batched support counting over a raw ``(n_items, n_words)``
+    word array (the validated core of :func:`support_many`).
+
+    Shared by the vectorized engine (via :func:`support_many`) and the
+    parallel engine's workers, which run it against the same words
+    mapped into :mod:`multiprocessing.shared_memory`; identical inputs
+    produce bit-identical supports on both paths.
+    """
+    n, k = candidates.shape
+    out = np.empty(n, dtype=np.int64)
+    row_bytes = words.shape[1] * words.dtype.itemsize
+    for start, stop in tile_bounds(n, row_bytes):
+        block = words[candidates[start:stop, 0]].copy()
+        for j in range(1, k):
+            np.bitwise_and(block, words[candidates[start:stop, j]], out=block)
+        out[start:stop] = popcount_words(block).sum(axis=1, dtype=np.int64)
+    return out
+
+
 def support_many(
     matrix: BitsetMatrix,
     candidates: np.ndarray,
@@ -120,7 +170,7 @@ def support_many(
     AND-ed in-place with each subsequent gathered block, then popcounted
     — the same data-parallel structure as one kernel launch covering the
     candidate buffer. Memory use is bounded by processing candidates in
-    tiles of ``tile`` rows.
+    :func:`tile_bounds`-sized tiles.
     """
     candidates = np.asarray(candidates)
     if candidates.ndim != 2:
@@ -134,15 +184,4 @@ def support_many(
         raise BitsetError("candidates must have k >= 1 items")
     if candidates.min() < 0 or candidates.max() >= matrix.n_items:
         raise BitsetError("candidate contains item id outside the matrix")
-    out = np.empty(n, dtype=np.int64)
-    # Tile so the gathered block stays cache-friendly (~8 MB per gather).
-    words = matrix.words
-    row_bytes = matrix.n_words * 4
-    tile = max(1, min(n, (8 << 20) // max(row_bytes, 1)))
-    for start in range(0, n, tile):
-        stop = min(start + tile, n)
-        block = words[candidates[start:stop, 0]].copy()
-        for j in range(1, k):
-            np.bitwise_and(block, words[candidates[start:stop, j]], out=block)
-        out[start:stop] = popcount_words(block).sum(axis=1, dtype=np.int64)
-    return out
+    return support_words(matrix.words, candidates)

@@ -89,6 +89,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_mine.add_argument("--max-k", type=int, default=None)
     p_mine.add_argument(
+        "--engine",
+        choices=["vectorized", "simulated", "parallel"],
+        default=None,
+        help="gpapriori counting engine (default: vectorized)",
+    )
+    p_mine.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --engine parallel (0 = auto-size)",
+    )
+    p_mine.add_argument(
         "--top", type=int, default=20, help="print at most this many itemsets"
     )
     p_mine.add_argument(
@@ -135,7 +148,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_mine(args: argparse.Namespace) -> int:
     db, label = _load_db(args)
-    result = mine(db, args.min_support, algorithm=args.algorithm, max_k=args.max_k)
+    engine_kwargs = {}
+    if args.engine is not None:
+        engine_kwargs["engine"] = args.engine
+    if args.workers is not None:
+        engine_kwargs["workers"] = args.workers
+    if engine_kwargs and args.algorithm != "gpapriori":
+        print(
+            f"error: --engine/--workers apply to the gpapriori algorithm, "
+            f"not {args.algorithm!r}",
+            file=sys.stderr,
+        )
+        return 2
+    result = mine(
+        db, args.min_support, algorithm=args.algorithm, max_k=args.max_k,
+        **engine_kwargs,
+    )
     print(f"dataset: {label}  ({db.n_transactions} transactions, {db.n_items} items)")
     print(
         f"{args.algorithm}: {len(result)} frequent itemsets "

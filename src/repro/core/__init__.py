@@ -8,9 +8,12 @@
   equivalence-class support-counting plans (Section IV.2 trade-off).
 * :mod:`~repro.core.kernels` — the CUDA-style support-counting kernel
   executed by the :mod:`repro.gpusim` simulator.
-* :mod:`~repro.core.support` — the two interchangeable counting
-  engines: ``vectorized`` (NumPy, fast) and ``simulated`` (kernel-
-  faithful, for validation).
+* :mod:`~repro.core.support` — two of the three interchangeable
+  counting engines: ``vectorized`` (NumPy, fast) and ``simulated``
+  (kernel-faithful, for validation).
+* :mod:`~repro.core.parallel` — the third engine: ``parallel``, the
+  vectorized arithmetic sharded over a worker-process pool reading the
+  bitsets from shared memory.
 * :mod:`~repro.core.gpapriori` — the host-side mining driver.
 * :mod:`~repro.core.api` — the ``mine()`` facade and algorithm registry.
 """
@@ -19,6 +22,7 @@ from .itemset import Itemset, MiningResult, RunMetrics
 from .config import GPAprioriConfig
 from .plans import CompleteIntersectionPlan, EquivalenceClassPlan, make_plan
 from .support import SimulatedEngine, VectorizedEngine, make_engine
+from .parallel import ParallelEngine
 from .gpapriori import gpapriori_mine
 from .hybrid import ModelBalancer, StaticBalancer, hybrid_mine
 from .multigpu import MultiGpuResult, multigpu_mine, scaling_efficiency
@@ -35,6 +39,7 @@ __all__ = [
     "make_plan",
     "VectorizedEngine",
     "SimulatedEngine",
+    "ParallelEngine",
     "make_engine",
     "gpapriori_mine",
     "StaticBalancer",

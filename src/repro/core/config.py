@@ -15,7 +15,7 @@ from ..errors import ConfigError
 
 __all__ = ["GPAprioriConfig"]
 
-_VALID_ENGINES = ("vectorized", "simulated")
+_VALID_ENGINES = ("vectorized", "simulated", "parallel")
 _VALID_PLANS = ("complete", "equivalence")
 
 
@@ -49,6 +49,14 @@ class GPAprioriConfig:
         ``"vectorized"`` — NumPy host execution of the same arithmetic.
         ``"simulated"`` — run the real kernel on :mod:`repro.gpusim`
         thread-by-thread (slow; for validation and access traces).
+        ``"parallel"`` — the vectorized arithmetic fanned out over a
+        pool of worker processes reading the bitset table from
+        :mod:`multiprocessing.shared_memory` (host-side data
+        parallelism standing in for the GPU's).
+    workers:
+        Worker-process count for the parallel engine. ``0`` (the
+        default) sizes the pool to the host's usable cores (capped at
+        8); ``1`` runs in-process. Ignored by the other engines.
     aligned:
         Keep bitset rows on the 64-byte boundary (paper Section IV.1).
         Disabling alignment is only useful for the coalescing ablation.
@@ -62,6 +70,7 @@ class GPAprioriConfig:
     unroll: int = 4
     plan: str = "complete"
     engine: str = "vectorized"
+    workers: int = 0
     aligned: bool = True
     trace_accesses: bool = False
 
@@ -80,6 +89,12 @@ class GPAprioriConfig:
             raise ConfigError(
                 f"engine must be one of {_VALID_ENGINES}, got {self.engine!r}"
             )
+        if (
+            not isinstance(self.workers, int)
+            or isinstance(self.workers, bool)
+            or self.workers < 0
+        ):
+            raise ConfigError(f"workers must be an int >= 0, got {self.workers!r}")
 
     def with_(self, **overrides) -> "GPAprioriConfig":
         """Return a copy with fields replaced (ablation convenience)."""

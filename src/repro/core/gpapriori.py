@@ -71,14 +71,17 @@ def gpapriori_mine(
 
     metrics = RunMetrics(algorithm="gpapriori")
 
-    with mining_run(
-        "gpapriori",
-        metrics,
+    run_attrs = dict(
         engine=config.engine,
         plan=config.plan,
         n_transactions=db.n_transactions,
         n_items=db.n_items,
-    ):
+    )
+    if config.engine == "parallel":
+        from .parallel import resolve_workers
+
+        run_attrs["workers"] = resolve_workers(config.workers)
+    with mining_run("gpapriori", metrics, **run_attrs):
         with span("transpose", aligned=config.aligned) as sp:
             matrix = BitsetMatrix.from_database(db, aligned=config.aligned)
             sp.set(n_items=matrix.n_items, n_words=matrix.n_words, bytes=matrix.nbytes)

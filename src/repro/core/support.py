@@ -1,6 +1,10 @@
 """Support-counting engines: vectorized (NumPy) and simulated (gpusim).
 
-Both engines expose the same three operations the mining driver needs:
+A third engine, :class:`~repro.core.parallel.ParallelEngine`, lives in
+:mod:`repro.core.parallel` and fans the vectorized arithmetic out over
+a pool of worker processes reading the bitsets from shared memory.
+
+All engines expose the same three operations the mining driver needs:
 
 * :meth:`SupportEngine.count_complete` — complete-intersection counting
   of a ``(n, k)`` candidate buffer (paper Fig. 4 / Fig. 5);
@@ -24,7 +28,7 @@ import numpy as np
 
 from ..bitset.bitset import BitsetMatrix
 from ..bitset.ops import popcount_words, support_many
-from ..errors import ConfigError, MiningError
+from ..errors import ConfigError, DeviceMemoryError, MiningError
 from ..gpusim.coalescing import analyze_trace
 from ..gpusim.device import TESLA_T10, DeviceProperties
 from ..gpusim.kernel import LaunchConfig, launch_kernel
@@ -37,6 +41,27 @@ from .itemset import RunMetrics
 from .kernels import extend_kernel, support_count_kernel
 
 __all__ = ["SupportEngine", "VectorizedEngine", "SimulatedEngine", "make_engine"]
+
+
+def _check_retain_indices(indices: np.ndarray, n_pending: int) -> np.ndarray:
+    """Validate retain() indices against the pending-row count.
+
+    Out-of-range indices are caller bugs; they must surface as
+    :class:`MiningError` *before* any engine state is touched, so a
+    failed retain leaves the pending rows intact for a corrected retry
+    instead of corrupting the prefix cache.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.ndim != 1:
+        raise MiningError(
+            f"retain() indices must be 1-D, got shape {indices.shape}"
+        )
+    if indices.size and (indices.min() < 0 or indices.max() >= n_pending):
+        raise MiningError(
+            f"retain() index out of range: got [{indices.min()}, "
+            f"{indices.max()}] against {n_pending} pending rows"
+        )
+    return indices
 
 
 class SupportEngine:
@@ -189,7 +214,8 @@ class VectorizedEngine(SupportEngine):
         """Keep only the surviving candidates' rows as the prefix cache."""
         if self._pending_rows is None:
             raise MiningError("retain() without a preceding count_extend()")
-        self._prefix_rows = self._pending_rows[np.asarray(indices, dtype=np.int64)]
+        indices = _check_retain_indices(indices, self._pending_rows.shape[0])
+        self._prefix_rows = self._pending_rows[indices]
         self._pending_rows = None
         self.metrics.add_counter(
             "prefix_rows_resident_bytes", int(self._prefix_rows.nbytes)
@@ -231,7 +257,7 @@ class SimulatedEngine(SupportEngine):
             dim *= 2
         return min(dim, self.device.max_threads_per_block, want)
 
-    def _chunk_size(self, n: int, k: int) -> int:
+    def _chunk_size(self, n: int, per_candidate_bytes: int) -> int:
         """Largest candidate chunk whose buffers fit free device memory.
 
         The paper's design keeps only the generation-1 bitsets resident;
@@ -241,12 +267,23 @@ class SimulatedEngine(SupportEngine):
         smaller device. (The cost model still prices the generation as
         one batch; chunking exists to preserve *correctness* under
         memory pressure, and a chunked launch moves identical bytes.)
+
+        Raises a clean :class:`~repro.errors.DeviceMemoryError` naming
+        the shortfall when not even a one-candidate chunk fits — the
+        alternative is handing back a chunk that fails mid-allocation,
+        leaking whatever buffers were already allocated.
         """
         free = self.memory.capacity_bytes - self.memory.bytes_in_use
-        per_candidate = k * 4 + 8  # candidate ids + support slot
         # leave headroom for allocator alignment padding
-        fit = (free - 2 * self.memory.alignment) // per_candidate
-        return int(max(1, min(n, fit)))
+        headroom = 2 * self.memory.alignment
+        fit = (free - headroom) // per_candidate_bytes if free > headroom else 0
+        if fit < 1:
+            raise DeviceMemoryError(
+                f"cannot chunk launch: {free} bytes free on device, but one "
+                f"candidate needs {per_candidate_bytes} bytes plus {headroom} "
+                "bytes of alignment headroom"
+            )
+        return int(min(n, fit))
 
     def count_complete(self, candidates: np.ndarray) -> np.ndarray:
         candidates = np.ascontiguousarray(candidates, dtype=np.int32)
@@ -254,41 +291,47 @@ class SimulatedEngine(SupportEngine):
         if n == 0:
             return np.zeros(0, dtype=np.int64)
         out = np.empty(n, dtype=np.int64)
-        chunk = self._chunk_size(n, k)
+        chunk = self._chunk_size(n, k * 4 + 8)  # candidate ids + support slot
         with span(
             "kernel_launch", engine="simulated", kind="complete", k=k, candidates=n
         ) as sp:
             for start in range(0, n, chunk):
                 stop = min(start + chunk, n)
                 m = stop - start
+                # alloc -> launch -> free under try/finally: a failed
+                # launch (or htod) must not leak the chunk's buffers.
                 cand_buf = self.memory.alloc("candidates", (m, k), np.int32)
-                self.memory.htod(cand_buf, candidates[start:stop])
-                sup_buf = self.memory.alloc("supports", (m,), np.int64)
-                result = launch_kernel(
-                    support_count_kernel,
-                    LaunchConfig(grid_dim=m, block_dim=self._block_dim()),
-                    args=(
-                        self._bitset_buf,
-                        cand_buf,
-                        k,
-                        self.matrix.n_words,
-                        sup_buf,
-                        self.config.preload_candidates,
-                    ),
-                    device=self.device,
-                    trace=self.config.trace_accesses,
-                )
-                self.last_trace = result.trace
-                self.kernel_stats.record_launch(
-                    blocks=m,
-                    threads_per_block=result.config.block_dim,
-                    barriers=result.barriers,
-                    candidate_words=m * k * self.matrix.n_words,
-                    popcounts=m * self.matrix.n_words,
-                )
-                out[start:stop] = self.memory.dtoh(sup_buf)
-                self.memory.free(cand_buf)
-                self.memory.free(sup_buf)
+                sup_buf = None
+                try:
+                    self.memory.htod(cand_buf, candidates[start:stop])
+                    sup_buf = self.memory.alloc("supports", (m,), np.int64)
+                    result = launch_kernel(
+                        support_count_kernel,
+                        LaunchConfig(grid_dim=m, block_dim=self._block_dim()),
+                        args=(
+                            self._bitset_buf,
+                            cand_buf,
+                            k,
+                            self.matrix.n_words,
+                            sup_buf,
+                            self.config.preload_candidates,
+                        ),
+                        device=self.device,
+                        trace=self.config.trace_accesses,
+                    )
+                    self.last_trace = result.trace
+                    self.kernel_stats.record_launch(
+                        blocks=m,
+                        threads_per_block=result.config.block_dim,
+                        barriers=result.barriers,
+                        candidate_words=m * k * self.matrix.n_words,
+                        popcounts=m * self.matrix.n_words,
+                    )
+                    out[start:stop] = self.memory.dtoh(sup_buf)
+                finally:
+                    if sup_buf is not None:
+                        self.memory.free(sup_buf)
+                    self.memory.free(cand_buf)
             sp.set(chunks=-(-n // chunk), **self._charge_complete(n, k))
         return out
 
@@ -297,44 +340,92 @@ class SimulatedEngine(SupportEngine):
         n = pairs.shape[0]
         n_words = self.matrix.n_words
         if n == 0:
-            self._pending_buf = self.memory.alloc("prefix_rows_next", (0, n_words), np.uint32)
+            if self._pending_buf is not None:
+                self.memory.free(self._pending_buf)
+            self._pending_buf = self.memory.alloc(
+                "prefix_rows_next", (0, n_words), np.uint32
+            )
             return np.zeros(0, dtype=np.int64)
+        prefix_buf = (
+            self._prefix_buf if self._prefix_buf is not None else self._bitset_buf
+        )
         with span(
             "kernel_launch", engine="simulated", kind="extend", k=2, candidates=n
         ) as sp:
-            pair_buf = self.memory.alloc("pairs", (n, 2), np.int32)
-            self.memory.htod(pair_buf, pairs)
+            # The full result-row cache must be resident for retain();
+            # if *it* does not fit, that is the equivalence-class plan's
+            # genuine memory wall and the OOM propagates. The transient
+            # pair/support buffers, however, chunk like count_complete.
             out_rows = self.memory.alloc("prefix_rows_next", (n, n_words), np.uint32)
-            sup_buf = self.memory.alloc("supports", (n,), np.int64)
-            prefix_buf = (
-                self._prefix_buf if self._prefix_buf is not None else self._bitset_buf
-            )
-            result = launch_kernel(
-                extend_kernel,
-                LaunchConfig(grid_dim=n, block_dim=self._block_dim()),
-                args=(prefix_buf, self._bitset_buf, pair_buf, n_words, out_rows, sup_buf),
-                device=self.device,
-                trace=self.config.trace_accesses,
-            )
-            self.last_trace = result.trace
-            self.kernel_stats.record_launch(
-                blocks=n,
-                threads_per_block=result.config.block_dim,
-                barriers=result.barriers,
-                candidate_words=n * 2 * n_words,
-                popcounts=n * n_words,
-            )
-            supports = self.memory.dtoh(sup_buf)
-            self.memory.free(pair_buf)
-            self.memory.free(sup_buf)
+            supports = np.empty(n, dtype=np.int64)
+            try:
+                # pair ids + support slot per candidate; a multi-chunk
+                # pass additionally stages one result row per candidate.
+                chunk = self._chunk_size(n, 2 * 4 + 8)
+                if chunk < n:
+                    chunk = self._chunk_size(n, 2 * 4 + 8 + n_words * 4)
+                for start in range(0, n, chunk):
+                    stop = min(start + chunk, n)
+                    m = stop - start
+                    single = m == n
+                    pair_buf = self.memory.alloc("pairs", (m, 2), np.int32)
+                    sup_buf = stage_buf = None
+                    try:
+                        self.memory.htod(pair_buf, pairs[start:stop])
+                        sup_buf = self.memory.alloc("supports", (m,), np.int64)
+                        # a lone chunk writes rows straight into the
+                        # cache; chunked launches stage block-local rows
+                        # and compact them device-to-device.
+                        if not single:
+                            stage_buf = self.memory.alloc(
+                                "prefix_rows_stage", (m, n_words), np.uint32
+                            )
+                        row_buf = out_rows if single else stage_buf
+                        result = launch_kernel(
+                            extend_kernel,
+                            LaunchConfig(grid_dim=m, block_dim=self._block_dim()),
+                            args=(
+                                prefix_buf,
+                                self._bitset_buf,
+                                pair_buf,
+                                n_words,
+                                row_buf,
+                                sup_buf,
+                            ),
+                            device=self.device,
+                            trace=self.config.trace_accesses,
+                        )
+                        self.last_trace = result.trace
+                        self.kernel_stats.record_launch(
+                            blocks=m,
+                            threads_per_block=result.config.block_dim,
+                            barriers=result.barriers,
+                            candidate_words=m * 2 * n_words,
+                            popcounts=m * n_words,
+                        )
+                        supports[start:stop] = self.memory.dtoh(sup_buf)
+                        if not single:
+                            # device-to-device compaction; no PCIe charge
+                            out_rows.data[start:stop] = stage_buf.data
+                    finally:
+                        if stage_buf is not None:
+                            self.memory.free(stage_buf)
+                        if sup_buf is not None:
+                            self.memory.free(sup_buf)
+                        self.memory.free(pair_buf)
+            except BaseException:
+                self.memory.free(out_rows)
+                raise
+            if self._pending_buf is not None:
+                self.memory.free(self._pending_buf)
             self._pending_buf = out_rows
-            sp.set(**self._charge_extend(n))
+            sp.set(chunks=-(-n // chunk), **self._charge_extend(n))
         return supports
 
     def retain(self, indices: np.ndarray) -> None:
         if self._pending_buf is None:
             raise MiningError("retain() without a preceding count_extend()")
-        indices = np.asarray(indices, dtype=np.int64)
+        indices = _check_retain_indices(indices, self._pending_buf.shape[0])
         kept = self._pending_buf.data[indices].copy()
         self.memory.free(self._pending_buf)
         if self._prefix_buf is not None:
@@ -372,4 +463,9 @@ def make_engine(
         return VectorizedEngine(config, metrics, device)
     if config.engine == "simulated":
         return SimulatedEngine(config, metrics, device)
+    if config.engine == "parallel":
+        # imported lazily: parallel.py builds on this module
+        from .parallel import ParallelEngine
+
+        return ParallelEngine(config, metrics, device)
     raise ConfigError(f"unknown engine {config.engine!r}")

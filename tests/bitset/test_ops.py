@@ -11,6 +11,8 @@ from repro.bitset import (
     popcount_words,
     support_many,
     support_of_rows,
+    support_words,
+    tile_bounds,
 )
 from repro.bitset.ops import _POPCOUNT16
 from repro.errors import BitsetError
@@ -122,3 +124,56 @@ class TestSupportMany:
         m = BitsetMatrix.from_database(small_db)
         got = support_many(m, np.array([[3, 3]]))
         assert got[0] == small_db.support([3])
+
+
+class TestTileBounds:
+    def test_covers_range_exactly(self):
+        bounds = tile_bounds(100, row_bytes=64, budget_bytes=1024)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 100
+        for (a, b), (c, d) in zip(bounds, bounds[1:]):
+            assert b == c and a < b
+        assert all(b - a <= 1024 // 64 for a, b in bounds)
+
+    def test_empty(self):
+        assert tile_bounds(0, row_bytes=64) == []
+
+    def test_min_tiles_splits(self):
+        """The parallel engine's per-worker sharding: at least
+        ``min_tiles`` pieces even when the budget allows one."""
+        bounds = tile_bounds(100, row_bytes=4, min_tiles=4)
+        assert len(bounds) >= 4
+        assert bounds[-1][1] == 100
+
+    def test_min_tiles_never_exceeds_candidates(self):
+        bounds = tile_bounds(3, row_bytes=4, min_tiles=8)
+        assert len(bounds) == 3
+        assert all(b - a == 1 for a, b in bounds)
+
+    def test_min_tiles_invalid(self):
+        with pytest.raises(BitsetError, match="min_tiles"):
+            tile_bounds(10, row_bytes=4, min_tiles=0)
+
+    def test_huge_rows_still_one_candidate_per_tile(self):
+        bounds = tile_bounds(5, row_bytes=1 << 30, budget_bytes=1024)
+        assert bounds == [(i, i + 1) for i in range(5)]
+
+
+class TestSupportWords:
+    def test_matches_support_many(self, small_db):
+        m = BitsetMatrix.from_database(small_db)
+        cands = np.array([[i, (i + 1) % 12] for i in range(12)])
+        assert np.array_equal(
+            support_words(m.words, cands), support_many(m, cands)
+        )
+
+    def test_sharded_equals_whole(self, small_db):
+        """Per-worker sharding is invisible in the results: counting
+        tile-by-tile and concatenating equals one whole-buffer call."""
+        m = BitsetMatrix.from_database(small_db)
+        cands = np.array([[i, (i + 1) % 12, (i + 2) % 12] for i in range(12)])
+        whole = support_words(m.words, cands)
+        parts = [
+            support_words(m.words, cands[a:b])
+            for a, b in tile_bounds(len(cands), m.n_words * 4, min_tiles=3)
+        ]
+        assert np.array_equal(np.concatenate(parts), whole)

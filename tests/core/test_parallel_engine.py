@@ -1,0 +1,274 @@
+"""Unit tests for the parallel shared-memory counting engine."""
+
+import time
+
+import numpy as np
+import pytest
+
+import repro.core.parallel as par_mod
+from repro.bitset import BitsetMatrix
+from repro.cli import main as cli_main
+from repro.core.config import GPAprioriConfig
+from repro.core.gpapriori import gpapriori_mine
+from repro.core.itemset import RunMetrics
+from repro.core.parallel import MAX_AUTO_WORKERS, ParallelEngine, resolve_workers
+from repro.core.support import VectorizedEngine, make_engine
+from repro.errors import BitsetError, ConfigError, MiningError
+
+
+def make_pair(db, workers=2, force_pool=False, **cfg_over):
+    """A (vectorized, parallel) engine pair over the same matrix."""
+    matrix = BitsetMatrix.from_database(db)
+    vec = VectorizedEngine(GPAprioriConfig(), RunMetrics())
+    vec.setup(matrix)
+    cfg = GPAprioriConfig(engine="parallel", workers=workers, **cfg_over)
+    eng = ParallelEngine(cfg, RunMetrics())
+    if force_pool:
+        eng.min_parallel = 1
+    eng.setup(matrix)
+    return vec, eng
+
+
+@pytest.fixture
+def pool_pair(small_db):
+    vec, eng = make_pair(small_db, workers=2, force_pool=True)
+    yield vec, eng
+    eng.close()
+
+
+ALL_PAIRS = np.array([[i, j] for i in range(12) for j in range(i + 1, 12)])
+
+
+class TestResolveWorkers:
+    def test_explicit_passthrough(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(1) == 1
+
+    def test_auto_is_positive_and_capped(self):
+        n = resolve_workers(0)
+        assert 1 <= n <= MAX_AUTO_WORKERS
+
+    def test_config_rejects_negative(self):
+        with pytest.raises(ConfigError, match="workers"):
+            GPAprioriConfig(workers=-1)
+
+    def test_config_rejects_bool(self):
+        with pytest.raises(ConfigError, match="workers"):
+            GPAprioriConfig(workers=True)
+
+
+class TestDispatch:
+    def test_make_engine_dispatch(self):
+        eng = make_engine(GPAprioriConfig(engine="parallel"), RunMetrics())
+        assert isinstance(eng, ParallelEngine)
+
+    def test_count_complete_matches_vectorized(self, pool_pair):
+        vec, eng = pool_pair
+        assert np.array_equal(
+            eng.count_complete(ALL_PAIRS), vec.count_complete(ALL_PAIRS)
+        )
+        assert not eng.in_process
+
+    def test_extend_retain_chain_matches_vectorized(self, pool_pair):
+        vec, eng = pool_pair
+        assert np.array_equal(eng.count_extend(ALL_PAIRS), vec.count_extend(ALL_PAIRS))
+        keep = np.arange(0, ALL_PAIRS.shape[0], 2)
+        eng.retain(keep)
+        vec.retain(keep)
+        deeper = np.array([[i, 11] for i in range(keep.size)])
+        assert np.array_equal(eng.count_extend(deeper), vec.count_extend(deeper))
+
+    def test_identical_modeled_costs(self, pool_pair):
+        vec, eng = pool_pair
+        vec.count_complete(ALL_PAIRS)
+        eng.count_complete(ALL_PAIRS)
+        assert eng.metrics.modeled_breakdown == pytest.approx(
+            vec.metrics.modeled_breakdown
+        )
+
+    def test_tile_and_shm_counters(self, pool_pair):
+        _, eng = pool_pair
+        eng.count_complete(ALL_PAIRS)
+        c = eng.metrics.counters
+        assert c["parallel.tiles"] >= 2  # sharded across both workers
+        assert c["parallel.shm_bytes"] >= eng.matrix.nbytes
+        assert eng.metrics.registry.gauge("parallel.workers") == 2
+
+    def test_small_generation_stays_in_process(self, small_db):
+        _, eng = make_pair(small_db, workers=2)  # default threshold
+        try:
+            eng.count_complete(np.array([[0, 1], [2, 3]]))
+            assert eng.in_process
+        finally:
+            eng.close()
+
+    def test_empty_generations(self, pool_pair):
+        _, eng = pool_pair
+        assert eng.count_complete(np.empty((0, 2), dtype=np.int64)).size == 0
+        assert eng.count_extend(np.empty((0, 2), dtype=np.int64)).size == 0
+        eng.retain(np.empty(0, dtype=np.int64))
+
+
+class TestValidation:
+    def test_count_before_setup(self):
+        eng = ParallelEngine(GPAprioriConfig(engine="parallel"), RunMetrics())
+        with pytest.raises(MiningError, match="setup"):
+            eng.count_complete(np.array([[0]]))
+
+    def test_out_of_range_item(self, pool_pair):
+        _, eng = pool_pair
+        with pytest.raises(BitsetError):
+            eng.count_complete(np.array([[0, 99]]))
+
+    def test_bad_pairs_shape(self, pool_pair):
+        _, eng = pool_pair
+        with pytest.raises(MiningError, match="\\(n, 2\\)"):
+            eng.count_extend(np.array([[1, 2, 3]]))
+
+    def test_extend_prefix_row_out_of_range(self, pool_pair):
+        _, eng = pool_pair
+        eng.count_extend(ALL_PAIRS)
+        eng.retain(np.arange(4))
+        with pytest.raises(MiningError, match="prefix row"):
+            eng.count_extend(np.array([[4, 0]]))  # only rows 0-3 cached
+
+    def test_retain_without_extend(self, pool_pair):
+        _, eng = pool_pair
+        with pytest.raises(MiningError, match="retain"):
+            eng.retain(np.array([0]))
+
+    def test_retain_bad_index_is_mining_error_and_recoverable(self, pool_pair):
+        vec, eng = pool_pair
+        sup = eng.count_extend(ALL_PAIRS)
+        with pytest.raises(MiningError, match="out of range"):
+            eng.retain(np.array([0, ALL_PAIRS.shape[0]]))
+        # the failed retain must not have consumed the pending state:
+        eng.retain(np.array([0, 1]))
+        vec.count_extend(ALL_PAIRS)
+        vec.retain(np.array([0, 1]))
+        deeper = np.array([[0, 5], [1, 7]])
+        assert np.array_equal(eng.count_extend(deeper), vec.count_extend(deeper))
+        assert sup.shape[0] == ALL_PAIRS.shape[0]
+
+
+class TestFallback:
+    def test_no_fork_platform_degrades_in_process(self, small_db, monkeypatch):
+        def no_fork(method=None):
+            raise ValueError("fork start method unavailable")
+
+        monkeypatch.setattr(par_mod.multiprocessing, "get_context", no_fork)
+        vec, eng = make_pair(small_db, workers=2, force_pool=True)
+        try:
+            got = eng.count_complete(ALL_PAIRS)
+            assert np.array_equal(got, vec.count_complete(ALL_PAIRS))
+            assert eng.in_process
+            assert eng.metrics.counters["parallel.pool_failures"] == 1
+        finally:
+            eng.close()
+
+    def test_task_timeout_degrades_in_process(self, small_db, monkeypatch):
+        """A wedged pool fails fast into in-process execution instead of
+        hanging the run (the CI deadlock-protection contract)."""
+
+        def stuck_tile(matrix_ref, candidates):  # pragma: no cover - worker side
+            time.sleep(60)
+
+        # patched before the pool forks, so workers inherit the stub
+        monkeypatch.setattr(par_mod, "_complete_tile", stuck_tile)
+        vec, eng = make_pair(small_db, workers=2, force_pool=True)
+        eng.task_timeout = 0.25
+        try:
+            t0 = time.perf_counter()
+            got = eng.count_complete(ALL_PAIRS)
+            assert time.perf_counter() - t0 < 30.0
+            assert np.array_equal(got, vec.count_complete(ALL_PAIRS))
+            assert eng.in_process
+            assert eng.metrics.counters["parallel.pool_failures"] == 1
+        finally:
+            eng.close()
+
+    def test_workers_one_never_forks(self, small_db):
+        _, eng = make_pair(small_db, workers=1, force_pool=True)
+        try:
+            eng.count_complete(ALL_PAIRS)
+            assert eng.in_process
+        finally:
+            eng.close()
+
+
+class TestLifecycle:
+    def test_finalize_releases_pool_and_segments(self, small_db):
+        _, eng = make_pair(small_db, workers=2, force_pool=True)
+        eng.count_complete(ALL_PAIRS)
+        eng.count_extend(ALL_PAIRS)
+        eng.retain(np.arange(8))
+        eng.count_extend(np.array([[i, 11] for i in range(8)]))
+        eng.finalize()
+        assert eng._pool is None
+        assert eng._matrix_seg is None and eng._prefix_seg is None
+
+    def test_close_is_idempotent(self, small_db):
+        _, eng = make_pair(small_db, workers=2, force_pool=True)
+        eng.count_complete(ALL_PAIRS)
+        eng.close()
+        eng.close()
+
+    def test_counting_after_close_still_correct(self, small_db):
+        """A closed engine degrades gracefully rather than crashing."""
+        vec, eng = make_pair(small_db, workers=2, force_pool=True)
+        eng.close()
+        # the matrix segment is gone, so this must take the host path
+        assert np.array_equal(
+            eng.count_complete(ALL_PAIRS), vec.count_complete(ALL_PAIRS)
+        )
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("plan", ["complete", "equivalence"])
+    def test_mining_matches_vectorized(self, small_db, plan):
+        ref = gpapriori_mine(small_db, 6, config=GPAprioriConfig(plan=plan))
+        got = gpapriori_mine(
+            small_db,
+            6,
+            config=GPAprioriConfig(engine="parallel", workers=2, plan=plan),
+        )
+        assert got.as_dict() == ref.as_dict()
+        assert got.metrics.modeled_breakdown == pytest.approx(
+            ref.metrics.modeled_breakdown
+        )
+
+    def test_cli_engine_and_workers_flags(self, capsys):
+        rc = cli_main(
+            [
+                "mine",
+                "--dataset",
+                "chess",
+                "--scale",
+                "0.02",
+                "--min-support",
+                "0.9",
+                "--engine",
+                "parallel",
+                "--workers",
+                "2",
+            ]
+        )
+        assert rc == 0
+        assert "frequent itemsets" in capsys.readouterr().out
+
+    def test_cli_engine_flag_rejects_other_algorithms(self, capsys):
+        rc = cli_main(
+            [
+                "mine",
+                "--dataset",
+                "chess",
+                "--scale",
+                "0.02",
+                "--algorithm",
+                "borgelt",
+                "--engine",
+                "parallel",
+            ]
+        )
+        assert rc == 2
+        assert "--engine" in capsys.readouterr().err

@@ -3,11 +3,12 @@
 import numpy as np
 import pytest
 
+import repro.core.support as support_mod
 from repro.bitset import BitsetMatrix
 from repro.core.config import GPAprioriConfig
 from repro.core.itemset import RunMetrics
 from repro.core.support import SimulatedEngine, VectorizedEngine, make_engine
-from repro.errors import DeviceMemoryError, MiningError
+from repro.errors import DeviceMemoryError, KernelLaunchError, MiningError
 from repro.gpusim.device import DeviceProperties
 
 
@@ -212,3 +213,161 @@ class TestSimulatedDeviceLimits:
         assert eng.kernel_stats.launches == 1
         assert eng.kernel_stats.blocks == 2
         assert eng.kernel_stats.barriers > 0
+
+
+def _device(capacity):
+    """A 1-SM device sheet with an exact global-memory capacity."""
+    return DeviceProperties(
+        name="tight",
+        sm_count=1,
+        cores_per_sm=8,
+        clock_hz=1e9,
+        global_mem_bytes=capacity,
+        mem_bandwidth_bytes=1e9,
+        shared_mem_per_block=16 << 10,
+        max_threads_per_block=512,
+        warp_size=32,
+        compute_capability=(1, 3),
+        pcie_bandwidth_bytes=1e9,
+        pcie_latency_s=1e-6,
+        kernel_launch_overhead_s=1e-6,
+    )
+
+
+def _sim_engine(db, capacity=None):
+    matrix = BitsetMatrix.from_database(db)
+    device = _device(capacity) if capacity is not None else None
+    args = (GPAprioriConfig(engine="simulated", block_size=8), RunMetrics())
+    eng = SimulatedEngine(*args, device) if device else SimulatedEngine(*args)
+    eng.setup(matrix)
+    return eng
+
+
+ALL_PAIRS = np.array([[i, j] for i in range(12) for j in range(i + 1, 12)])
+
+
+class TestDeviceMemoryBalance:
+    """Regression tests: failed launches must not leak device buffers."""
+
+    def _boom(self, *args, **kwargs):
+        raise KernelLaunchError("injected launch failure")
+
+    def test_failed_complete_launch_leaves_memory_balanced(
+        self, small_db, monkeypatch
+    ):
+        eng = _sim_engine(small_db)
+        before = eng.memory.bytes_in_use
+        monkeypatch.setattr(support_mod, "launch_kernel", self._boom)
+        with pytest.raises(KernelLaunchError):
+            eng.count_complete(ALL_PAIRS)
+        assert eng.memory.bytes_in_use == before
+
+    def test_failed_extend_launch_leaves_memory_balanced(self, small_db, monkeypatch):
+        eng = _sim_engine(small_db)
+        before = eng.memory.bytes_in_use
+        monkeypatch.setattr(support_mod, "launch_kernel", self._boom)
+        with pytest.raises(KernelLaunchError):
+            eng.count_extend(ALL_PAIRS)
+        assert eng.memory.bytes_in_use == before
+
+    def test_failed_htod_leaves_memory_balanced(self, small_db, monkeypatch):
+        eng = _sim_engine(small_db)
+        before = eng.memory.bytes_in_use
+
+        def bad_htod(buf, arr):
+            raise DeviceMemoryError("injected transfer failure")
+
+        monkeypatch.setattr(eng.memory, "htod", bad_htod)
+        with pytest.raises(DeviceMemoryError):
+            eng.count_complete(ALL_PAIRS)
+        assert eng.memory.bytes_in_use == before
+
+    def test_engine_usable_after_failed_launch(self, small_db, monkeypatch):
+        """A failed generation must not poison subsequent generations."""
+        eng = _sim_engine(small_db)
+        real = support_mod.launch_kernel
+        monkeypatch.setattr(support_mod, "launch_kernel", self._boom)
+        with pytest.raises(KernelLaunchError):
+            eng.count_complete(ALL_PAIRS)
+        monkeypatch.setattr(support_mod, "launch_kernel", real)
+        want = [small_db.support(c) for c in ALL_PAIRS]
+        assert eng.count_complete(ALL_PAIRS).tolist() == want
+
+
+class TestExtendChunking:
+    def test_extend_chunks_under_memory_pressure(self, small_db):
+        """An extension generation whose scratch buffers exceed free
+        device memory runs in multiple launches with results identical
+        to the unconstrained run."""
+        matrix = BitsetMatrix.from_database(small_db)
+        out_rows_bytes = ALL_PAIRS.shape[0] * matrix.n_words * 4
+        tight = _sim_engine(
+            small_db, capacity=matrix.nbytes + out_rows_bytes + 600
+        )
+        roomy = _sim_engine(small_db)
+        want = roomy.count_extend(ALL_PAIRS)
+        got = tight.count_extend(ALL_PAIRS)
+        assert tight.kernel_stats.launches > 1, "memory pressure must chunk"
+        assert np.array_equal(got, want)
+        # the chunked prefix cache must behave exactly like the whole one:
+        keep = np.arange(0, ALL_PAIRS.shape[0], 3)
+        tight.retain(keep)
+        roomy.retain(keep)
+        deeper = np.array([[i, 11] for i in range(keep.size)])
+        assert np.array_equal(tight.count_extend(deeper), roomy.count_extend(deeper))
+
+    def test_unchunkable_launch_raises_clean_oom(self, small_db):
+        """When not even a one-candidate chunk fits, the engine raises a
+        DeviceMemoryError naming the shortfall — and leaks nothing."""
+        matrix = BitsetMatrix.from_database(small_db)
+        eng = _sim_engine(small_db, capacity=matrix.nbytes + 512)
+        before = eng.memory.bytes_in_use
+        with pytest.raises(DeviceMemoryError, match="cannot chunk"):
+            eng.count_complete(ALL_PAIRS)
+        assert eng.memory.bytes_in_use == before
+
+
+class TestRetainValidation:
+    """Out-of-range retain() indices raise MiningError, not IndexError,
+    and must not corrupt the prefix cache."""
+
+    @pytest.mark.parametrize("engine_name", ["vectorized", "simulated"])
+    def test_out_of_range_raises_mining_error(self, paper_db, engine_name):
+        matrix = BitsetMatrix.from_database(paper_db)
+        eng = make_engine(
+            GPAprioriConfig(engine=engine_name, block_size=8), RunMetrics()
+        )
+        eng.setup(matrix)
+        eng.count_extend(np.array([[3, 4], [4, 5]]))
+        with pytest.raises(MiningError, match="out of range"):
+            eng.retain(np.array([0, 2]))  # only rows 0-1 pending
+        with pytest.raises(MiningError, match="out of range"):
+            eng.retain(np.array([-1]))
+
+    @pytest.mark.parametrize("engine_name", ["vectorized", "simulated"])
+    def test_failed_retain_preserves_pending_state(self, paper_db, engine_name):
+        matrix = BitsetMatrix.from_database(paper_db)
+        eng = make_engine(
+            GPAprioriConfig(engine=engine_name, block_size=8), RunMetrics()
+        )
+        eng.setup(matrix)
+        eng.count_extend(np.array([[3, 4], [4, 5]]))
+        with pytest.raises(MiningError):
+            eng.retain(np.array([99]))
+        eng.retain(np.array([0, 1]))  # pending generation still consumable
+        s3 = eng.count_extend(np.array([[0, 5], [1, 3]]))
+        assert s3.tolist() == [
+            paper_db.support([3, 4, 5]),
+            paper_db.support([3, 4, 5]),
+        ]
+
+    @pytest.mark.parametrize("engine_name", ["vectorized", "simulated"])
+    def test_non_1d_indices_raise(self, paper_db, engine_name):
+        matrix = BitsetMatrix.from_database(paper_db)
+        eng = make_engine(
+            GPAprioriConfig(engine=engine_name, block_size=8), RunMetrics()
+        )
+        eng.setup(matrix)
+        eng.count_extend(np.array([[3, 4], [4, 5]]))
+        with pytest.raises(MiningError, match="1-D"):
+            eng.retain(np.array([[0], [1]]))

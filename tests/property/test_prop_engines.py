@@ -6,10 +6,13 @@ min_support). Hypothesis drives random databases *and* random
 configurations through both engines.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import GPAprioriConfig, gpapriori_mine
+from repro.bitset import BitsetMatrix
+from repro.gpusim.device import DeviceProperties
 from tests.property.strategies import transaction_databases
 
 SLOW = settings(max_examples=20, deadline=None)
@@ -20,7 +23,7 @@ configs = st.builds(
     preload_candidates=st.booleans(),
     unroll=st.sampled_from([1, 2, 4, 8]),
     plan=st.sampled_from(["complete", "equivalence"]),
-    engine=st.sampled_from(["vectorized", "simulated"]),
+    engine=st.sampled_from(["vectorized", "simulated", "parallel"]),
     aligned=st.booleans(),
 )
 
@@ -57,3 +60,76 @@ class TestConfigInvariance:
         for key in ("htod_bitsets", "htod_candidates", "dtoh_supports"):
             if key in v or key in s:
                 assert abs(v.get(key, 0) - s.get(key, 0)) < 1e-12, key
+
+
+def _tight_device(capacity):
+    return DeviceProperties(
+        name="tight",
+        sm_count=1,
+        cores_per_sm=8,
+        clock_hz=1e9,
+        global_mem_bytes=capacity,
+        mem_bandwidth_bytes=1e9,
+        shared_mem_per_block=16 << 10,
+        max_threads_per_block=512,
+        warp_size=32,
+        compute_capability=(1, 3),
+        pcie_bandwidth_bytes=1e9,
+        pcie_latency_s=1e-6,
+        kernel_launch_overhead_s=1e-6,
+    )
+
+
+class TestThreeEngineEquivalence:
+    """All three engines are interchangeable: bit-identical supports and
+    identical modeled hardware costs on the same (db, min_count, plan)."""
+
+    @SLOW
+    @given(
+        transaction_databases(max_items=7, max_transactions=18),
+        st.sampled_from(["complete", "equivalence"]),
+        st.data(),
+    )
+    def test_identical_supports_and_modeled_costs(self, db, plan, data):
+        min_count = data.draw(st.integers(min_value=1, max_value=max(1, len(db))))
+        runs = {
+            name: gpapriori_mine(
+                db,
+                min_count,
+                config=GPAprioriConfig(
+                    engine=name, plan=plan, block_size=8, workers=2
+                ),
+            )
+            for name in ("vectorized", "simulated", "parallel")
+        }
+        ref = runs["vectorized"]
+        for name, got in runs.items():
+            assert got.as_dict() == ref.as_dict(), name
+            assert got.metrics.modeled_breakdown == pytest.approx(
+                ref.metrics.modeled_breakdown
+            ), name
+
+    def test_identical_under_memory_pressure(self, small_db):
+        """On a device so tight the simulator must chunk every large
+        generation into multiple launches, supports and modeled costs
+        still match the other engines exactly."""
+        matrix = BitsetMatrix.from_database(small_db)
+        tight = _tight_device(matrix.nbytes + 600)
+        runs = {
+            name: gpapriori_mine(
+                small_db,
+                6,
+                config=GPAprioriConfig(engine=name, block_size=8, workers=2),
+                device=tight,
+            )
+            for name in ("vectorized", "simulated", "parallel")
+        }
+        generations = runs["simulated"].metrics.generations
+        launches = runs["simulated"].metrics.counters["kernel.launches"]
+        assert launches > len(generations), "memory pressure must chunk"
+        ref = runs["vectorized"]
+        for name, got in runs.items():
+            assert got.as_dict() == ref.as_dict(), name
+            assert got.metrics.modeled_breakdown == pytest.approx(
+                ref.metrics.modeled_breakdown
+            ), name
