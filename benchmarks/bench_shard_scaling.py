@@ -1,0 +1,121 @@
+"""Out-of-core shard scaling: mining a matrix bigger than the device.
+
+The tentpole claim of the sharding layer is exactness under memory
+pressure: a database whose generation-1 bitset matrix does **not** fit
+the configured device budget still mines, bit-identically, by
+streaming tid-range shards through the engine. This bench pins that
+down on a chess-analog workload whose matrix is ~3x the budget:
+
+* the unsharded simulated engine must fail with ``DeviceMemoryError``
+  on the budget-capped device (proving the pressure is real);
+* the sharded run on the same device must succeed and match the
+  reference result from an unconstrained device;
+* a shard-count sweep records how the modeled out-of-core overhead
+  (per-generation candidate hops plus ``htod_shard_stream``) grows as
+  slabs shrink — the price of mining past DRAM.
+"""
+
+import pathlib
+from dataclasses import replace
+
+import pytest
+
+from repro.bench import render_table
+from repro.bitset import BitsetMatrix
+from repro.core.config import GPAprioriConfig
+from repro.core.gpapriori import gpapriori_mine
+from repro.core.sharding import ShardPlan
+from repro.datasets import dataset_analog
+from repro.errors import DeviceMemoryError
+from repro.gpusim.device import TESLA_T10
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+MIN_SUPPORT = 0.9
+MAX_K = 3
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Chess analog plus a device budget ~1/3 of its bitset matrix."""
+    db = dataset_analog("chess", scale=0.5)
+    matrix = BitsetMatrix.from_database(db, aligned=True)
+    budget = matrix.nbytes // 3
+    device = replace(TESLA_T10, global_mem_bytes=budget)
+    reference = gpapriori_mine(db, MIN_SUPPORT, max_k=MAX_K)
+    return db, matrix, budget, device, reference
+
+
+def test_matrix_exceeds_budget(workload):
+    """The workload is genuinely out-of-core for the budget device."""
+    _, matrix, budget, _, _ = workload
+    assert matrix.nbytes > budget
+
+
+def test_unsharded_oom_on_budget_device(workload):
+    """Without sharding, the simulated device cannot hold the matrix."""
+    db, _, _, device, _ = workload
+    cfg = GPAprioriConfig(engine="simulated")
+    with pytest.raises(DeviceMemoryError):
+        gpapriori_mine(db, MIN_SUPPORT, config=cfg, device=device, max_k=MAX_K)
+
+
+def test_sharded_mines_past_device_memory(workload):
+    """The budget-driven sharded run succeeds and is bit-identical."""
+    db, _, budget, device, reference = workload
+    cfg = GPAprioriConfig(engine="simulated", memory_budget_bytes=budget)
+    result = gpapriori_mine(db, MIN_SUPPORT, config=cfg, device=device, max_k=MAX_K)
+    assert result.as_dict() == reference.as_dict()
+    assert result.metrics.registry.gauges["shard.count"] > 1
+
+
+def test_shard_count_scaling(workload):
+    """Sweep explicit shard counts; record the out-of-core overhead."""
+    db, matrix, budget, _, reference = workload
+    rows = []
+    stream_costs = {}
+    for shards in SHARD_COUNTS:
+        cfg = GPAprioriConfig(shards=shards)
+        result = gpapriori_mine(db, MIN_SUPPORT, config=cfg, max_k=MAX_K)
+        assert result.as_dict() == reference.as_dict(), f"shards={shards} diverged"
+        plan = ShardPlan.for_matrix(matrix, shards=shards)
+        stream = result.metrics.modeled_breakdown.get("htod_shard_stream", 0.0)
+        stream_costs[shards] = stream
+        rows.append(
+            (
+                str(shards),
+                str(plan.n_shards),
+                f"{plan.slab_bytes:,} B",
+                f"{stream * 1e6:.1f} us",
+                f"{(result.metrics.modeled_seconds or 0.0) * 1e3:.3f} ms",
+            )
+        )
+    report = "\n".join(
+        [
+            "out-of-core shard scaling "
+            f"(chess analog, {matrix.n_items} items x {matrix.n_words} words, "
+            f"matrix {matrix.nbytes:,} B, budget {budget:,} B, "
+            f"min_support={MIN_SUPPORT}, max_k={MAX_K}):",
+            render_table(
+                [
+                    "shards asked",
+                    "shards planned",
+                    "slab",
+                    "stream exposed",
+                    "modeled total",
+                ],
+                rows,
+            ),
+            "",
+            "every configuration mined the identical itemset set; the stream",
+            "column is the un-hidden part of re-uploading slabs each",
+            "generation once double buffering has overlapped what it can.",
+        ]
+    )
+    print("\n" + report)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "shard_scaling.txt").write_text(report + "\n")
+    # a single shard streams nothing; every real split pays some exposed
+    # transfer (the first slab of each round can never hide behind compute)
+    assert stream_costs[SHARD_COUNTS[0]] == 0.0
+    assert all(stream_costs[s] > 0.0 for s in SHARD_COUNTS[1:])

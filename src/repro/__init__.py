@@ -25,6 +25,7 @@ the paper-versus-measured comparison of every experiment.
 from .core.api import ALGORITHMS, mine
 from .core.config import GPAprioriConfig
 from .core.gpapriori import gpapriori_mine
+from .core.sharding import ShardPlan, ShardedEngine
 from .core.gpu_eclat import gpu_eclat_mine
 from .core.hybrid import ModelBalancer, StaticBalancer, hybrid_mine
 from .core.itemset import Itemset, MiningResult, RunMetrics
@@ -37,6 +38,8 @@ __all__ = [
     "mine",
     "ALGORITHMS",
     "GPAprioriConfig",
+    "ShardPlan",
+    "ShardedEngine",
     "gpapriori_mine",
     "gpu_eclat_mine",
     "hybrid_mine",

@@ -17,7 +17,21 @@ __all__ = [
     "check_non_negative_int",
     "check_fraction",
     "check_support",
+    "support_count",
 ]
+
+
+def support_count(ratio: float, n_transactions: int) -> int:
+    """Absolute support count for a fractional threshold.
+
+    A ratio ``r`` means "support ratio >= r", i.e. an absolute count of
+    ``ceil(r * n_transactions)``, floored at 1 so empty or tiny
+    databases still have a meaningful threshold. This is the single
+    rounding rule every miner shares — Partition's per-chunk local
+    thresholds use it too, so local and global acceptance agree.
+    """
+    # ceil without importing math: -(-x // 1) rounds x up.
+    return max(1, int(-(-ratio * n_transactions // 1)))
 
 
 def check_positive_int(value: Any, name: str, err: Type[ReproError] = ReproError) -> int:
@@ -66,9 +80,7 @@ def check_support(min_support: Any, n_transactions: int, err: Type[ReproError]) 
     if isinstance(min_support, float):
         if not 0.0 < min_support <= 1.0:
             raise err(f"fractional min_support must be in (0, 1], got {min_support}")
-        # ceil without importing math: supports ratio r means count >= r * N.
-        count = int(-(-min_support * n_transactions // 1))
-        return max(count, 1)
+        return support_count(min_support, n_transactions)
     if isinstance(min_support, int):
         if min_support < 1:
             raise err(f"absolute min_support must be >= 1, got {min_support}")

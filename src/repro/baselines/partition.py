@@ -27,7 +27,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from .._validation import check_positive_int, check_support
+from .._validation import check_positive_int, check_support, support_count
 from ..bitset.bitset import BitsetMatrix
 from ..bitset.ops import support_many
 from ..datasets.transaction_db import TransactionDatabase
@@ -82,7 +82,7 @@ def partition_mine(
         union: set[Tuple[int, ...]] = set()
         with span("local_mining", partitions=n_partitions) as sp:
             for chunk in _partition(db, n_partitions):
-                local_min = max(1, int(-(-ratio * chunk.n_transactions // 1)))
+                local_min = support_count(ratio, chunk.n_transactions)
                 local = cpu_bitset_mine(chunk, local_min, max_k=max_k)
                 union.update(local.as_dict().keys())
                 metrics.add_counter("local_itemsets", len(local))

@@ -27,7 +27,7 @@ from typing import List, Optional
 from .bench.figures import build_figure6
 from .bench.report import format_seconds, render_figure, render_table
 from .bench.runner import support_sweep
-from .bench.tables import table1_rows, table2_rows
+from .bench.tables import table2_rows
 from .core.api import ALGORITHMS, mine
 from .datasets.io import read_fimi
 from .datasets.synthetic import DATASET_REGISTRY, dataset_analog
@@ -43,6 +43,26 @@ def _load_db(args: argparse.Namespace):
         return read_fimi(args.file), args.file
     name = args.dataset or "chess"
     return dataset_analog(name, scale=args.scale), f"{name} (analog, scale={args.scale})"
+
+
+def _parse_bytes(text: str) -> int:
+    """Parse a byte size with an optional K/M/G suffix: ``512K``, ``4M``."""
+    s = text.strip().upper()
+    if s.endswith("B"):
+        s = s[:-1]
+    factor = 1
+    if s and s[-1] in "KMG":
+        factor = {"K": 1024, "M": 1024**2, "G": 1024**3}[s[-1]]
+        s = s[:-1]
+    try:
+        value = int(s)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid byte size {text!r}; use e.g. 4096, 512K, 16M, 2G"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"byte size must be positive, got {text!r}")
+    return value * factor
 
 
 def _add_db_args(p: argparse.ArgumentParser) -> None:
@@ -102,6 +122,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --engine parallel (0 = auto-size)",
     )
     p_mine.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stream the bitsets through N tid-range shards (gpapriori only)",
+    )
+    p_mine.add_argument(
+        "--memory-budget",
+        type=_parse_bytes,
+        default=None,
+        metavar="BYTES",
+        help="device-memory budget sizing the shards, with optional "
+        "K/M/G suffix, e.g. 512K or 4M (gpapriori only)",
+    )
+    p_mine.add_argument(
         "--top", type=int, default=20, help="print at most this many itemsets"
     )
     p_mine.add_argument(
@@ -153,10 +188,14 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         engine_kwargs["engine"] = args.engine
     if args.workers is not None:
         engine_kwargs["workers"] = args.workers
+    if args.shards is not None:
+        engine_kwargs["shards"] = args.shards
+    if args.memory_budget is not None:
+        engine_kwargs["memory_budget_bytes"] = args.memory_budget
     if engine_kwargs and args.algorithm != "gpapriori":
         print(
-            f"error: --engine/--workers apply to the gpapriori algorithm, "
-            f"not {args.algorithm!r}",
+            f"error: --engine/--workers/--shards/--memory-budget apply to "
+            f"the gpapriori algorithm, not {args.algorithm!r}",
             file=sys.stderr,
         )
         return 2
@@ -221,7 +260,11 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 def _cmd_algorithms(_args: argparse.Namespace) -> int:
     print("Table 1: tested frequent itemset mining algorithms")
-    print(render_table(["Algorithm", "Platform"], table1_rows()))
+    rows = [
+        [key, info.name, info.platform, ", ".join(info.accepts)]
+        for key, info in ALGORITHMS.items()
+    ]
+    print(render_table(["Key", "Algorithm", "Platform", "Options"], rows))
     return 0
 
 

@@ -14,6 +14,10 @@
 * :mod:`~repro.core.parallel` — the third engine: ``parallel``, the
   vectorized arithmetic sharded over a worker-process pool reading the
   bitsets from shared memory.
+* :mod:`~repro.core.sharding` — out-of-core tid-range sharding: a
+  :class:`~repro.core.sharding.ShardPlan` sized from a device-memory
+  budget and the :class:`~repro.core.sharding.ShardedEngine` that
+  streams shards through any of the three engines.
 * :mod:`~repro.core.gpapriori` — the host-side mining driver.
 * :mod:`~repro.core.api` — the ``mine()`` facade and algorithm registry.
 """
@@ -23,6 +27,7 @@ from .config import GPAprioriConfig
 from .plans import CompleteIntersectionPlan, EquivalenceClassPlan, make_plan
 from .support import SimulatedEngine, VectorizedEngine, make_engine
 from .parallel import ParallelEngine
+from .sharding import Shard, ShardPlan, ShardedEngine, slice_matrix
 from .gpapriori import gpapriori_mine
 from .hybrid import ModelBalancer, StaticBalancer, hybrid_mine
 from .multigpu import MultiGpuResult, multigpu_mine, scaling_efficiency
@@ -40,6 +45,10 @@ __all__ = [
     "VectorizedEngine",
     "SimulatedEngine",
     "ParallelEngine",
+    "Shard",
+    "ShardPlan",
+    "ShardedEngine",
+    "slice_matrix",
     "make_engine",
     "gpapriori_mine",
     "StaticBalancer",

@@ -1,15 +1,17 @@
 """Public mining facade and the algorithm registry (paper Table 1).
 
-``mine(db, min_support, algorithm=...)`` dispatches to any of the seven
+``mine(db, min_support, algorithm=...)`` dispatches to any of the ten
 implementations with a uniform signature and result type. The registry
 doubles as the machine-readable form of the paper's Table 1 for the
-benchmark harness.
+benchmark harness, and each entry's ``accepts`` tuple is the single
+source of truth for which keyword options that algorithm takes —
+``mine`` validates against it and ``gpapriori algorithms`` prints it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Tuple
 
 from ..errors import MiningError
 from .config import GPAprioriConfig
@@ -21,13 +23,27 @@ __all__ = ["AlgorithmInfo", "ALGORITHMS", "mine"]
 
 @dataclass(frozen=True)
 class AlgorithmInfo:
-    """Registry entry: how Table 1 describes the implementation."""
+    """Registry entry: how Table 1 describes the implementation.
+
+    ``accepts`` names every keyword option the runner understands;
+    :func:`mine` rejects anything else before dispatching, so a typo
+    fails loudly instead of being silently swallowed by ``**kwargs``.
+    """
 
     name: str
     platform: str
     layout: str
     runner: Callable[..., MiningResult]
     description: str
+    accepts: Tuple[str, ...] = ("max_k",)
+
+
+_GPAPRIORI_ACCEPTS: Tuple[str, ...] = (
+    "max_k",
+    "config",
+    "device",
+    *GPAprioriConfig.__dataclass_fields__,
+)
 
 
 def _gpapriori(db, min_support, **kwargs) -> MiningResult:
@@ -60,6 +76,7 @@ ALGORITHMS: Dict[str, AlgorithmInfo] = {
         runner=_gpapriori,
         description="The paper's contribution: trie candidates, complete "
         "intersection of 64-byte-aligned bitsets on the (simulated) GPU.",
+        accepts=_GPAPRIORI_ACCEPTS,
     ),
     "cpu_bitset": AlgorithmInfo(
         name="CPU_TEST",
@@ -100,6 +117,7 @@ ALGORITHMS: Dict[str, AlgorithmInfo] = {
         runner=_lazy("repro.baselines.eclat", "eclat_mine"),
         description="Depth-first equivalence-class mining over tidsets "
         "(KDD 1997), with the diffset variant via diffsets=True.",
+        accepts=("max_k", "diffsets"),
     ),
     "fpgrowth": AlgorithmInfo(
         name="FP-Growth",
@@ -118,6 +136,7 @@ ALGORITHMS: Dict[str, AlgorithmInfo] = {
         description="The paper's future-work load-balanced CPU/GPU "
         "model: each generation's candidates split so modeled finish "
         "times equalize.",
+        accepts=("max_k", "balancer", "config", "device"),
     ),
     "gpu_eclat": AlgorithmInfo(
         name="GPU Eclat",
@@ -126,6 +145,7 @@ ALGORITHMS: Dict[str, AlgorithmInfo] = {
         runner=_lazy("repro.core.gpu_eclat", "gpu_eclat_mine"),
         description="The paper's future-work Eclat-on-GPU: equivalence-"
         "class DFS where each class is one extend-kernel batch.",
+        accepts=("max_k", "config", "device"),
     ),
     "partition": AlgorithmInfo(
         name="Partition",
@@ -135,6 +155,7 @@ ALGORITHMS: Dict[str, AlgorithmInfo] = {
         description="Savasere et al.'s two-scan Partition algorithm "
         "(VLDB 1995, from the paper's references): local mining per "
         "chunk, one exact global counting pass.",
+        accepts=("max_k", "n_partitions"),
     ),
 }
 
@@ -150,10 +171,17 @@ def mine(db, min_support, algorithm: str = "gpapriori", **kwargs) -> MiningResul
         Fractional support ratio in (0, 1] or absolute count >= 1.
     algorithm:
         Registry key: ``gpapriori``, ``cpu_bitset``, ``borgelt``,
-        ``bodon``, ``goethals``, ``eclat`` or ``fpgrowth``.
+        ``bodon``, ``goethals``, ``eclat``, ``fpgrowth``, ``hybrid``,
+        ``gpu_eclat`` or ``partition``.
     **kwargs:
-        Forwarded to the implementation (e.g. ``max_k``, GPApriori's
-        ``config=``/config fields, Eclat's ``diffsets=True``).
+        Per-algorithm options, checked against the registry entry's
+        ``accepts`` tuple: ``max_k`` everywhere; GPApriori's ``config=``
+        or individual config fields (``engine=``, ``shards=``,
+        ``memory_budget_bytes=``, ...); Eclat's ``diffsets=True``;
+        Partition's ``n_partitions=``; ``balancer=``/``config=``/
+        ``device=`` for the hybrid and GPU-Eclat extensions. An option
+        the algorithm does not accept raises
+        :class:`~repro.errors.MiningError` naming it.
 
     Examples
     --------
@@ -162,10 +190,25 @@ def mine(db, min_support, algorithm: str = "gpapriori", **kwargs) -> MiningResul
     >>> result = mine(db, min_support=0.5)
     >>> result.support_of((0, 1))
     2
+    >>> mine(db, 0.5, algorithm="borgelt", diffsets=True)
+    Traceback (most recent call last):
+        ...
+    repro.errors.MiningError: unknown option 'diffsets' for algorithm 'borgelt'; it accepts: max_k
+    >>> mine(db, 0.5, algorithm="apriori")
+    Traceback (most recent call last):
+        ...
+    repro.errors.MiningError: unknown algorithm 'apriori'; choose from ['bodon', 'borgelt', 'cpu_bitset', 'eclat', 'fpgrowth', 'goethals', 'gpapriori', 'gpu_eclat', 'hybrid', 'partition']
     """
     key = algorithm.lower()
     if key not in ALGORITHMS:
         raise MiningError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
         )
-    return ALGORITHMS[key].runner(db, min_support, **kwargs)
+    info = ALGORITHMS[key]
+    for name in kwargs:
+        if name not in info.accepts:
+            raise MiningError(
+                f"unknown option {name!r} for algorithm {key!r}; "
+                f"it accepts: {', '.join(info.accepts)}"
+            )
+    return info.runner(db, min_support, **kwargs)

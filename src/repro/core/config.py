@@ -63,6 +63,19 @@ class GPAprioriConfig:
     trace_accesses:
         Record global-memory accesses during simulated runs (memory
         hungry; implies ``engine="simulated"`` consumers).
+    shards:
+        Split the transaction-id axis into this many word-aligned
+        tid-range shards and stream them through the counting engine
+        (out-of-core mining; supports are additive across disjoint tid
+        ranges so results are bit-identical). ``0`` (the default) means
+        "no explicit shard count": a single shard unless
+        ``memory_budget_bytes`` forces more.
+    memory_budget_bytes:
+        Device-memory budget for the generation-1 bitsets. ``None``
+        (the default) uses the device's full global memory. When the
+        bitset matrix exceeds the budget, the shard width is sized so
+        two shard slabs (double buffering) fit inside it — this is what
+        lets datasets larger than (simulated) device DRAM be mined.
     """
 
     block_size: int = 256
@@ -73,6 +86,8 @@ class GPAprioriConfig:
     workers: int = 0
     aligned: bool = True
     trace_accesses: bool = False
+    shards: int = 0
+    memory_budget_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.block_size, int) or isinstance(self.block_size, bool):
@@ -95,6 +110,26 @@ class GPAprioriConfig:
             or self.workers < 0
         ):
             raise ConfigError(f"workers must be an int >= 0, got {self.workers!r}")
+        if (
+            not isinstance(self.shards, int)
+            or isinstance(self.shards, bool)
+            or self.shards < 0
+        ):
+            raise ConfigError(f"shards must be an int >= 0, got {self.shards!r}")
+        if self.memory_budget_bytes is not None and (
+            not isinstance(self.memory_budget_bytes, int)
+            or isinstance(self.memory_budget_bytes, bool)
+            or self.memory_budget_bytes < 1
+        ):
+            raise ConfigError(
+                "memory_budget_bytes must be a positive int or None, "
+                f"got {self.memory_budget_bytes!r}"
+            )
+
+    @property
+    def sharded(self) -> bool:
+        """Whether this run streams tid-range shards through the engine."""
+        return self.shards > 1 or self.memory_budget_bytes is not None
 
     def with_(self, **overrides) -> "GPAprioriConfig":
         """Return a copy with fields replaced (ablation convenience)."""

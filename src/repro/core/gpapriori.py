@@ -81,6 +81,10 @@ def gpapriori_mine(
         from .parallel import resolve_workers
 
         run_attrs["workers"] = resolve_workers(config.workers)
+    if config.sharded:
+        run_attrs["shards"] = config.shards or "auto"
+        if config.memory_budget_bytes is not None:
+            run_attrs["memory_budget_bytes"] = config.memory_budget_bytes
     with mining_run("gpapriori", metrics, **run_attrs):
         with span("transpose", aligned=config.aligned) as sp:
             matrix = BitsetMatrix.from_database(db, aligned=config.aligned)

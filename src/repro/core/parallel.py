@@ -255,7 +255,7 @@ class ParallelEngine(SupportEngine):
         if candidates.min() < 0 or candidates.max() >= self.matrix.n_items:
             raise BitsetError("candidate contains item id outside the matrix")
         with span(
-            "kernel_launch", engine="parallel", kind="complete", k=k, candidates=n
+            "kernel_launch", engine="parallel", kind="complete", k=k, candidates=n, **self.span_attrs
         ) as sp:
             bounds = self._tiles(n)
             results = None
@@ -292,7 +292,7 @@ class ParallelEngine(SupportEngine):
         if pairs[:, 1].max() >= self.matrix.n_items:
             raise BitsetError("candidate contains item id outside the matrix")
         with span(
-            "kernel_launch", engine="parallel", kind="extend", k=2, candidates=n
+            "kernel_launch", engine="parallel", kind="extend", k=2, candidates=n, **self.span_attrs
         ) as sp:
             bounds = self._tiles(n)
             results = None

@@ -82,6 +82,10 @@ class SupportEngine:
         # per-generation candidate counts; the stats share the list.
         self.kernel_stats.bind_generations(metrics.generations)
         self._matrix: Optional[BitsetMatrix] = None
+        # Extra attributes merged into every kernel_launch span. The
+        # sharding layer uses this to tag each inner engine's launches
+        # with its tid-range shard.
+        self.span_attrs: dict = {}
 
     # -- common bookkeeping -----------------------------------------------------
 
@@ -184,7 +188,7 @@ class VectorizedEngine(SupportEngine):
         if n == 0:
             return np.zeros(0, dtype=np.int64)
         with span(
-            "kernel_launch", engine="vectorized", kind="complete", k=k, candidates=n
+            "kernel_launch", engine="vectorized", kind="complete", k=k, candidates=n, **self.span_attrs
         ) as sp:
             supports = support_many(self.matrix, candidates)
             sp.set(**self._charge_complete(n, k))
@@ -199,7 +203,7 @@ class VectorizedEngine(SupportEngine):
             self._pending_rows = np.empty((0, self.matrix.n_words), dtype=np.uint32)
             return np.zeros(0, dtype=np.int64)
         with span(
-            "kernel_launch", engine="vectorized", kind="extend", k=2, candidates=n
+            "kernel_launch", engine="vectorized", kind="extend", k=2, candidates=n, **self.span_attrs
         ) as sp:
             base = (
                 self._prefix_rows if self._prefix_rows is not None else self.matrix.words
@@ -293,7 +297,7 @@ class SimulatedEngine(SupportEngine):
         out = np.empty(n, dtype=np.int64)
         chunk = self._chunk_size(n, k * 4 + 8)  # candidate ids + support slot
         with span(
-            "kernel_launch", engine="simulated", kind="complete", k=k, candidates=n
+            "kernel_launch", engine="simulated", kind="complete", k=k, candidates=n, **self.span_attrs
         ) as sp:
             for start in range(0, n, chunk):
                 stop = min(start + chunk, n)
@@ -350,7 +354,7 @@ class SimulatedEngine(SupportEngine):
             self._prefix_buf if self._prefix_buf is not None else self._bitset_buf
         )
         with span(
-            "kernel_launch", engine="simulated", kind="extend", k=2, candidates=n
+            "kernel_launch", engine="simulated", kind="extend", k=2, candidates=n, **self.span_attrs
         ) as sp:
             # The full result-row cache must be resident for retain();
             # if *it* does not fit, that is the equivalence-class plan's
@@ -453,12 +457,12 @@ class SimulatedEngine(SupportEngine):
         return analyze_trace(self.last_trace)
 
 
-def make_engine(
+def _make_base_engine(
     config: GPAprioriConfig,
     metrics: RunMetrics,
     device: DeviceProperties = TESLA_T10,
 ) -> SupportEngine:
-    """Instantiate the engine named by ``config.engine``."""
+    """Instantiate the unsharded engine named by ``config.engine``."""
     if config.engine == "vectorized":
         return VectorizedEngine(config, metrics, device)
     if config.engine == "simulated":
@@ -469,3 +473,23 @@ def make_engine(
 
         return ParallelEngine(config, metrics, device)
     raise ConfigError(f"unknown engine {config.engine!r}")
+
+
+def make_engine(
+    config: GPAprioriConfig,
+    metrics: RunMetrics,
+    device: DeviceProperties = TESLA_T10,
+) -> SupportEngine:
+    """Instantiate the engine named by ``config.engine``.
+
+    A sharded config (``shards > 1`` or a ``memory_budget_bytes``)
+    wraps the named engine in a
+    :class:`~repro.core.sharding.ShardedEngine` that streams tid-range
+    shards of the bitset matrix through it.
+    """
+    if config.sharded:
+        # imported lazily: sharding.py builds on this module
+        from .sharding import ShardedEngine
+
+        return ShardedEngine(config, metrics, device)
+    return _make_base_engine(config, metrics, device)

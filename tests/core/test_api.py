@@ -37,6 +37,17 @@ class TestRegistry:
         for info in ALGORITHMS.values():
             assert info.description
 
+    def test_every_entry_declares_accepted_options(self):
+        for key, info in ALGORITHMS.items():
+            assert "max_k" in info.accepts, key
+
+    def test_accepts_covers_documented_options(self):
+        assert "diffsets" in ALGORITHMS["eclat"].accepts
+        assert "n_partitions" in ALGORITHMS["partition"].accepts
+        assert "balancer" in ALGORITHMS["hybrid"].accepts
+        for opt in ("config", "device", "engine", "shards", "memory_budget_bytes"):
+            assert opt in ALGORITHMS["gpapriori"].accepts, opt
+
 
 class TestMineFacade:
     def test_default_is_gpapriori(self, small_db):
@@ -70,3 +81,37 @@ class TestMineFacade:
         db = TransactionDatabase([[0, 1, 2], [0, 1], [0, 2], [1, 2]])
         result = mine(db, min_support=0.5)
         assert result.support_of((0, 1)) == 2
+
+
+class TestKwargValidation:
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_unknown_kwarg_rejected_everywhere(self, small_db, algorithm):
+        with pytest.raises(MiningError, match="unknown option 'frobnicate'"):
+            mine(small_db, 6, algorithm=algorithm, frobnicate=True)
+
+    def test_error_names_key_and_accepted_options(self, small_db):
+        with pytest.raises(MiningError) as exc:
+            mine(small_db, 6, algorithm="borgelt", diffsets=True)
+        message = str(exc.value)
+        assert "'diffsets'" in message
+        assert "'borgelt'" in message
+        assert "max_k" in message
+
+    def test_option_of_other_algorithm_rejected(self, small_db):
+        with pytest.raises(MiningError, match="unknown option 'n_partitions'"):
+            mine(small_db, 6, algorithm="gpapriori", n_partitions=4)
+
+    def test_rejection_happens_before_mining(self, small_db):
+        # a bad option must fail fast, not after a full (possibly
+        # expensive) run — lazy runners import on dispatch, so a
+        # MiningError proves validation fired first
+        with pytest.raises(MiningError):
+            mine(small_db, 6, algorithm="fpgrowth", engine="simulated")
+
+
+class TestAllAlgorithmsAgree:
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_identical_itemsets_for_every_registry_key(self, small_db, algorithm):
+        reference = mine(small_db, 6, algorithm="gpapriori")
+        result = mine(small_db, 6, algorithm=algorithm)
+        assert result.as_dict() == reference.as_dict(), algorithm

@@ -79,6 +79,58 @@ class TestMineCommand:
         assert code == 0
         assert f"{rep} representation:" in capsys.readouterr().out
 
+    def test_mine_with_shards(self, fimi_file, capsys):
+        code = main(
+            ["mine", "--file", fimi_file, "--min-support", "0.15", "--shards", "2"]
+        )
+        assert code == 0
+        assert "frequent itemsets" in capsys.readouterr().out
+
+    def test_mine_with_memory_budget_suffix(self, fimi_file, capsys):
+        code = main(
+            [
+                "mine",
+                "--file",
+                fimi_file,
+                "--min-support",
+                "0.15",
+                "--memory-budget",
+                "64K",
+            ]
+        )
+        assert code == 0
+        assert "frequent itemsets" in capsys.readouterr().out
+
+    def test_shard_flags_require_gpapriori(self, fimi_file, capsys):
+        code = main(
+            [
+                "mine",
+                "--file",
+                fimi_file,
+                "--algorithm",
+                "borgelt",
+                "--shards",
+                "2",
+            ]
+        )
+        assert code == 2
+        assert "gpapriori" in capsys.readouterr().err
+
+    def test_bad_memory_budget_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mine", "--memory-budget", "lots"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mine", "--memory-budget", "-4K"])
+
+    def test_memory_budget_parser_units(self):
+        from repro.cli import _parse_bytes
+
+        assert _parse_bytes("4096") == 4096
+        assert _parse_bytes("512K") == 512 * 1024
+        assert _parse_bytes("4M") == 4 * 1024**2
+        assert _parse_bytes("2G") == 2 * 1024**3
+        assert _parse_bytes("16kb") == 16 * 1024
+
     def test_extension_algorithms_available(self, fimi_file, capsys):
         for alg in ("hybrid", "gpu_eclat", "partition"):
             assert (
@@ -102,6 +154,16 @@ class TestOtherCommands:
         assert main(["algorithms"]) == 0
         out = capsys.readouterr().out
         assert "GPApriori" in out and "Bodon" in out
+
+    def test_algorithms_lists_every_registry_key_with_options(self, capsys):
+        from repro import ALGORITHMS
+
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for key, info in ALGORITHMS.items():
+            assert key in out, key
+            for option in info.accepts:
+                assert option in out, option
 
     def test_datasets(self, capsys):
         assert main(["datasets", "--scale", "0.01"]) == 0

@@ -163,7 +163,7 @@ class TestConfigMisuse:
             mine(small_db, 8, algorithm="gpapriori", engine="tpu")
 
     def test_unknown_kwarg_surfaces(self, small_db):
-        with pytest.raises(TypeError):
+        with pytest.raises(MiningError, match="unknown option 'warp_speed'"):
             mine(small_db, 8, algorithm="gpapriori", warp_speed=9)
 
     def test_min_support_nan(self, small_db):

@@ -54,6 +54,8 @@ class TestExports:
             "ALGORITHMS",
             "GPAprioriConfig",
             "MiningResult",
+            "ShardPlan",
+            "ShardedEngine",
             "hybrid_mine",
             "multigpu_mine",
             "gpu_eclat_mine",
