@@ -8,6 +8,7 @@ Subcommands
 ``algorithms`` Print Table 1 (the algorithm registry).
 ``figure``     Run a Figure 6-style support sweep on one dataset.
 ``trace``      Summarize a trace file written by ``--trace``.
+``serve``      Run the long-lived mining service (JSON over HTTP).
 
 Tracing
 -------
@@ -145,6 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
         help="print all frequent itemsets or a condensed representation",
     )
+    p_mine.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result as a repro.mining_result/1 JSON document "
+        "(the same serializer the serve endpoint uses)",
+    )
 
     p_rules = sub.add_parser("rules", help="mine and derive association rules")
     _add_db_args(p_rules)
@@ -171,6 +178,77 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=["gpapriori", "cpu_bitset", "borgelt", "bodon"],
         choices=sorted(ALGORITHMS),
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived mining service (JSON over HTTP)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8750, help="TCP port (0 = pick a free one)"
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4, help="mining worker threads (default 4)"
+    )
+    p_serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=32,
+        help="admission-queue bound; full queue rejects with 429 (default 32)",
+    )
+    p_serve.add_argument(
+        "--cache-bytes",
+        type=_parse_bytes,
+        default=64 * 1024**2,
+        metavar="BYTES",
+        help="result-cache byte budget with optional K/M/G suffix (default 64M)",
+    )
+    p_serve.add_argument(
+        "--registry-bytes",
+        type=_parse_bytes,
+        default=None,
+        metavar="BYTES",
+        help="dataset-registry resident-byte budget (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="result-cache entry lifetime (default: immortal)",
+    )
+    p_serve.add_argument(
+        "--memory-budget",
+        type=_parse_bytes,
+        default=None,
+        metavar="BYTES",
+        help="per-dataset device budget; larger matrices are shard-planned",
+    )
+    p_serve.add_argument(
+        "--dataset",
+        action="append",
+        choices=sorted(DATASET_REGISTRY),
+        help="register this analog (repeatable; default: all analogs)",
+    )
+    p_serve.add_argument(
+        "--file",
+        action="append",
+        metavar="PATH",
+        help="register a FIMI transaction file under its stem name (repeatable)",
+    )
+    p_serve.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="transaction-count scale for registered analogs (default 0.05)",
+    )
+    p_serve.add_argument(
+        "--preload",
+        action="store_true",
+        help="load every registered dataset at startup instead of first query",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request to stderr"
     )
 
     p_trace = sub.add_parser("trace", help="summarize a recorded trace file")
@@ -203,6 +281,11 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         db, args.min_support, algorithm=args.algorithm, max_k=args.max_k,
         **engine_kwargs,
     )
+    if args.json:
+        # The bare serializer document and nothing else: batch output
+        # stays byte-comparable with the serve endpoint's "result" field.
+        print(result.to_json())
+        return 0
     print(f"dataset: {label}  ({db.n_transactions} transactions, {db.n_items} items)")
     print(
         f"{args.algorithm}: {len(result)} frequent itemsets "
@@ -282,6 +365,61 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .datasets.io import read_fimi as _read_fimi
+    from .service import MiningService, make_server
+
+    service = MiningService(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        cache_bytes=args.cache_bytes,
+        cache_ttl=args.cache_ttl,
+        registry_bytes=args.registry_bytes,
+        device_budget_bytes=args.memory_budget,
+    )
+    names = args.dataset or sorted(DATASET_REGISTRY)
+    for name in names:
+        # late-bound loader: the analog is generated on first query
+        service.register_dataset(
+            name,
+            lambda name=name, scale=args.scale: dataset_analog(name, scale=scale),
+        )
+    for path in args.file or []:
+        import pathlib
+
+        stem = pathlib.Path(path).stem
+        service.register_dataset(stem, lambda path=path: _read_fimi(path))
+    if args.preload:
+        service.preload()
+    try:
+        server = make_server(
+            service, host=args.host, port=args.port, verbose=args.verbose
+        )
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        service.close()
+        return 2
+    print(
+        f"serving {len(service.registry.names())} datasets on "
+        f"http://{args.host}:{server.port}",
+        flush=True,
+    )
+    print(
+        "endpoints: GET /healthz /datasets /stats, POST /mine "
+        '{"dataset": ..., "min_support": ...}',
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+        print("service stopped", file=sys.stderr)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     try:
         spans = load_trace(args.trace_file)
@@ -315,6 +453,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "algorithms": _cmd_algorithms,
     "figure": _cmd_figure,
+    "serve": _cmd_serve,
     "trace": _cmd_trace,
 }
 

@@ -42,6 +42,7 @@ _GPAPRIORI_ACCEPTS: Tuple[str, ...] = (
     "max_k",
     "config",
     "device",
+    "matrix",
     *GPAprioriConfig.__dataclass_fields__,
 )
 
@@ -177,7 +178,8 @@ def mine(db, min_support, algorithm: str = "gpapriori", **kwargs) -> MiningResul
         Per-algorithm options, checked against the registry entry's
         ``accepts`` tuple: ``max_k`` everywhere; GPApriori's ``config=``
         or individual config fields (``engine=``, ``shards=``,
-        ``memory_budget_bytes=``, ...); Eclat's ``diffsets=True``;
+        ``memory_budget_bytes=``, ...) plus ``matrix=`` for a
+        pre-built (pinned) bitset matrix; Eclat's ``diffsets=True``;
         Partition's ``n_partitions=``; ``balancer=``/``config=``/
         ``device=`` for the hybrid and GPU-Eclat extensions. An option
         the algorithm does not accept raises
@@ -190,6 +192,18 @@ def mine(db, min_support, algorithm: str = "gpapriori", **kwargs) -> MiningResul
     >>> result = mine(db, min_support=0.5)
     >>> result.support_of((0, 1))
     2
+
+    Results round-trip through the shared dict serializer — the same
+    encoding the ``--json`` CLI mode, the result cache, and the HTTP
+    endpoint emit — preserving itemsets, supports, and run attributes:
+
+    >>> from repro.core.itemset import MiningResult
+    >>> doc = result.to_dict()
+    >>> restored = MiningResult.from_dict(doc)
+    >>> restored.same_itemsets(result)
+    True
+    >>> (restored.min_support, restored.n_transactions, restored.metrics.algorithm)
+    (2, 4, 'gpapriori')
     >>> mine(db, 0.5, algorithm="borgelt", diffsets=True)
     Traceback (most recent call last):
         ...

@@ -134,3 +134,16 @@ class GPAprioriConfig:
     def with_(self, **overrides) -> "GPAprioriConfig":
         """Return a copy with fields replaced (ablation convenience)."""
         return replace(self, **overrides)
+
+    def signature(self) -> tuple:
+        """Canonical hashable identity of this configuration.
+
+        The mining service keys its result cache and coalesces
+        identical in-flight queries on this tuple, so two queries with
+        equal configs — however they were spelled (``config=`` object
+        vs. individual keyword fields) — share one execution and one
+        cache entry. Fields appear in declaration order.
+        """
+        return tuple(
+            (name, getattr(self, name)) for name in self.__dataclass_fields__
+        )

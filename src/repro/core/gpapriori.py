@@ -40,6 +40,7 @@ def gpapriori_mine(
     config: GPAprioriConfig | None = None,
     device: DeviceProperties = TESLA_T10,
     max_k: int | None = None,
+    matrix: BitsetMatrix | None = None,
 ) -> MiningResult:
     """Mine all frequent itemsets of ``db`` with GPApriori.
 
@@ -57,6 +58,11 @@ def gpapriori_mine(
         Device sheet for the simulator and the cost model.
     max_k:
         Optional cap on itemset length (None = run to exhaustion).
+    matrix:
+        Optional pre-built vertical bitset matrix of ``db``. The
+        mining service's dataset registry pins one per dataset so the
+        O(db) transpose happens once per dataset, not once per query;
+        it must match ``db``'s dimensions and ``config.aligned``.
 
     Returns
     -------
@@ -85,9 +91,22 @@ def gpapriori_mine(
         run_attrs["shards"] = config.shards or "auto"
         if config.memory_budget_bytes is not None:
             run_attrs["memory_budget_bytes"] = config.memory_budget_bytes
+    if matrix is not None:
+        if matrix.n_transactions != db.n_transactions or matrix.n_items != db.n_items:
+            raise MiningError(
+                f"pinned matrix shape ({matrix.n_items} items x "
+                f"{matrix.n_transactions} transactions) does not match the "
+                f"database ({db.n_items} x {db.n_transactions})"
+            )
+        if config.aligned and not matrix.is_aligned():
+            raise MiningError(
+                "config.aligned=True but the pinned matrix is not 64-byte aligned"
+            )
+
     with mining_run("gpapriori", metrics, **run_attrs):
-        with span("transpose", aligned=config.aligned) as sp:
-            matrix = BitsetMatrix.from_database(db, aligned=config.aligned)
+        with span("transpose", aligned=config.aligned, pinned=matrix is not None) as sp:
+            if matrix is None:
+                matrix = BitsetMatrix.from_database(db, aligned=config.aligned)
             sp.set(n_items=matrix.n_items, n_words=matrix.n_words, bytes=matrix.nbytes)
         engine = make_engine(config, metrics, device)
         with span("install", bytes=matrix.nbytes):

@@ -211,6 +211,85 @@ class MiningResult:
 
     # -- serialization ----------------------------------------------------------
 
+    def to_dict(self, include_metrics: bool = True) -> Dict:
+        """Plain-dict form of the result (the wire format).
+
+        This is the single serializer shared by :meth:`to_json`, the
+        ``gpapriori mine --json`` CLI mode, the mining service's result
+        cache, and the HTTP endpoint — so batch and served results are
+        structurally identical. Itemsets are emitted in sorted order,
+        making the document deterministic for a given result.
+
+        ``include_metrics=False`` omits the run-dependent provenance
+        (wall/modeled seconds, counters, generations), leaving only
+        fields that are a pure function of the mined itemsets — the
+        form two runs of the same query can be compared on.
+
+        >>> r = MiningResult({(0,): 3, (0, 2): 2}, n_transactions=4, min_support=2)
+        >>> doc = r.to_dict(include_metrics=False)
+        >>> doc["itemsets"]
+        [[[0], 3], [[0, 2], 2]]
+        >>> MiningResult.from_dict(doc).same_itemsets(r)
+        True
+        """
+        doc: Dict = {
+            "format": "repro.mining_result/1",
+            "n_transactions": self.n_transactions,
+            "min_support": self.min_support,
+            "algorithm": self.metrics.algorithm,
+            "itemsets": [
+                [list(items), support]
+                for items, support in sorted(self._itemsets.items())
+            ],
+        }
+        if include_metrics:
+            doc.update(
+                wall_seconds=self.metrics.wall_seconds,
+                modeled_seconds=self.metrics.modeled_seconds,
+                generations=list(self.metrics.generations),
+                counters=dict(self.metrics.counters),
+            )
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "MiningResult":
+        """Rebuild a result from a :meth:`to_dict` document.
+
+        Round-trips itemsets, supports, and run attributes; raises
+        :class:`~repro.errors.MiningError` for anything that is not a
+        ``repro.mining_result/1`` document.
+
+        >>> r = MiningResult({(1, 2): 5}, n_transactions=9, min_support=4)
+        >>> back = MiningResult.from_dict(r.to_dict())
+        >>> (back.support_of((1, 2)), back.n_transactions, back.min_support)
+        (5, 9, 4)
+        """
+        if not isinstance(doc, Mapping) or doc.get("format") != "repro.mining_result/1":
+            raise MiningError("not a serialized MiningResult document")
+        try:
+            raw_itemsets = doc["itemsets"]
+            n_transactions = int(doc["n_transactions"])
+            min_support = int(doc["min_support"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MiningError(f"malformed MiningResult document: {exc}") from None
+        metrics = RunMetrics(
+            algorithm=doc.get("algorithm", ""),
+            wall_seconds=doc.get("wall_seconds", 0.0),
+            modeled_seconds=doc.get("modeled_seconds"),
+            counters=dict(doc.get("counters", {})),
+            generations=list(doc.get("generations", [])),
+        )
+        itemsets = {
+            tuple(int(i) for i in items): int(support)
+            for items, support in raw_itemsets
+        }
+        return cls(
+            itemsets,
+            n_transactions=n_transactions,
+            min_support=min_support,
+            metrics=metrics,
+        )
+
     def to_json(self) -> str:
         """Serialize itemsets + run metadata as a JSON document.
 
@@ -220,22 +299,7 @@ class MiningResult:
         """
         import json
 
-        return json.dumps(
-            {
-                "format": "repro.mining_result/1",
-                "n_transactions": self.n_transactions,
-                "min_support": self.min_support,
-                "algorithm": self.metrics.algorithm,
-                "wall_seconds": self.metrics.wall_seconds,
-                "modeled_seconds": self.metrics.modeled_seconds,
-                "generations": self.metrics.generations,
-                "counters": self.metrics.counters,
-                "itemsets": [
-                    [list(items), support]
-                    for items, support in sorted(self._itemsets.items())
-                ],
-            }
-        )
+        return json.dumps(self.to_dict())
 
     @classmethod
     def from_json(cls, text: str) -> "MiningResult":
@@ -246,22 +310,4 @@ class MiningResult:
             doc = json.loads(text)
         except json.JSONDecodeError as exc:
             raise MiningError(f"not valid JSON: {exc}") from None
-        if not isinstance(doc, dict) or doc.get("format") != "repro.mining_result/1":
-            raise MiningError("not a serialized MiningResult document")
-        metrics = RunMetrics(
-            algorithm=doc.get("algorithm", ""),
-            wall_seconds=doc.get("wall_seconds", 0.0),
-            modeled_seconds=doc.get("modeled_seconds"),
-            counters=dict(doc.get("counters", {})),
-            generations=list(doc.get("generations", [])),
-        )
-        itemsets = {
-            tuple(int(i) for i in items): int(support)
-            for items, support in doc["itemsets"]
-        }
-        return cls(
-            itemsets,
-            n_transactions=int(doc["n_transactions"]),
-            min_support=int(doc["min_support"]),
-            metrics=metrics,
-        )
+        return cls.from_dict(doc)

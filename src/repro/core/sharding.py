@@ -123,6 +123,17 @@ class ShardPlan:
         """All shard slabs together (the full matrix footprint)."""
         return sum(s.slab_bytes(self.n_items) for s in self.shards)
 
+    def as_dict(self) -> dict:
+        """JSON-ready summary (dataset-registry / HTTP ``/datasets`` view)."""
+        return {
+            "n_shards": self.n_shards,
+            "n_transactions": self.n_transactions,
+            "n_words": self.n_words,
+            "slab_bytes": self.slab_bytes,
+            "total_bytes": self.total_bytes,
+            "double_buffered": self.double_buffered,
+        }
+
     @classmethod
     def build(
         cls,

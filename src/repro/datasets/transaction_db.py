@@ -178,6 +178,15 @@ class TransactionDatabase:
         return len(self)
 
     @property
+    def nbytes(self) -> int:
+        """Resident bytes of the CSR storage (items + offsets arrays).
+
+        The mining service's dataset registry accounts LRU eviction in
+        these bytes (plus the pinned bitset matrix's).
+        """
+        return int(self._items.nbytes + self._offsets.nbytes)
+
+    @property
     def items_flat(self) -> np.ndarray:
         """Flat, read-only item array (CSR values)."""
         return self._items

@@ -19,6 +19,9 @@ __all__ = [
     "DeviceMemoryError",
     "MiningError",
     "ConfigError",
+    "ServiceError",
+    "ServiceOverloadError",
+    "QueryTimeoutError",
 ]
 
 
@@ -64,3 +67,24 @@ class MiningError(ReproError):
 
 class ConfigError(ReproError):
     """Raised for invalid algorithm configuration values."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the long-running mining service."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Raised when the service's admission queue is full.
+
+    The HTTP frontend maps this to ``429 Too Many Requests``; callers
+    should back off and retry rather than treat it as a mining failure.
+    """
+
+
+class QueryTimeoutError(ServiceError):
+    """Raised when a query misses its deadline.
+
+    The query may still complete in the background (a running mining
+    pass is not interruptible); only this caller's wait is abandoned.
+    The HTTP frontend maps this to ``504 Gateway Timeout``.
+    """

@@ -117,11 +117,14 @@ class MetricsRegistry:
     # -- histograms ----------------------------------------------------------------
 
     def observe(self, name: str, value: float) -> None:
+        # The four-field summary update must happen inside the lock:
+        # two racing observers could otherwise interleave count/total
+        # writes and lose observations.
         with self._lock:
             hist = self._histograms.get(name)
             if hist is None:
                 hist = self._histograms[name] = HistogramSummary()
-        hist.observe(value)
+            hist.observe(value)
 
     def histogram(self, name: str) -> HistogramSummary | None:
         return self._histograms.get(name)
@@ -134,24 +137,35 @@ class MetricsRegistry:
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry into this one (counters add, gauges
         overwrite, histograms merge)."""
-        for name, amount in other._counters.items():
+        # Snapshot the source under its own lock so a registry that is
+        # still being written to merges a consistent view.
+        with other._lock:
+            counters = dict(other._counters)
+            gauges = dict(other._gauges)
+            histograms = []
+            for name, hist in other._histograms.items():
+                frozen = HistogramSummary()
+                frozen.merge(hist)
+                histograms.append((name, frozen))
+        for name, amount in counters.items():
             self.inc(name, amount)
-        for name, value in other._gauges.items():
+        for name, value in gauges.items():
             self.set_gauge(name, value)
-        for name, hist in other._histograms.items():
+        for name, hist in histograms:
             with self._lock:
                 mine = self._histograms.get(name)
                 if mine is None:
                     mine = self._histograms[name] = HistogramSummary()
-            mine.merge(hist)
+                mine.merge(hist)
 
     def snapshot(self) -> Dict[str, Dict]:
         """JSON-ready copy of everything the registry holds."""
-        return {
-            "counters": dict(self._counters),
-            "gauges": dict(self._gauges),
-            "histograms": {n: h.as_dict() for n, h in self._histograms.items()},
-        }
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {n: h.as_dict() for n, h in self._histograms.items()},
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

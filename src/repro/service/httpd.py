@@ -1,0 +1,184 @@
+"""JSON-over-HTTP frontend for :class:`~repro.service.MiningService`.
+
+Deliberately stdlib-only (``http.server``): the repo has a
+zero-dependency rule outside NumPy, and a threading HTTP server is
+enough to exercise the service's real concurrency — each request
+handler thread blocks in ``service.query`` while the scheduler's
+worker pool does the mining, so admission control, coalescing, and
+cache behaviour are identical to the Python API's.
+
+Endpoints
+---------
+``GET /healthz``
+    ``{"status": "ok"}`` — liveness probe.
+``GET /datasets``
+    Registered dataset names; resident entries include their profile
+    and shard plan.
+``GET /stats``
+    Registry / cache / scheduler stats plus the full ``service.*``
+    metrics snapshot.
+``POST /mine``
+    Body: ``{"dataset": str, "min_support": float|int,
+    "algorithm"?: str, "max_k"?: int, "timeout"?: float,
+    ...per-algorithm options}``. Response:
+    ``{"dataset", "algorithm", "source", "abs_support",
+    "elapsed_seconds", "result"}`` where ``result`` is the shared
+    :meth:`MiningResult.to_dict` document — byte-comparable with
+    ``gpapriori mine --json``.
+
+Error mapping: malformed request → 400, unknown dataset → 404,
+admission queue full → 429, missed deadline → 504, anything else the
+library raises deliberately → 400/500 with ``{"error": ..., "type":
+...}``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Tuple
+
+from ..errors import (
+    DatasetError,
+    QueryTimeoutError,
+    ReproError,
+    ServiceOverloadError,
+)
+from .service import MiningService
+
+__all__ = ["MiningHTTPServer", "MiningRequestHandler", "make_server"]
+
+MAX_BODY_BYTES = 1 << 20
+"""Request bodies over 1 MiB are rejected outright (a mining query is
+a few hundred bytes; anything bigger is a client bug or abuse)."""
+
+
+class MiningRequestHandler(BaseHTTPRequestHandler):
+    """One HTTP request against the owning server's MiningService."""
+
+    server: "MiningHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- helpers ------------------------------------------------------------
+
+    def _send_json(self, status: int, payload: Dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, exc: BaseException) -> None:
+        self._send_json(status, {"error": str(exc), "type": type(exc).__name__})
+
+    def log_message(self, fmt: str, *args) -> None:  # pragma: no cover
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+    # -- GET ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        if self.path in ("/", "/healthz"):
+            self._send_json(200, {"status": "ok"})
+        elif self.path == "/datasets":
+            resident = {
+                e.name: e.as_dict()
+                for e in (
+                    service.registry.get(n) for n in service.registry.resident()
+                )
+            }
+            self._send_json(
+                200,
+                {"registered": service.registry.names(), "resident": resident},
+            )
+        elif self.path == "/stats":
+            self._send_json(200, service.stats())
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+
+    # -- POST ---------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/mine":
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self._send_json(400, {"error": "bad Content-Length"})
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(
+                400, {"error": f"body must be 1..{MAX_BODY_BYTES} bytes"}
+            )
+            return
+        try:
+            doc = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": f"body is not valid JSON: {exc}"})
+            return
+        status, payload = self._run_query(doc)
+        self._send_json(status, payload)
+
+    def _run_query(self, doc) -> Tuple[int, Dict]:
+        if not isinstance(doc, dict):
+            return 400, {"error": "body must be a JSON object"}
+        if "dataset" not in doc or "min_support" not in doc:
+            return 400, {"error": "body requires 'dataset' and 'min_support'"}
+        kwargs = dict(doc)
+        dataset = kwargs.pop("dataset")
+        min_support = kwargs.pop("min_support")
+        if not isinstance(dataset, str):
+            return 400, {"error": "'dataset' must be a string"}
+        try:
+            response = self.server.service.query(dataset, min_support, **kwargs)
+        except TypeError as exc:
+            # e.g. a non-keywordable option smuggled in the JSON body
+            return 400, {"error": str(exc), "type": "TypeError"}
+        except DatasetError as exc:
+            return 404, {"error": str(exc), "type": type(exc).__name__}
+        except ServiceOverloadError as exc:
+            return 429, {"error": str(exc), "type": type(exc).__name__}
+        except QueryTimeoutError as exc:
+            return 504, {"error": str(exc), "type": type(exc).__name__}
+        except ReproError as exc:
+            return 400, {"error": str(exc), "type": type(exc).__name__}
+        return 200, response.as_dict()
+
+
+class MiningHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`MiningService`.
+
+    ``daemon_threads`` keeps a hung handler from blocking shutdown;
+    the per-query deadline is the service's job, not the socket's.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: MiningService,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, MiningRequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ephemeral ``port=0``)."""
+        return self.server_address[1]
+
+
+def make_server(
+    service: MiningService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> MiningHTTPServer:
+    """Bind (but do not start) a server; ``port=0`` picks a free port."""
+    return MiningHTTPServer((host, port), service, verbose=verbose)

@@ -1,0 +1,270 @@
+"""Dataset registry: load once, pin the vertical layout, evict by bytes.
+
+Grahne & Zhu's secondary-memory miner (cs/0405069) motivates keeping
+the expensive on-disk -> vertical conversion out of the per-query
+path; before this module every ``mine()`` call re-transposed the
+database into its :class:`~repro.bitset.bitset.BitsetMatrix`. The
+registry does that work once per dataset and hands every query the
+same pinned, immutable matrix.
+
+Each entry also carries the dataset's structural characterization
+(:func:`~repro.datasets.characterize.profile_database`) — Heaton
+(arXiv:1701.09042) shows algorithm choice should be driven by dataset
+characteristics, and the service's ``algorithm="auto"`` mode reads the
+profile at query time — plus a :class:`~repro.core.sharding.ShardPlan`
+when the matrix exceeds the configured device budget, so out-of-core
+datasets are planned at load time, not per query.
+
+Entries are LRU-evicted by *resident bytes* (CSR storage plus pinned
+matrix) against ``budget_bytes``; the entry being requested is never
+evicted, so a single over-budget dataset still serves.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Union
+
+from ..bitset.bitset import BitsetMatrix
+from ..core.sharding import ShardPlan
+from ..datasets.characterize import DatasetProfile, profile_database
+from ..datasets.transaction_db import TransactionDatabase
+from ..errors import DatasetError
+from ..obs import span
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["DatasetEntry", "DatasetRegistry"]
+
+DatasetSource = Union[TransactionDatabase, Callable[[], TransactionDatabase]]
+
+
+@dataclass
+class DatasetEntry:
+    """One resident dataset: database, pinned matrix, profile, plan."""
+
+    name: str
+    db: TransactionDatabase
+    matrix: BitsetMatrix
+    profile: DatasetProfile
+    shard_plan: Optional[ShardPlan] = None
+    resident_bytes: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if not self.resident_bytes:
+            self.resident_bytes = self.db.nbytes + self.matrix.nbytes
+
+    def as_dict(self) -> Dict:
+        """JSON-ready summary for the HTTP ``/datasets`` view."""
+        return {
+            "name": self.name,
+            "n_transactions": self.db.n_transactions,
+            "n_items": self.db.n_items,
+            "resident_bytes": self.resident_bytes,
+            "matrix_bytes": self.matrix.nbytes,
+            "shard_plan": self.shard_plan.as_dict() if self.shard_plan else None,
+            "profile": self.profile.as_dict(),
+        }
+
+
+class DatasetRegistry:
+    """Thread-safe, byte-budgeted LRU registry of resident datasets.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Total resident-byte budget across entries (``None`` = no
+        eviction). When a load pushes the total over budget, the
+        least-recently-used *other* entries are dropped first.
+    device_budget_bytes:
+        Per-dataset device-memory budget. A dataset whose pinned
+        matrix exceeds it gets a precomputed
+        :class:`~repro.core.sharding.ShardPlan` and is mined
+        out-of-core (the service forwards the budget into the
+        GPApriori config).
+    metrics:
+        Shared :class:`~repro.obs.MetricsRegistry` receiving the
+        ``service.registry.*`` counters and gauges.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: Optional[int] = None,
+        device_budget_bytes: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if budget_bytes is not None and budget_bytes < 1:
+            raise DatasetError(
+                f"budget_bytes must be a positive int or None, got {budget_bytes!r}"
+            )
+        if device_budget_bytes is not None and device_budget_bytes < 1:
+            raise DatasetError(
+                "device_budget_bytes must be a positive int or None, "
+                f"got {device_budget_bytes!r}"
+            )
+        self.budget_bytes = budget_bytes
+        self.device_budget_bytes = device_budget_bytes
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._sources: Dict[str, Callable[[], TransactionDatabase]] = {}
+        self._entries: "OrderedDict[str, DatasetEntry]" = OrderedDict()
+        # One build lock per dataset: two concurrent first queries for
+        # the same dataset must load it once, while loads of *different*
+        # datasets proceed in parallel.
+        self._build_locks: Dict[str, threading.Lock] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def add(self, name: str, source: DatasetSource) -> None:
+        """Register a dataset under ``name``.
+
+        ``source`` is either a ready :class:`TransactionDatabase` or a
+        zero-argument loader called lazily on first access (so a server
+        can advertise many datasets and pay only for the ones queried).
+        Re-registering a name replaces its source and drops any
+        resident entry.
+        """
+        if isinstance(source, TransactionDatabase):
+            loader: Callable[[], TransactionDatabase] = lambda db=source: db
+        elif callable(source):
+            loader = source
+        else:
+            raise DatasetError(
+                f"dataset source must be a TransactionDatabase or a callable, "
+                f"got {type(source).__name__}"
+            )
+        with self._lock:
+            self._sources[name] = loader
+            self._build_locks.setdefault(name, threading.Lock())
+            self._entries.pop(name, None)
+            self._publish_gauges()
+
+    def names(self) -> list:
+        """All registered dataset names (resident or not), sorted."""
+        with self._lock:
+            return sorted(self._sources)
+
+    def resident(self) -> list:
+        """Names of currently loaded entries, LRU-first."""
+        with self._lock:
+            return list(self._entries)
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return sum(e.resident_bytes for e in self._entries.values())
+
+    # -- access -------------------------------------------------------------
+
+    def get(self, name: str) -> DatasetEntry:
+        """The entry for ``name``, loading and pinning it if needed.
+
+        Raises :class:`~repro.errors.DatasetError` for unknown names
+        (the HTTP frontend maps that to 404).
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is not None:
+                self._entries.move_to_end(name)
+                self.metrics.inc("service.registry.hits")
+                return entry
+            loader = self._sources.get(name)
+            if loader is None:
+                raise DatasetError(
+                    f"unknown dataset {name!r}; registered: {sorted(self._sources)}"
+                )
+            build_lock = self._build_locks[name]
+        with build_lock:
+            # another thread may have finished the load while we waited
+            with self._lock:
+                entry = self._entries.get(name)
+                if entry is not None:
+                    self._entries.move_to_end(name)
+                    self.metrics.inc("service.registry.hits")
+                    return entry
+            entry = self._load(name, loader)
+            with self._lock:
+                self._entries[name] = entry
+                self._entries.move_to_end(name)
+                self.metrics.inc("service.registry.loads")
+                self._evict_over_budget(keep=name)
+                self._publish_gauges()
+            return entry
+
+    def _load(self, name: str, loader: Callable[[], TransactionDatabase]) -> DatasetEntry:
+        with span("service.dataset_load", dataset=name) as sp:
+            db = loader()
+            if not isinstance(db, TransactionDatabase):
+                raise DatasetError(
+                    f"loader for dataset {name!r} returned "
+                    f"{type(db).__name__}, not a TransactionDatabase"
+                )
+            with span("transpose", dataset=name, pinned=True):
+                matrix = BitsetMatrix.from_database(db, aligned=True)
+            with span("service.dataset_profile", dataset=name):
+                profile = profile_database(db)
+            plan = None
+            budget = self.device_budget_bytes
+            if budget is not None and matrix.nbytes > budget:
+                plan = ShardPlan.for_matrix(matrix, memory_budget_bytes=budget)
+            entry = DatasetEntry(
+                name=name, db=db, matrix=matrix, profile=profile, shard_plan=plan
+            )
+            sp.set(
+                n_transactions=db.n_transactions,
+                n_items=db.n_items,
+                resident_bytes=entry.resident_bytes,
+                sharded=plan is not None,
+            )
+        return entry
+
+    # -- eviction -----------------------------------------------------------
+
+    def _evict_over_budget(self, keep: str) -> None:
+        """Drop LRU entries until under budget (lock held by caller)."""
+        if self.budget_bytes is None:
+            return
+        total = sum(e.resident_bytes for e in self._entries.values())
+        while total > self.budget_bytes and len(self._entries) > 1:
+            victim_name = next(n for n in self._entries if n != keep)
+            victim = self._entries.pop(victim_name)
+            total -= victim.resident_bytes
+            self.metrics.inc("service.registry.evictions")
+            self.metrics.inc("service.registry.evicted_bytes", victim.resident_bytes)
+
+    def evict(self, name: str) -> bool:
+        """Explicitly drop a resident entry; True if it was loaded."""
+        with self._lock:
+            hit = self._entries.pop(name, None) is not None
+            if hit:
+                self.metrics.inc("service.registry.evictions")
+            self._publish_gauges()
+            return hit
+
+    def _publish_gauges(self) -> None:
+        self.metrics.set_gauge(
+            "service.registry.resident_bytes",
+            sum(e.resident_bytes for e in self._entries.values()),
+        )
+        self.metrics.set_gauge("service.registry.resident_datasets", len(self._entries))
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> Dict:
+        with self._lock:
+            return {
+                "registered": sorted(self._sources),
+                "resident": list(self._entries),
+                "resident_bytes": sum(
+                    e.resident_bytes for e in self._entries.values()
+                ),
+                "budget_bytes": self.budget_bytes,
+                "device_budget_bytes": self.device_budget_bytes,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DatasetRegistry(registered={len(self._sources)}, "
+            f"resident={len(self._entries)})"
+        )

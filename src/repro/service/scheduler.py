@@ -1,0 +1,243 @@
+"""Bounded-queue worker pool with query coalescing and deadlines.
+
+Admission control and batching for the mining service:
+
+* a **bounded queue** — when it is full, :meth:`QueryScheduler.execute`
+  rejects immediately with :class:`~repro.errors.ServiceOverloadError`
+  instead of letting latency grow without bound (the HTTP frontend
+  maps it to 429);
+* **coalescing** — concurrent queries with the same canonical key
+  share one execution: the first caller enqueues, the rest attach to
+  the in-flight slot and wake on the same result (a thundering herd of
+  identical cold queries costs one mining pass);
+* **deadlines** — each caller waits at most its own ``timeout``; a
+  missed deadline raises :class:`~repro.errors.QueryTimeoutError`. A
+  running mining pass is not interruptible, but a queued query whose
+  waiters have all abandoned it is *cancelled* — workers skip it at
+  dequeue instead of mining for nobody.
+
+Workers re-activate the submitting context's tracer
+(:func:`repro.obs.current_tracer` does not cross thread boundaries on
+its own), so spans from pooled executions land in the same trace as
+the frontend that requested them.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from .._validation import check_positive_int
+from ..errors import QueryTimeoutError, ServiceError, ServiceOverloadError
+from ..obs import span
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import current_tracer
+
+__all__ = ["QueryScheduler"]
+
+
+class _Inflight:
+    """One scheduled execution and everyone waiting on it."""
+
+    __slots__ = (
+        "key",
+        "fn",
+        "done",
+        "result",
+        "error",
+        "waiters",
+        "started",
+        "cancelled",
+        "tracer",
+        "enqueued_at",
+    )
+
+    def __init__(self, key: Hashable, fn: Callable[[], Any], tracer) -> None:
+        self.key = key
+        self.fn = fn
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.waiters = 1
+        self.started = False
+        self.cancelled = False
+        self.tracer = tracer
+        self.enqueued_at = time.monotonic()
+
+
+class QueryScheduler:
+    """Worker pool executing coalesced, deadline-bounded callables."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        queue_depth: int = 32,
+        metrics: Optional[MetricsRegistry] = None,
+        name: str = "mining-worker",
+    ) -> None:
+        check_positive_int(workers, "workers", ServiceError)
+        check_positive_int(queue_depth, "queue_depth", ServiceError)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._queue: "queue.Queue[Optional[_Inflight]]" = queue.Queue(
+            maxsize=queue_depth
+        )
+        self._lock = threading.Lock()
+        self._inflight: Dict[Hashable, _Inflight] = {}
+        self._closed = False
+        self._workers = [
+            threading.Thread(target=self._worker, name=f"{name}-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for t in self._workers:
+            t.start()
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    # -- submission ---------------------------------------------------------
+
+    def execute(
+        self,
+        key: Hashable,
+        fn: Callable[[], Any],
+        timeout: Optional[float] = None,
+    ) -> Tuple[Any, bool]:
+        """Run ``fn`` (or join an identical in-flight run) and wait.
+
+        Returns ``(result, coalesced)`` where ``coalesced`` is True
+        when this caller attached to an execution another caller
+        started. Raises :class:`ServiceOverloadError` if the queue is
+        full, :class:`QueryTimeoutError` if ``timeout`` elapses first,
+        and re-raises whatever ``fn`` raised otherwise.
+        """
+        if timeout is not None and timeout <= 0:
+            raise ServiceError(f"timeout must be positive or None, got {timeout!r}")
+        with self._lock:
+            if self._closed:
+                raise ServiceError("scheduler is closed")
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                inflight.waiters += 1
+                coalesced = True
+                self.metrics.inc("service.coalesced")
+            else:
+                inflight = _Inflight(key, fn, current_tracer())
+                coalesced = False
+                try:
+                    self._queue.put_nowait(inflight)
+                except queue.Full:
+                    self.metrics.inc("service.rejected")
+                    raise ServiceOverloadError(
+                        f"admission queue full ({self._queue.maxsize} queued); "
+                        "retry later"
+                    ) from None
+                self._inflight[key] = inflight
+                self.metrics.inc("service.scheduled")
+            self.metrics.set_gauge("service.queue_depth", self._queue.qsize())
+        try:
+            finished = inflight.done.wait(timeout)
+        except BaseException:
+            self._abandon(inflight)
+            raise
+        if not finished:
+            self._abandon(inflight)
+            self.metrics.inc("service.timeouts")
+            raise QueryTimeoutError(
+                f"query missed its {timeout:.3f}s deadline (still "
+                f"{'running' if inflight.started else 'queued'})"
+            )
+        if inflight.error is not None:
+            raise inflight.error
+        return inflight.result, coalesced
+
+    def _abandon(self, inflight: _Inflight) -> None:
+        """Detach one waiter; cancel the run if it never started and
+        nobody else is waiting."""
+        with self._lock:
+            inflight.waiters -= 1
+            if inflight.waiters <= 0 and not inflight.started:
+                inflight.cancelled = True
+                # future identical queries must start fresh
+                if self._inflight.get(inflight.key) is inflight:
+                    del self._inflight[inflight.key]
+                self.metrics.inc("service.cancelled")
+
+    # -- workers ------------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            inflight = self._queue.get()
+            if inflight is None:
+                self._queue.task_done()
+                return
+            with self._lock:
+                if inflight.cancelled:
+                    self._queue.task_done()
+                    self.metrics.inc("service.skipped")
+                    continue
+                inflight.started = True
+            self.metrics.observe(
+                "service.queue_wait_seconds", time.monotonic() - inflight.enqueued_at
+            )
+            t0 = time.monotonic()
+            try:
+                if inflight.tracer is not None:
+                    with inflight.tracer.activate():
+                        with span("service.execute", coalesced_waiters=inflight.waiters):
+                            inflight.result = inflight.fn()
+                else:
+                    inflight.result = inflight.fn()
+            except BaseException as exc:  # delivered to every waiter
+                inflight.error = exc
+                self.metrics.inc("service.errors")
+            finally:
+                with self._lock:
+                    if self._inflight.get(inflight.key) is inflight:
+                        del self._inflight[inflight.key]
+                self.metrics.observe(
+                    "service.exec_seconds", time.monotonic() - t0
+                )
+                inflight.done.set()
+                self._queue.task_done()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work and shut the worker pool down."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._queue.put(None)
+        if wait:
+            for t in self._workers:
+                t.join()
+
+    def __enter__(self) -> "QueryScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> Dict:
+        with self._lock:
+            return {
+                "workers": len(self._workers),
+                "queue_depth": self._queue.maxsize,
+                "queued": self._queue.qsize(),
+                "inflight": len(self._inflight),
+                "scheduled": self.metrics.counter("service.scheduled"),
+                "coalesced": self.metrics.counter("service.coalesced"),
+                "rejected": self.metrics.counter("service.rejected"),
+                "timeouts": self.metrics.counter("service.timeouts"),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"QueryScheduler(workers={len(self._workers)}, "
+            f"queue_depth={self._queue.maxsize})"
+        )

@@ -1,0 +1,334 @@
+"""The mining service facade: registry + cache + scheduler in one API.
+
+:class:`MiningService` is the long-lived, concurrent counterpart of
+:func:`repro.core.api.mine`. A query names a *registered dataset*
+instead of passing a database, and the service:
+
+1. resolves the dataset through the :class:`DatasetRegistry` (loading
+   and pinning its vertical bitset matrix on first touch);
+2. normalizes the threshold to an absolute count and the options to a
+   canonical cache key;
+3. answers from the :class:`ResultCache` when a cached run at an
+   equal-or-looser threshold covers the query (exact by
+   anti-monotonicity);
+4. otherwise schedules a cold mine on the worker pool, coalescing with
+   any identical in-flight query, and caches the result.
+
+``algorithm="auto"`` picks the miner from the dataset's
+characterization profile (Heaton, arXiv:1701.09042: engine choice
+should follow dataset characteristics): dense attribute-value data
+goes to the bitset pipeline, sparse market-basket data to tidset
+Eclat. All registered algorithms mine identical itemsets, so the
+choice affects latency, never answers.
+
+Every stage emits spans and ``service.*`` metrics through
+:mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from .._validation import check_support
+from ..core.api import ALGORITHMS, mine
+from ..core.config import GPAprioriConfig
+from ..datasets.characterize import DatasetProfile
+from ..errors import MiningError, ServiceError
+from ..obs import span
+from ..obs.metrics import MetricsRegistry
+from .cache import ResultCache
+from .registry import DatasetEntry, DatasetRegistry
+from .scheduler import QueryScheduler
+
+__all__ = ["MiningService", "QueryResponse", "choose_algorithm"]
+
+DENSITY_AUTO_THRESHOLD = 0.05
+"""Density above which ``algorithm="auto"`` picks the bitset pipeline.
+
+Dense attribute-value datasets (chess ~0.49, pumsb, accidents) amortize
+the fixed-width bitset rows; below it the rows are mostly zero words
+and tidset Eclat does less work per intersection.
+"""
+
+
+def choose_algorithm(profile: DatasetProfile) -> str:
+    """Characterization-driven algorithm choice for ``algorithm="auto"``."""
+    return "gpapriori" if profile.density >= DENSITY_AUTO_THRESHOLD else "eclat"
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One answered query: the result plus serving metadata."""
+
+    result: "object"  # MiningResult; untyped to keep dataclass repr light
+    dataset: str
+    algorithm: str
+    source: str
+    """How the answer was produced: ``"cold"`` (mined now),
+    ``"coalesced"`` (attached to an identical in-flight mine),
+    ``"cache"`` (exact-threshold cache hit), or ``"cache_filtered"``
+    (projected down from a looser cached run)."""
+
+    abs_support: int
+    elapsed_seconds: float
+
+    def as_dict(self, include_metrics: bool = True) -> Dict:
+        """JSON-ready form (the HTTP response body)."""
+        return {
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "source": self.source,
+            "abs_support": self.abs_support,
+            "elapsed_seconds": self.elapsed_seconds,
+            "result": self.result.to_dict(include_metrics=include_metrics),
+        }
+
+
+# options the service controls itself and refuses from callers
+_RESERVED_OPTIONS = ("config", "device", "matrix")
+
+
+class MiningService:
+    """Long-running mining frontend over registered datasets.
+
+    Parameters
+    ----------
+    workers / queue_depth:
+        Worker-pool size and admission-queue bound of the
+        :class:`QueryScheduler`.
+    cache_bytes / cache_ttl:
+        Result-cache byte budget and entry lifetime.
+    registry_bytes:
+        Resident-byte budget of the dataset registry (LRU eviction).
+    device_budget_bytes:
+        Per-dataset device-memory budget; datasets whose pinned matrix
+        exceeds it are shard-planned at load time and mined
+        out-of-core.
+    metrics:
+        Externally supplied :class:`MetricsRegistry`; by default the
+        service creates one shared by registry, cache, and scheduler.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        queue_depth: int = 32,
+        cache_bytes: Optional[int] = 64 * 1024 * 1024,
+        cache_ttl: Optional[float] = None,
+        registry_bytes: Optional[int] = None,
+        device_budget_bytes: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.registry = DatasetRegistry(
+            budget_bytes=registry_bytes,
+            device_budget_bytes=device_budget_bytes,
+            metrics=self.metrics,
+        )
+        self.cache = ResultCache(
+            budget_bytes=cache_bytes, ttl_seconds=cache_ttl, metrics=self.metrics
+        )
+        self.scheduler = QueryScheduler(
+            workers=workers, queue_depth=queue_depth, metrics=self.metrics
+        )
+        self._closed = False
+
+    # -- datasets -----------------------------------------------------------
+
+    def register_dataset(self, name: str, source) -> None:
+        """Register a dataset (database or lazy loader) under ``name``."""
+        self.registry.add(name, source)
+
+    def preload(self, *names: str) -> None:
+        """Eagerly load datasets (all registered ones when no names)."""
+        for name in names or self.registry.names():
+            self.registry.get(name)
+
+    # -- queries ------------------------------------------------------------
+
+    def query(
+        self,
+        dataset: str,
+        min_support,
+        algorithm: str = "gpapriori",
+        max_k: Optional[int] = None,
+        timeout: Optional[float] = None,
+        **options,
+    ) -> QueryResponse:
+        """Answer one mining query (cache-first, scheduled when cold).
+
+        Parameters mirror :func:`repro.core.api.mine` except the first
+        argument is a registered dataset *name* and ``timeout`` bounds
+        this caller's wait in seconds. Raises
+        :class:`~repro.errors.DatasetError` for unknown datasets,
+        :class:`~repro.errors.ServiceOverloadError` when the admission
+        queue is full, and :class:`~repro.errors.QueryTimeoutError` on
+        a missed deadline.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        t0 = time.perf_counter()
+        self.metrics.inc("service.queries")
+        with span(
+            "service.query", dataset=dataset, algorithm=algorithm
+        ) as query_span:
+            entry = self.registry.get(dataset)
+            algorithm = self._resolve_algorithm(algorithm, entry)
+            options = self._check_options(algorithm, options)
+            if max_k is not None and max_k < 1:
+                raise MiningError(f"max_k must be >= 1, got {max_k}")
+            abs_support = check_support(
+                min_support, entry.db.n_transactions, MiningError
+            )
+            key = self._cache_key(dataset, algorithm, options, entry)
+            cached = self.cache.lookup(key, abs_support, max_k)
+            if cached is not None:
+                result, kind = cached
+                source = "cache" if kind == "hit" else "cache_filtered"
+            else:
+                result, coalesced = self.scheduler.execute(
+                    key=(key, abs_support, max_k),
+                    fn=lambda: self._mine_cold(
+                        entry, algorithm, abs_support, max_k, options, key
+                    ),
+                    timeout=timeout,
+                )
+                source = "coalesced" if coalesced else "cold"
+            elapsed = time.perf_counter() - t0
+            query_span.set(source=source, abs_support=abs_support)
+        self.metrics.inc(f"service.source.{source}")
+        self.metrics.observe("service.query_seconds", elapsed)
+        return QueryResponse(
+            result=result,
+            dataset=dataset,
+            algorithm=algorithm,
+            source=source,
+            abs_support=abs_support,
+            elapsed_seconds=elapsed,
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _resolve_algorithm(self, algorithm: str, entry: DatasetEntry) -> str:
+        key = algorithm.lower()
+        if key == "auto":
+            key = choose_algorithm(entry.profile)
+            self.metrics.inc(f"service.auto.{key}")
+            return key
+        if key not in ALGORITHMS:
+            raise MiningError(
+                f"unknown algorithm {algorithm!r}; choose from "
+                f"{sorted(ALGORITHMS) + ['auto']}"
+            )
+        return key
+
+    def _check_options(self, algorithm: str, options: Dict) -> Dict:
+        accepts = ALGORITHMS[algorithm].accepts
+        for name in options:
+            if name in _RESERVED_OPTIONS:
+                raise MiningError(
+                    f"option {name!r} is managed by the service and cannot "
+                    "be set per query"
+                )
+            if name not in accepts:
+                raise MiningError(
+                    f"unknown option {name!r} for algorithm {algorithm!r}; "
+                    f"it accepts: {', '.join(a for a in accepts if a not in _RESERVED_OPTIONS)}"
+                )
+        return dict(options)
+
+    def _gpapriori_config(
+        self, options: Dict, entry: DatasetEntry
+    ) -> Tuple[GPAprioriConfig, Dict]:
+        """Split gpapriori options into a config and residual kwargs.
+
+        The registry's shard plan is folded in: a dataset flagged
+        out-of-core at load time mines under the device budget unless
+        the query explicitly configured its own sharding.
+        """
+        cfg_fields = {
+            k: v for k, v in options.items() if k in GPAprioriConfig.__dataclass_fields__
+        }
+        rest = {k: v for k, v in options.items() if k not in cfg_fields}
+        if (
+            entry.shard_plan is not None
+            and "shards" not in cfg_fields
+            and "memory_budget_bytes" not in cfg_fields
+        ):
+            cfg_fields["memory_budget_bytes"] = self.registry.device_budget_bytes
+        return GPAprioriConfig(**cfg_fields), rest
+
+    def _cache_key(
+        self, dataset: str, algorithm: str, options: Dict, entry: DatasetEntry
+    ) -> Hashable:
+        """Canonical (dataset, algorithm, option-signature) identity."""
+        if algorithm == "gpapriori":
+            config, rest = self._gpapriori_config(options, entry)
+            signature: Hashable = config.signature() + tuple(sorted(rest.items()))
+        else:
+            signature = tuple(sorted(options.items()))
+        return (dataset, algorithm, signature)
+
+    def _mine_cold(
+        self,
+        entry: DatasetEntry,
+        algorithm: str,
+        abs_support: int,
+        max_k: Optional[int],
+        options: Dict,
+        key: Hashable,
+    ):
+        """One scheduled cold mine; runs on a worker thread."""
+        self.metrics.inc("service.cold_mines")
+        t0 = time.perf_counter()
+        with span(
+            "service.mine_cold",
+            dataset=entry.name,
+            algorithm=algorithm,
+            abs_support=abs_support,
+        ):
+            if algorithm == "gpapriori":
+                config, rest = self._gpapriori_config(options, entry)
+                kwargs = dict(rest, config=config)
+                if config.aligned:
+                    kwargs["matrix"] = entry.matrix
+            else:
+                kwargs = dict(options)
+            result = mine(
+                entry.db, abs_support, algorithm=algorithm, max_k=max_k, **kwargs
+            )
+        self.cache.store(key, result, abs_support, max_k)
+        self.metrics.observe("service.cold_seconds", time.perf_counter() - t0)
+        return result
+
+    # -- introspection / lifecycle ------------------------------------------
+
+    def stats(self) -> Dict:
+        """One JSON-ready snapshot of every service component."""
+        return {
+            "registry": self.registry.stats(),
+            "cache": self.cache.stats(),
+            "scheduler": self.scheduler.stats(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def close(self) -> None:
+        """Drain the worker pool and stop accepting queries."""
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close()
+
+    def __enter__(self) -> "MiningService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MiningService(datasets={len(self.registry.names())}, "
+            f"workers={self.scheduler.n_workers}, closed={self._closed})"
+        )

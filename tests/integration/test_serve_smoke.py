@@ -1,0 +1,100 @@
+"""Smoke test: a real ``repro serve`` process answering real HTTP.
+
+Starts the CLI server as a subprocess on an ephemeral port, issues the
+three canonical queries — a cold mine, an identical repeat (cache
+hit), and a tighter-threshold query (filtered hit) — and asserts each
+HTTP answer matches a direct in-process :func:`mine` call. This is
+the CI smoke job's test; everything else about the service is covered
+in-process under ``tests/service/``.
+"""
+
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.core.api import mine
+from repro.datasets import write_fimi
+
+STARTUP_SECONDS = 30.0
+
+
+@pytest.fixture
+def server_proc(tmp_path, small_db):
+    data = tmp_path / "smoke.dat"
+    write_fimi(small_db, data)
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--file",
+            str(data),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        match = re.search(r"on http://([\d.]+):(\d+)", line)
+        assert match, f"no serving banner in {line!r} (exit={proc.poll()})"
+        yield f"http://{match.group(1)}:{match.group(2)}"
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10.0)
+
+
+def _post_mine(base, doc):
+    req = urllib.request.Request(
+        f"{base}/mine",
+        data=json.dumps(doc).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=STARTUP_SECONDS) as resp:
+        return json.loads(resp.read().decode())
+
+
+def test_serve_smoke_three_queries(server_proc, small_db):
+    base = server_proc
+    # liveness first: the banner prints before serve_forever, so poll
+    deadline = time.monotonic() + STARTUP_SECONDS
+    while True:
+        try:
+            with urllib.request.urlopen(f"{base}/healthz", timeout=2.0) as resp:
+                assert json.loads(resp.read().decode()) == {"status": "ok"}
+            break
+        except OSError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.1)
+
+    cold = _post_mine(base, {"dataset": "smoke", "min_support": 0.15})
+    assert cold["source"] == "cold"
+    expected = mine(small_db, 0.15).to_dict(include_metrics=False)
+    assert {k: cold["result"][k] for k in expected} == expected
+
+    repeat = _post_mine(base, {"dataset": "smoke", "min_support": 0.15})
+    assert repeat["source"] == "cache"
+    assert repeat["result"]["itemsets"] == cold["result"]["itemsets"]
+
+    tighter = _post_mine(base, {"dataset": "smoke", "min_support": 0.3})
+    assert tighter["source"] == "cache_filtered"
+    expected = mine(small_db, 0.3).to_dict(include_metrics=False)
+    assert {k: tighter["result"][k] for k in expected} == expected

@@ -1,0 +1,136 @@
+"""Concurrency regression tests for the metrics registry and tracer.
+
+The mining service hammers one shared :class:`MetricsRegistry` and one
+:class:`Tracer` from its worker pool; before the service landed,
+``MetricsRegistry.observe`` mutated ``HistogramSummary`` objects
+*outside* the registry lock and ``merge`` read a live source registry
+without holding its lock — both silent lost-update races. These tests
+fail (intermittently but reliably at this iteration count) against the
+unlocked versions.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer
+
+THREADS = 8
+OPS = 2_000
+
+
+def _hammer(n_threads, fn):
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def run(tid):
+        barrier.wait()
+        try:
+            fn(tid)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+
+
+class TestMetricsRegistry:
+    def test_concurrent_counter_increments_are_exact(self):
+        reg = MetricsRegistry()
+        _hammer(THREADS, lambda tid: [reg.inc("n") for _ in range(OPS)])
+        assert reg.counter("n") == THREADS * OPS
+
+    def test_concurrent_histogram_observations_are_exact(self):
+        reg = MetricsRegistry()
+        _hammer(
+            THREADS,
+            lambda tid: [reg.observe("h", float(i)) for i in range(1, OPS + 1)],
+        )
+        hist = reg.snapshot()["histograms"]["h"]
+        assert hist["count"] == THREADS * OPS
+        assert hist["total"] == pytest.approx(THREADS * OPS * (OPS + 1) / 2)
+        assert hist["min"] == 1.0
+        assert hist["max"] == float(OPS)
+
+    def test_concurrent_merge_is_exact(self):
+        # each thread merges a private registry into the shared one
+        # while another thread keeps observing into the sources
+        shared = MetricsRegistry()
+
+        def merge_one(tid):
+            src = MetricsRegistry()
+            for i in range(OPS):
+                src.inc("n")
+                src.observe("h", 1.0)
+            shared.merge(src)
+
+        _hammer(THREADS, merge_one)
+        assert shared.counter("n") == THREADS * OPS
+        assert shared.snapshot()["histograms"]["h"]["count"] == THREADS * OPS
+
+    def test_merge_source_mutated_concurrently_stays_consistent(self):
+        # count and total must agree even when the source is being
+        # written while merged (merge snapshots under the source lock)
+        src = MetricsRegistry()
+        dst = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                src.observe("h", 1.0)
+
+        w = threading.Thread(target=writer)
+        w.start()
+        try:
+            for _ in range(50):
+                d = MetricsRegistry()
+                d.merge(src)
+                hist = d.snapshot()["histograms"].get("h")
+                if hist is not None:
+                    assert hist["total"] == pytest.approx(float(hist["count"]))
+            dst.merge(src)
+        finally:
+            stop.set()
+            w.join()
+
+    def test_concurrent_gauge_writes_keep_a_written_value(self):
+        reg = MetricsRegistry()
+        _hammer(THREADS, lambda tid: reg.set_gauge("g", float(tid)))
+        assert reg.snapshot()["gauges"]["g"] in {float(i) for i in range(THREADS)}
+
+
+class TestTracer:
+    def test_span_ids_unique_across_worker_pool(self):
+        tracer = Tracer()
+
+        def spin(tid):
+            with tracer.activate():
+                for i in range(200):
+                    with tracer.span(f"t{tid}.op", i=i):
+                        pass
+
+        _hammer(THREADS, spin)
+        spans = tracer.finished()
+        assert len(spans) == THREADS * 200
+        ids = [s.span_id for s in spans]
+        assert len(set(ids)) == len(ids)
+
+    def test_threads_build_disjoint_subtrees(self):
+        tracer = Tracer()
+
+        def spin(tid):
+            with tracer.activate():
+                with tracer.span(f"root{tid}"):
+                    with tracer.span(f"child{tid}"):
+                        pass
+
+        _hammer(4, spin)
+        spans = {s.name: s for s in tracer.finished()}
+        for tid in range(4):
+            child, root = spans[f"child{tid}"], spans[f"root{tid}"]
+            assert child.parent_id == root.span_id
+            assert root.parent_id is None

@@ -1,0 +1,70 @@
+"""Property: threshold-filtered cache answers are bit-identical to cold mines.
+
+The acceptance criterion of the service layer. For a random database,
+a random loose threshold ``s'`` and a random tighter query ``s >= s'``
+(optionally with a length cap), the answer the service projects down
+from the cached loose run must equal a cold ``mine()`` at ``s`` —
+itemset for itemset, support for support — under every counting
+engine.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import mine
+from repro.service import MiningService
+from repro.service.cache import filter_result
+from tests.property.strategies import transaction_databases
+
+SLOW = settings(max_examples=20, deadline=None)
+
+ENGINES = ("vectorized", "simulated", "parallel")
+
+
+class TestFilterIdentity:
+    @SLOW
+    @given(
+        transaction_databases(max_items=7, max_transactions=18, allow_empty_db=False),
+        st.data(),
+    )
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_filtered_equals_cold_mine(self, engine, db, data):
+        loose = data.draw(
+            st.integers(min_value=1, max_value=max(1, len(db))), label="loose"
+        )
+        tight = data.draw(
+            st.integers(min_value=loose, max_value=max(1, len(db))), label="tight"
+        )
+        max_k = data.draw(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=db.n_items)),
+            label="max_k",
+        )
+        cached = mine(db, loose, engine=engine)
+        cold = mine(db, tight, max_k=max_k, engine=engine)
+        filtered = filter_result(cached, tight, max_k)
+        assert filtered.as_dict() == cold.as_dict()
+        assert filtered.min_support == cold.min_support
+
+    @SLOW
+    @given(
+        transaction_databases(max_items=6, max_transactions=15, allow_empty_db=False),
+        st.data(),
+    )
+    def test_service_cache_path_equals_cold_mine(self, db, data):
+        """End to end through MiningService: loose cold fill, tight hit."""
+        engine = data.draw(st.sampled_from(ENGINES), label="engine")
+        loose = data.draw(
+            st.integers(min_value=1, max_value=max(1, len(db))), label="loose"
+        )
+        tight = data.draw(
+            st.integers(min_value=loose, max_value=max(1, len(db))), label="tight"
+        )
+        with MiningService(workers=1) as svc:
+            svc.register_dataset("d", db)
+            first = svc.query("d", loose, engine=engine)
+            assert first.source == "cold"
+            second = svc.query("d", tight, engine=engine)
+            assert second.source == ("cache" if tight == loose else "cache_filtered")
+            cold = mine(db, tight, engine=engine)
+            assert second.result.as_dict() == cold.as_dict()

@@ -1,0 +1,182 @@
+"""HTTP frontend: endpoints, error mapping, parity with the Python API."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.api import mine
+from repro.datasets import TransactionDatabase
+from repro.service import MiningService, make_server
+
+
+@pytest.fixture
+def db():
+    return TransactionDatabase(
+        [[0, 1, 2], [0, 1], [0, 2], [1, 2], [0, 1, 2, 3], [0, 3]]
+    )
+
+
+@pytest.fixture
+def server(db):
+    service = MiningService(workers=2)
+    service.register_dataset("toy", db)
+    srv = make_server(service, port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    service.close()
+    thread.join(timeout=5.0)
+
+
+def _get(server, path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{server.port}{path}") as resp:
+        return resp.status, json.loads(resp.read().decode())
+
+
+def _post(server, path, doc):
+    body = json.dumps(doc).encode() if not isinstance(doc, bytes) else doc
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read().decode())
+
+
+class TestGet:
+    def test_healthz(self, server):
+        status, doc = _get(server, "/healthz")
+        assert (status, doc) == (200, {"status": "ok"})
+
+    def test_root_is_healthz(self, server):
+        assert _get(server, "/")[0] == 200
+
+    def test_datasets_lists_registered_and_resident(self, server):
+        status, doc = _get(server, "/datasets")
+        assert status == 200
+        assert doc["registered"] == ["toy"]
+        assert doc["resident"] == {}  # nothing loaded yet
+        _post(server, "/mine", {"dataset": "toy", "min_support": 2})
+        _, doc = _get(server, "/datasets")
+        assert doc["resident"]["toy"]["n_transactions"] == 6
+        assert "profile" in doc["resident"]["toy"]
+
+    def test_stats(self, server):
+        _post(server, "/mine", {"dataset": "toy", "min_support": 2})
+        status, doc = _get(server, "/stats")
+        assert status == 200
+        assert doc["scheduler"]["scheduled"] == 1
+        assert doc["metrics"]["counters"]["service.queries"] == 1
+
+    def test_unknown_path_404(self, server):
+        try:
+            _get(server, "/nope")
+            raise AssertionError("expected HTTPError")
+        except urllib.error.HTTPError as err:
+            assert err.code == 404
+
+
+class TestMine:
+    def test_cold_query_matches_direct_mine(self, server, db):
+        status, doc = _post(server, "/mine", {"dataset": "toy", "min_support": 2})
+        assert status == 200
+        assert doc["source"] == "cold"
+        expected = mine(db, 2).to_dict(include_metrics=False)
+        got = {k: doc["result"][k] for k in expected}
+        assert got == expected
+
+    def test_cache_and_filtered_hits_over_http(self, server, db):
+        _post(server, "/mine", {"dataset": "toy", "min_support": 2})
+        status, doc = _post(server, "/mine", {"dataset": "toy", "min_support": 2})
+        assert doc["source"] == "cache"
+        status, doc = _post(server, "/mine", {"dataset": "toy", "min_support": 4})
+        assert doc["source"] == "cache_filtered"
+        expected = mine(db, 4).to_dict(include_metrics=False)
+        assert {k: doc["result"][k] for k in expected} == expected
+
+    def test_fractional_support_and_options(self, server, db):
+        status, doc = _post(
+            server,
+            "/mine",
+            {"dataset": "toy", "min_support": 0.5, "algorithm": "eclat"},
+        )
+        assert status == 200
+        assert doc["abs_support"] == 3
+        assert doc["algorithm"] == "eclat"
+
+    def test_unknown_dataset_404(self, server):
+        status, doc = _post(server, "/mine", {"dataset": "nope", "min_support": 2})
+        assert status == 404
+        assert doc["type"] == "DatasetError"
+
+    def test_bad_support_400(self, server):
+        status, doc = _post(server, "/mine", {"dataset": "toy", "min_support": 0})
+        assert status == 400
+        assert doc["type"] == "MiningError"
+
+    def test_reserved_option_400(self, server):
+        status, doc = _post(
+            server, "/mine", {"dataset": "toy", "min_support": 2, "config": {}}
+        )
+        assert status == 400
+
+    def test_missing_fields_400(self, server):
+        status, doc = _post(server, "/mine", {"dataset": "toy"})
+        assert status == 400
+        assert "min_support" in doc["error"]
+
+    def test_non_object_body_400(self, server):
+        status, _ = _post(server, "/mine", [1, 2, 3])
+        assert status == 400
+
+    def test_invalid_json_400(self, server):
+        status, doc = _post(server, "/mine", b"{not json")
+        assert status == 400
+        assert "JSON" in doc["error"]
+
+    def test_post_unknown_path_404(self, server):
+        status, _ = _post(server, "/other", {"dataset": "toy", "min_support": 2})
+        assert status == 404
+
+    def test_timeout_504(self, server):
+        # occupy both workers so the query sits queued past its deadline
+        gate = threading.Event()
+        running = []
+
+        def block():
+            running.append(1)
+            gate.wait(10.0)
+
+        holders = [
+            threading.Thread(
+                target=lambda k=k: server.service.scheduler.execute(f"block-{k}", block)
+            )
+            for k in range(2)
+        ]
+        for t in holders:
+            t.start()
+        deadline = time.monotonic() + 5.0
+        while len(running) < 2 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        try:
+            status, doc = _post(
+                server,
+                "/mine",
+                {"dataset": "toy", "min_support": 2, "timeout": 0.05},
+            )
+            assert status == 504
+            assert doc["type"] == "QueryTimeoutError"
+        finally:
+            gate.set()
+            for t in holders:
+                t.join(timeout=5.0)

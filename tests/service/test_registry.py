@@ -1,0 +1,162 @@
+"""DatasetRegistry: lazy loading, pinning, LRU byte eviction, plans."""
+
+import threading
+
+import pytest
+
+from repro.bitset.bitset import BitsetMatrix
+from repro.datasets import TransactionDatabase
+from repro.errors import DatasetError
+from repro.service import DatasetRegistry
+
+
+def _db(n=20, items=8, seed=0):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    rows = [rng.choice(items, size=rng.integers(1, items), replace=False) for _ in range(n)]
+    return TransactionDatabase(rows, n_items=items)
+
+
+class TestLoading:
+    def test_unknown_dataset_raises(self):
+        reg = DatasetRegistry()
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            reg.get("nope")
+
+    def test_lazy_loader_called_once(self):
+        calls = []
+        db = _db()
+
+        def loader():
+            calls.append(1)
+            return db
+
+        reg = DatasetRegistry()
+        reg.add("d", loader)
+        assert calls == []  # registration does not load
+        e1 = reg.get("d")
+        e2 = reg.get("d")
+        assert calls == [1]
+        assert e1 is e2
+
+    def test_entry_pins_matrix_and_profile(self):
+        db = _db()
+        reg = DatasetRegistry()
+        reg.add("d", db)
+        entry = reg.get("d")
+        assert entry.matrix.n_transactions == db.n_transactions
+        assert entry.matrix.is_aligned()
+        assert entry.profile.n_transactions == db.n_transactions
+        assert entry.resident_bytes == db.nbytes + entry.matrix.nbytes
+
+    def test_direct_database_source(self):
+        reg = DatasetRegistry()
+        reg.add("d", _db())
+        assert reg.get("d").name == "d"
+
+    def test_bad_source_rejected(self):
+        reg = DatasetRegistry()
+        with pytest.raises(DatasetError, match="source"):
+            reg.add("d", 42)
+
+    def test_loader_returning_garbage_rejected(self):
+        reg = DatasetRegistry()
+        reg.add("d", lambda: "not a db")
+        with pytest.raises(DatasetError, match="TransactionDatabase"):
+            reg.get("d")
+
+    def test_reregister_drops_resident_entry(self):
+        reg = DatasetRegistry()
+        reg.add("d", _db(seed=1))
+        first = reg.get("d")
+        reg.add("d", _db(seed=2))
+        assert reg.get("d") is not first
+
+
+class TestEviction:
+    def test_lru_eviction_by_bytes(self):
+        a, b = _db(seed=1), _db(seed=2)
+        reg = DatasetRegistry(budget_bytes=1)  # nothing fits beside the live one
+        reg.add("a", a)
+        reg.add("b", b)
+        reg.get("a")
+        assert reg.resident() == ["a"]
+        reg.get("b")  # loading b must evict a (budget holds at most one)
+        assert reg.resident() == ["b"]
+        assert reg.metrics.counter("service.registry.evictions") == 1
+
+    def test_requested_entry_never_evicted(self):
+        db = _db()
+        reg = DatasetRegistry(budget_bytes=1)
+        reg.add("d", db)
+        entry = reg.get("d")  # over budget all by itself, but must stay
+        assert reg.resident() == ["d"]
+        assert reg.get("d") is entry
+
+    def test_lru_order_tracks_access(self):
+        dbs = {name: _db(seed=seed) for name, seed in (("a", 1), ("b", 2), ("c", 3))}
+        size = {
+            name: db.nbytes + BitsetMatrix.from_database(db).nbytes
+            for name, db in dbs.items()
+        }
+        # holds all three minus one byte: the third load must evict one
+        reg = DatasetRegistry(budget_bytes=sum(size.values()) - 1)
+        for name in ("a", "b"):
+            reg.add(name, dbs[name])
+        reg.get("a")
+        reg.get("b")
+        reg.get("a")  # refresh a; c's load must evict b
+        reg.add("c", dbs["c"])
+        reg.get("c")
+        assert "a" in reg.resident() and "b" not in reg.resident()
+
+    def test_explicit_evict(self):
+        reg = DatasetRegistry()
+        reg.add("d", _db())
+        reg.get("d")
+        assert reg.evict("d") is True
+        assert reg.evict("d") is False
+        assert reg.resident() == []
+
+
+class TestShardPlanning:
+    def test_small_matrix_not_planned(self):
+        reg = DatasetRegistry(device_budget_bytes=1 << 30)
+        reg.add("d", _db())
+        assert reg.get("d").shard_plan is None
+
+    def test_oversized_matrix_gets_plan(self):
+        db = _db(n=4000, items=32, seed=5)
+        matrix_bytes = BitsetMatrix.from_database(db).nbytes
+        reg = DatasetRegistry(device_budget_bytes=matrix_bytes // 2)
+        reg.add("d", db)
+        plan = reg.get("d").shard_plan
+        assert plan is not None
+        assert plan.n_shards > 1
+        assert plan.slab_bytes <= matrix_bytes // 2
+        assert plan.as_dict()["n_shards"] == plan.n_shards
+
+
+class TestConcurrency:
+    def test_concurrent_first_touch_loads_once(self):
+        calls = []
+        db = _db()
+
+        def slow_loader():
+            calls.append(1)
+            return db
+
+        reg = DatasetRegistry()
+        reg.add("d", slow_loader)
+        entries = []
+        threads = [
+            threading.Thread(target=lambda: entries.append(reg.get("d")))
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert all(e is entries[0] for e in entries)

@@ -1,0 +1,182 @@
+"""QueryScheduler: coalescing, overload rejection, deadlines, tracing."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import QueryTimeoutError, ServiceError, ServiceOverloadError
+from repro.obs import Tracer
+from repro.service import QueryScheduler
+
+
+@pytest.fixture
+def scheduler():
+    s = QueryScheduler(workers=2, queue_depth=4)
+    yield s
+    s.close()
+
+
+class TestBasics:
+    def test_executes_and_returns(self, scheduler):
+        result, coalesced = scheduler.execute("k", lambda: 42)
+        assert result == 42
+        assert coalesced is False
+
+    def test_exceptions_propagate(self, scheduler):
+        def boom():
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError, match="nope"):
+            scheduler.execute("k", boom)
+        assert scheduler.metrics.counter("service.errors") == 1
+
+    def test_validation(self, scheduler):
+        with pytest.raises(ServiceError):
+            scheduler.execute("k", lambda: 1, timeout=0)
+        with pytest.raises(ServiceError):
+            QueryScheduler(workers=0)
+        with pytest.raises(ServiceError):
+            QueryScheduler(queue_depth=0)
+
+    def test_closed_scheduler_rejects(self):
+        s = QueryScheduler(workers=1)
+        s.close()
+        with pytest.raises(ServiceError, match="closed"):
+            s.execute("k", lambda: 1)
+
+    def test_close_idempotent(self):
+        s = QueryScheduler(workers=1)
+        s.close()
+        s.close()
+
+
+class TestCoalescing:
+    def test_identical_keys_share_one_execution(self, scheduler):
+        calls = []
+        release = threading.Event()
+
+        def slow():
+            release.wait(5.0)
+            calls.append(1)
+            return "shared"
+
+        results = []
+
+        def run():
+            results.append(scheduler.execute("same", slow))
+
+        threads = [threading.Thread(target=run) for _ in range(6)]
+        for t in threads:
+            t.start()
+        # wait until every thread has either enqueued or attached
+        deadline = time.monotonic() + 5.0
+        while (
+            scheduler.metrics.counter("service.coalesced") < 5
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        release.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert calls == [1]  # one execution total
+        assert sorted(c for _, c in results) == [False] + [True] * 5
+        assert all(r == "shared" for r, _ in results)
+
+    def test_different_keys_do_not_coalesce(self, scheduler):
+        r1, c1 = scheduler.execute("a", lambda: 1)
+        r2, c2 = scheduler.execute("b", lambda: 2)
+        assert (r1, r2) == (1, 2)
+        assert not c1 and not c2
+
+    def test_sequential_identical_queries_rerun(self, scheduler):
+        calls = []
+        scheduler.execute("k", lambda: calls.append(1))
+        scheduler.execute("k", lambda: calls.append(1))
+        assert len(calls) == 2  # finished runs leave the in-flight map
+
+
+class TestOverload:
+    def test_full_queue_rejects(self):
+        s = QueryScheduler(workers=1, queue_depth=1)
+        try:
+            gate = threading.Event()
+            running = threading.Event()
+
+            def busy():
+                running.set()
+                gate.wait(5.0)
+
+            holder = threading.Thread(target=lambda: s.execute("busy", busy))
+            holder.start()
+            assert running.wait(5.0)  # the one worker is now occupied
+            filler = threading.Thread(
+                target=lambda: s.execute("queued", lambda: gate.wait(5.0))
+            )
+            filler.start()
+            deadline = time.monotonic() + 5.0
+            while s.stats()["queued"] < 1 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            with pytest.raises(ServiceOverloadError, match="queue full"):
+                s.execute("rejected", lambda: None)
+            assert s.metrics.counter("service.rejected") == 1
+            gate.set()
+            holder.join(5.0)
+            filler.join(5.0)
+        finally:
+            s.close()
+
+
+class TestDeadlines:
+    def test_timeout_raises(self, scheduler):
+        gate = threading.Event()
+        try:
+            with pytest.raises(QueryTimeoutError, match="deadline"):
+                scheduler.execute("slow", lambda: gate.wait(5.0), timeout=0.05)
+            assert scheduler.metrics.counter("service.timeouts") == 1
+        finally:
+            gate.set()
+
+    def test_abandoned_queued_query_is_cancelled(self):
+        s = QueryScheduler(workers=1, queue_depth=4)
+        try:
+            gate = threading.Event()
+            running = threading.Event()
+            ran = []
+
+            def busy():
+                running.set()
+                gate.wait(5.0)
+
+            holder = threading.Thread(target=lambda: s.execute("busy", busy))
+            holder.start()
+            assert running.wait(5.0)  # the one worker is now occupied
+            # queued behind "busy"; its only waiter gives up before it starts
+            with pytest.raises(QueryTimeoutError):
+                s.execute("doomed", lambda: ran.append(1), timeout=0.05)
+            assert s.metrics.counter("service.cancelled") == 1
+            gate.set()
+            holder.join(5.0)
+            # the worker must skip the cancelled entry, not run it
+            deadline = time.monotonic() + 5.0
+            while s.metrics.counter("service.skipped") < 1 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert ran == []
+            assert s.metrics.counter("service.skipped") == 1
+        finally:
+            s.close()
+
+
+class TestTracing:
+    def test_worker_spans_land_in_submitter_trace(self, scheduler):
+        tracer = Tracer()
+        with tracer.activate():
+            scheduler.execute("k", lambda: 1)
+        names = [s.name for s in tracer.finished()]
+        assert "service.execute" in names
+
+    def test_stats_shape(self, scheduler):
+        scheduler.execute("k", lambda: 1)
+        stats = scheduler.stats()
+        assert stats["workers"] == 2
+        assert stats["scheduled"] == 1

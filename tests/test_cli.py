@@ -206,3 +206,68 @@ class TestOtherCommands:
         out = capsys.readouterr().out
         assert "speedup" in out
         assert "borgelt" in out  # reference auto-added
+
+
+class TestMineJson:
+    def test_json_output_round_trips(self, fimi_file, small_db, capsys):
+        import json
+
+        from repro.core.api import mine
+        from repro.core.itemset import MiningResult
+
+        assert (
+            main(["mine", "--file", fimi_file, "--min-support", "0.15", "--json"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert doc["format"] == "repro.mining_result/1"
+        restored = MiningResult.from_dict(doc)
+        assert restored.same_itemsets(mine(small_db, 0.15))
+
+    def test_json_is_comparable_with_serve_result_field(self, fimi_file, small_db, capsys):
+        # stripped of run metrics, the CLI document equals what the
+        # serve endpoint would put in its "result" field
+        import json
+
+        from repro.core.api import mine
+
+        main(["mine", "--file", fimi_file, "--min-support", "0.15", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        expected = mine(small_db, 0.15).to_dict(include_metrics=False)
+        assert {k: doc[k] for k in expected} == expected
+
+
+class TestServeParser:
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port", "0",
+                "--workers", "3",
+                "--queue-depth", "9",
+                "--cache-bytes", "4M",
+                "--registry-bytes", "64M",
+                "--cache-ttl", "30",
+                "--dataset", "chess",
+                "--scale", "0.02",
+                "--preload",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.workers == 3
+        assert args.queue_depth == 9
+        assert args.cache_bytes == 4 * 1024**2
+        assert args.registry_bytes == 64 * 1024**2
+        assert args.cache_ttl == 30.0
+        assert args.dataset == ["chess"]
+        assert args.preload is True
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8750
+        assert args.workers == 4
+        assert args.queue_depth == 32
+        assert args.dataset is None
