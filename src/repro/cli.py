@@ -7,6 +7,8 @@ Subcommands
 ``datasets``   Print Table 2 (dataset statistics) for the analogs.
 ``algorithms`` Print Table 1 (the algorithm registry).
 ``figure``     Run a Figure 6-style support sweep on one dataset.
+``profile``    Run one mine under tracing and print a GPU profiler
+               report (occupancy, bandwidth, coalescing).
 ``trace``      Summarize a trace file written by ``--trace``.
 ``serve``      Run the long-lived mining service (JSON over HTTP).
 
@@ -37,6 +39,17 @@ from .obs import TRACE_FORMATS, Tracer, aggregate, load_trace, write_trace
 from .rules.rules import generate_rules
 
 __all__ = ["main", "build_parser"]
+
+
+
+def _emit(*parts, file=None, flush: bool = False) -> None:
+    """Write one line of CLI output (the lint ban on bare ``print``
+    keeps diagnostics on the structured logger; exposition goes
+    through this writer)."""
+    stream = file if file is not None else sys.stdout
+    stream.write(" ".join(str(p) for p in parts) + "\n")
+    if flush:
+        stream.flush()
 
 
 def _load_db(args: argparse.Namespace):
@@ -180,6 +193,44 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(ALGORITHMS),
     )
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="run one mine under tracing and print a GPU profiler report",
+    )
+    p_prof.add_argument(
+        "--db",
+        metavar="NAME_OR_PATH",
+        default="chess",
+        help="FIMI file path, or a built-in analog name (default: chess)",
+    )
+    p_prof.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="transaction-count scale when --db names an analog (default 0.05)",
+    )
+    p_prof.add_argument("--min-support", type=float, default=0.5, metavar="RATIO")
+    p_prof.add_argument("--max-k", type=int, default=None)
+    p_prof.add_argument(
+        "--engine",
+        choices=["vectorized", "simulated", "parallel"],
+        default="simulated",
+        help="counting engine to profile (default: simulated, which "
+        "captures real access traces for the coalescing figures)",
+    )
+    p_prof.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        metavar="THREADS",
+        help="kernel block size to model (default: the config default)",
+    )
+    p_prof.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as a JSON document instead of ASCII tables",
+    )
+
     p_serve = sub.add_parser(
         "serve", help="run the long-lived mining service (JSON over HTTP)"
     )
@@ -250,6 +301,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request to stderr"
     )
+    p_serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log a query.slow warning for queries slower than this threshold",
+    )
+    p_serve.add_argument(
+        "--flight-queries",
+        type=int,
+        default=64,
+        metavar="N",
+        help="flight-recorder capacity: retain the last N queries' span "
+        "trees at /debug/queries (default 64)",
+    )
+    p_serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON log lines (one event per line) to stderr",
+    )
 
     p_trace = sub.add_parser("trace", help="summarize a recorded trace file")
     p_trace.add_argument("trace_file", help="trace written by --trace (chrome or jsonl)")
@@ -271,7 +342,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     if args.memory_budget is not None:
         engine_kwargs["memory_budget_bytes"] = args.memory_budget
     if engine_kwargs and args.algorithm != "gpapriori":
-        print(
+        _emit(
             f"error: --engine/--workers/--shards/--memory-budget apply to "
             f"the gpapriori algorithm, not {args.algorithm!r}",
             file=sys.stderr,
@@ -284,16 +355,16 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     if args.json:
         # The bare serializer document and nothing else: batch output
         # stays byte-comparable with the serve endpoint's "result" field.
-        print(result.to_json())
+        _emit(result.to_json())
         return 0
-    print(f"dataset: {label}  ({db.n_transactions} transactions, {db.n_items} items)")
-    print(
+    _emit(f"dataset: {label}  ({db.n_transactions} transactions, {db.n_items} items)")
+    _emit(
         f"{args.algorithm}: {len(result)} frequent itemsets "
         f"(min_support={args.min_support}, longest={result.max_size()}) "
         f"in {format_seconds(result.metrics.wall_seconds)} wall"
     )
     if result.metrics.modeled_seconds is not None:
-        print(f"modeled era-hardware time: {format_seconds(result.metrics.modeled_seconds)}")
+        _emit(f"modeled era-hardware time: {format_seconds(result.metrics.modeled_seconds)}")
     if args.representation == "all":
         itemsets = list(result)
     else:
@@ -301,14 +372,14 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
         condense = closed_itemsets if args.representation == "closed" else maximal_itemsets
         itemsets = condense(result)
-        print(f"{args.representation} representation: {len(itemsets)} itemsets")
+        _emit(f"{args.representation} representation: {len(itemsets)} itemsets")
     shown = 0
     for itemset in itemsets:
         if shown >= args.top:
-            print(f"... ({len(itemsets) - shown} more)")
+            _emit(f"... ({len(itemsets) - shown} more)")
             break
         ratio = itemset.support / max(db.n_transactions, 1)
-        print(f"  {itemset.items}  support={itemset.support} ({ratio:.3f})")
+        _emit(f"  {itemset.items}  support={itemset.support} ({ratio:.3f})")
         shown += 1
     return 0
 
@@ -317,23 +388,23 @@ def _cmd_rules(args: argparse.Namespace) -> int:
     db, label = _load_db(args)
     result = mine(db, args.min_support, algorithm="gpapriori")
     rules = generate_rules(result, min_confidence=args.min_confidence)
-    print(f"dataset: {label}")
-    print(
+    _emit(f"dataset: {label}")
+    _emit(
         f"{len(result)} frequent itemsets -> {len(rules)} rules "
         f"(min_conf={args.min_confidence})"
     )
     for rule in rules[: args.top]:
-        print(f"  {rule}")
+        _emit(f"  {rule}")
     if len(rules) > args.top:
-        print(f"... ({len(rules) - args.top} more)")
+        _emit(f"... ({len(rules) - args.top} more)")
     return 0
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
     dbs = {name: dataset_analog(name, scale=args.scale) for name in DATASET_REGISTRY}
     rows = table2_rows(dbs)
-    print(f"Table 2 analogs at scale={args.scale}:")
-    print(
+    _emit(f"Table 2 analogs at scale={args.scale}:")
+    _emit(
         render_table(
             ["Dataset", "#Item", "Avg.length", "#Trans", "Type"], rows
         )
@@ -342,12 +413,12 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def _cmd_algorithms(_args: argparse.Namespace) -> int:
-    print("Table 1: tested frequent itemset mining algorithms")
+    _emit("Table 1: tested frequent itemset mining algorithms")
     rows = [
         [key, info.name, info.platform, ", ".join(info.accepts)]
         for key, info in ALGORITHMS.items()
     ]
-    print(render_table(["Key", "Algorithm", "Platform", "Options"], rows))
+    _emit(render_table(["Key", "Algorithm", "Platform", "Options"], rows))
     return 0
 
 
@@ -358,17 +429,59 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         algorithms.append("borgelt")  # the reference series
     sweep = support_sweep(db, label, args.supports, algorithms)
     series = build_figure6(sweep)
-    print(render_figure(f"Figure-6-style sweep on {label}", series))
+    _emit(render_figure(f"Figure-6-style sweep on {label}", series))
     if not sweep.consistent_itemset_counts():
-        print("WARNING: algorithms disagreed on itemset counts", file=sys.stderr)
+        _emit("WARNING: algorithms disagreed on itemset counts", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json as _json
+    import pathlib
+
+    from .bench.profiler import profile_mine
+    from .core.config import GPAprioriConfig
+
+    if pathlib.Path(args.db).exists():
+        db, label = read_fimi(args.db), args.db
+    elif args.db in DATASET_REGISTRY:
+        db = dataset_analog(args.db, scale=args.scale)
+        label = f"{args.db} (analog, scale={args.scale})"
+    else:
+        _emit(
+            f"error: --db {args.db!r} is neither a file nor one of "
+            f"{sorted(DATASET_REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
+    cfg_fields = {
+        "engine": args.engine,
+        "trace_accesses": args.engine == "simulated",
+    }
+    if args.block_size is not None:
+        cfg_fields["block_size"] = args.block_size
+    report = profile_mine(
+        db,
+        args.min_support,
+        config=GPAprioriConfig(**cfg_fields),
+        max_k=args.max_k,
+    )
+    if args.json:
+        _emit(_json.dumps(report.to_dict(), indent=2))
+    else:
+        _emit(f"dataset: {label}")
+        _emit(report.render())
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .datasets.io import read_fimi as _read_fimi
+    from .obs.logging import configure_json_logging
     from .service import MiningService, make_server
 
+    if args.log_json:
+        configure_json_logging(sys.stderr)
     service = MiningService(
         workers=args.workers,
         queue_depth=args.queue_depth,
@@ -376,6 +489,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_ttl=args.cache_ttl,
         registry_bytes=args.registry_bytes,
         device_budget_bytes=args.memory_budget,
+        slow_query_ms=args.slow_query_ms,
+        flight_capacity=args.flight_queries,
     )
     names = args.dataset or sorted(DATASET_REGISTRY)
     for name in names:
@@ -396,16 +511,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             service, host=args.host, port=args.port, verbose=args.verbose
         )
     except OSError as exc:
-        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        _emit(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
         service.close()
         return 2
-    print(
+    _emit(
         f"serving {len(service.registry.names())} datasets on "
         f"http://{args.host}:{server.port}",
         flush=True,
     )
-    print(
-        "endpoints: GET /healthz /datasets /stats, POST /mine "
+    _emit(
+        "endpoints: GET /healthz /readyz /metrics /datasets /stats "
+        "/debug/queries, POST /mine "
         '{"dataset": ..., "min_support": ...}',
         file=sys.stderr,
     )
@@ -416,7 +532,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         service.close()
-        print("service stopped", file=sys.stderr)
+        _emit("service stopped", file=sys.stderr)
     return 0
 
 
@@ -424,10 +540,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     try:
         spans = load_trace(args.trace_file)
     except (OSError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _emit(f"error: {exc}", file=sys.stderr)
         return 2
     if not spans:
-        print(f"{args.trace_file}: no spans recorded")
+        _emit(f"{args.trace_file}: no spans recorded")
         return 0
     stats = aggregate(spans)
     rows = [
@@ -440,10 +556,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         ]
         for s in stats[: args.top]
     ]
-    print(f"{args.trace_file}: {len(spans)} spans, {len(stats)} distinct phases")
-    print(render_table(["Phase", "Count", "Total", "Self", "Mean"], rows))
+    _emit(f"{args.trace_file}: {len(spans)} spans, {len(stats)} distinct phases")
+    _emit(render_table(["Phase", "Count", "Total", "Self", "Mean"], rows))
     if len(stats) > args.top:
-        print(f"... ({len(stats) - args.top} more phases)")
+        _emit(f"... ({len(stats) - args.top} more phases)")
     return 0
 
 
@@ -453,6 +569,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "algorithms": _cmd_algorithms,
     "figure": _cmd_figure,
+    "profile": _cmd_profile,
     "serve": _cmd_serve,
     "trace": _cmd_trace,
 }
@@ -469,9 +586,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             try:
                 write_trace(tracer, args.trace, args.trace_format)
             except OSError as exc:
-                print(f"error: cannot write trace: {exc}", file=sys.stderr)
+                _emit(f"error: cannot write trace: {exc}", file=sys.stderr)
                 return 2
-            print(
+            _emit(
                 f"trace: {len(tracer.finished())} spans -> "
                 f"{args.trace} ({args.trace_format})",
                 file=sys.stderr,
@@ -479,7 +596,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return code
         return _COMMANDS[args.command](args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _emit(f"error: {exc}", file=sys.stderr)
         return 2
 
 

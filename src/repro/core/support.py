@@ -34,7 +34,7 @@ from ..gpusim.device import TESLA_T10, DeviceProperties
 from ..gpusim.kernel import LaunchConfig, launch_kernel
 from ..gpusim.memory import GlobalMemory
 from ..gpusim.perfmodel import GpuCostModel
-from ..gpusim.stats import KernelStats
+from ..gpusim.stats import CoalescingStats, KernelStats
 from ..obs import span
 from .config import GPAprioriConfig
 from .itemset import RunMetrics
@@ -242,6 +242,7 @@ class SimulatedEngine(SupportEngine):
         self._prefix_buf = None  # None = use gen-1 bitsets
         self._pending_buf = None
         self.last_trace = None
+        self.coalescing_stats = CoalescingStats()
 
     def setup(self, matrix: BitsetMatrix) -> None:
         super().setup(matrix)
@@ -324,6 +325,8 @@ class SimulatedEngine(SupportEngine):
                         trace=self.config.trace_accesses,
                     )
                     self.last_trace = result.trace
+                    if result.trace:
+                        self.coalescing_stats.record(analyze_trace(result.trace))
                     self.kernel_stats.record_launch(
                         blocks=m,
                         threads_per_block=result.config.block_dim,
@@ -400,6 +403,8 @@ class SimulatedEngine(SupportEngine):
                             trace=self.config.trace_accesses,
                         )
                         self.last_trace = result.trace
+                        if result.trace:
+                            self.coalescing_stats.record(analyze_trace(result.trace))
                         self.kernel_stats.record_launch(
                             blocks=m,
                             threads_per_block=result.config.block_dim,
@@ -446,6 +451,8 @@ class SimulatedEngine(SupportEngine):
         """Publish kernel *and* PCIe transfer stats into the registry."""
         super().finalize()
         self.memory.stats.publish(self.metrics.registry)
+        if self.coalescing_stats.launches:
+            self.coalescing_stats.publish(self.metrics.registry)
         self.metrics.registry.set_gauge(
             "device_bytes_in_use", self.memory.bytes_in_use
         )

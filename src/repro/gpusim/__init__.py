@@ -47,7 +47,7 @@ from .perfmodel import (
     KernelCost,
     TransferCost,
 )
-from .stats import KernelStats
+from .stats import CoalescingStats, KernelStats
 
 __all__ = [
     "DeviceProperties",
@@ -78,4 +78,5 @@ __all__ = [
     "KernelCost",
     "TransferCost",
     "KernelStats",
+    "CoalescingStats",
 ]

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-__all__ = ["KernelStats"]
+__all__ = ["CoalescingStats", "KernelStats"]
 
 
 @dataclass
@@ -77,3 +77,50 @@ class KernelStats:
         registry.inc(prefix + "barriers", self.barriers)
         registry.inc(prefix + "candidate_words", self.candidate_words)
         registry.inc(prefix + "popcounts", self.popcounts)
+
+
+@dataclass
+class CoalescingStats:
+    """Cumulative global-memory coalescing totals across launches.
+
+    Accumulates the per-launch :class:`~repro.gpusim.coalescing.
+    CoalescingReport` figures so a whole run's memory-access efficiency
+    can be published alongside the kernel counters (the profiler report
+    and ``/metrics`` read them back from the registry).
+    """
+
+    launches: int = 0
+    accesses: int = 0
+    transactions: int = 0
+    bytes_requested: int = 0
+    bytes_transferred: int = 0
+
+    def record(self, report) -> None:
+        """Fold one launch's :class:`CoalescingReport` in."""
+        self.launches += 1
+        self.accesses += report.n_accesses
+        self.transactions += report.n_transactions
+        self.bytes_requested += report.bytes_requested
+        self.bytes_transferred += report.bytes_transferred
+
+    @property
+    def efficiency(self) -> float:
+        """Requested / transferred bytes over the whole run (1.0 = fully
+        coalesced)."""
+        if self.bytes_transferred == 0:
+            return 1.0
+        return self.bytes_requested / self.bytes_transferred
+
+    def merge(self, other: "CoalescingStats") -> None:
+        self.launches += other.launches
+        self.accesses += other.accesses
+        self.transactions += other.transactions
+        self.bytes_requested += other.bytes_requested
+        self.bytes_transferred += other.bytes_transferred
+
+    def publish(self, registry, prefix: str = "coalescing.") -> None:
+        registry.inc(prefix + "launches", self.launches)
+        registry.inc(prefix + "accesses", self.accesses)
+        registry.inc(prefix + "transactions", self.transactions)
+        registry.inc(prefix + "bytes_requested", self.bytes_requested)
+        registry.inc(prefix + "bytes_transferred", self.bytes_transferred)

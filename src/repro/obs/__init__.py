@@ -14,7 +14,11 @@ Three pieces:
   ``RunMetrics`` counters, simulator kernel stats, and transfer stats;
 * :mod:`~repro.obs.export` / :mod:`~repro.obs.summary` — JSONL, Chrome
   ``trace_event`` (Perfetto-loadable) and ASCII exporters plus per-phase
-  aggregation.
+  aggregation;
+* :mod:`~repro.obs.promexpo` — Prometheus text exposition of the whole
+  registry (served at ``GET /metrics`` by ``repro serve``);
+* :mod:`~repro.obs.logging` — structured JSON logging correlated with
+  traces via ``query_id`` / ``trace_id`` fields.
 
 Typical use::
 
@@ -35,7 +39,18 @@ from .export import (
     write_jsonl,
     write_trace,
 )
-from .metrics import HistogramSummary, MetricsRegistry
+from .logging import (
+    JsonLineFormatter,
+    configure_json_logging,
+    get_logger,
+    log_event,
+)
+from .metrics import BUCKET_BOUNDS, HistogramSummary, MetricsRegistry
+from .promexpo import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus,
+    render_prometheus,
+)
 from .summary import PhaseStat, aggregate, phase_totals, trace_coverage
 from .tracer import (
     NOOP_SPAN,
@@ -57,6 +72,14 @@ __all__ = [
     "mining_run",
     "MetricsRegistry",
     "HistogramSummary",
+    "BUCKET_BOUNDS",
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
+    "parse_prometheus",
+    "JsonLineFormatter",
+    "configure_json_logging",
+    "get_logger",
+    "log_event",
     "TRACE_FORMATS",
     "spans_to_dicts",
     "write_jsonl",

@@ -1,0 +1,128 @@
+"""Structured JSON logging with trace correlation.
+
+One line per event, machine-parseable, correlated with the tracing
+subsystem: every event carries whatever identifying fields the caller
+attaches (``query_id``, ``trace_id``, ``dataset``, ``algorithm``,
+``duration``, ``source``), so a slow-query log line can be joined
+against the flight recorder's span tree for the same ``query_id``.
+
+Built on the stdlib :mod:`logging` machinery — the library follows the
+usual rules for well-behaved packages:
+
+* everything logs under the ``"repro"`` namespace
+  (``repro.service``, ``repro.httpd``, ...);
+* the package installs a :class:`logging.NullHandler` only — silent by
+  default, no handler/level decisions made for the embedding
+  application;
+* :func:`configure_json_logging` is the opt-in used by ``repro
+  serve``: it attaches a stream handler with the JSON line formatter.
+
+Event schema (one JSON object per line)::
+
+    {"ts": 1699999999.123, "level": "info", "logger": "repro.service",
+     "event": "query", "query_id": "q000001", "trace_id": "ab12...",
+     "dataset": "T40", "algorithm": "gpapriori", "source": "cold",
+     "duration_ms": 41.7, ...}
+
+``ts`` is a Unix epoch float; extra fields are flattened into the top
+level (they must be JSON-serializable; anything else is ``repr``-ed).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, IO, Optional
+
+__all__ = [
+    "JsonLineFormatter",
+    "configure_json_logging",
+    "get_logger",
+    "log_event",
+]
+
+ROOT_LOGGER_NAME = "repro"
+
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+_RESERVED = ("ts", "level", "logger", "event")
+
+
+def _jsonable(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Formats each record as one compact JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            for key, value in fields.items():
+                if key not in _RESERVED:
+                    doc[key] = _jsonable(value)
+        if record.exc_info and record.exc_info[0] is not None:
+            doc.setdefault("error", str(record.exc_info[1]))
+            doc.setdefault("error_type", record.exc_info[0].__name__)
+        return json.dumps(doc, separators=(",", ":"))
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``get_logger("service")``
+    → ``repro.service``)."""
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def log_event(
+    logger: logging.Logger,
+    level: int,
+    event: str,
+    **fields: Any,
+) -> None:
+    """Emit one structured event if ``level`` is enabled.
+
+    The ``isEnabledFor`` guard keeps the disabled path at a dict lookup
+    and an integer compare — cheap enough to leave in the query path
+    unconditionally.
+    """
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"fields": fields})
+
+
+def configure_json_logging(
+    stream: Optional[IO[str]] = None,
+    level: int = logging.INFO,
+) -> logging.Handler:
+    """Attach a JSON-lines handler to the ``repro`` logger tree.
+
+    Idempotent per stream: calling twice with the same stream replaces
+    the earlier handler rather than double-logging. Returns the
+    installed handler (``repro serve`` holds it for teardown).
+    """
+    stream = stream if stream is not None else sys.stderr
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for existing in list(root.handlers):
+        if isinstance(existing, logging.StreamHandler) and getattr(
+            existing, "stream", None
+        ) is stream:
+            root.removeHandler(existing)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLineFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

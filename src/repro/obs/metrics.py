@@ -8,33 +8,83 @@ systems: ``RunMetrics.counters`` (ad-hoc dict), ``KernelStats``
 and transfer stats are published into the same registry at the end of a
 run, so one snapshot describes everything that happened.
 
+The registry is also what the live service exports: every counter,
+gauge, and histogram renders to Prometheus text exposition through
+:mod:`repro.obs.promexpo`, and histograms carry fixed log-spaced
+buckets so p50/p90/p99 latency quantiles are available without storing
+raw observations.
+
 Zero dependencies; safe to import from anywhere in the package.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, Tuple
+from bisect import bisect_left
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
-__all__ = ["HistogramSummary", "MetricsRegistry"]
+__all__ = ["BUCKET_BOUNDS", "HistogramSummary", "LabelKey", "MetricsRegistry"]
+
+BUCKET_BOUNDS: Tuple[float, ...] = tuple(2.0**e for e in range(-30, 21))
+"""Fixed log2-spaced histogram bucket upper bounds (inclusive).
+
+Spanning ~1 ns to ~1 M (seconds, mostly — the registry's histograms
+record durations and modeled costs), with one implicit overflow bucket
+above the last bound. *Fixed* bounds are the point: two histograms
+observed independently (per-run registries, worker threads) merge
+exactly by adding bucket counts, which a quantile sketch with adaptive
+bounds cannot guarantee.
+"""
+
+LabelKey = Tuple[Tuple[str, str], ...]
+"""Canonical hashable form of a label set: sorted (name, value) pairs."""
+
+
+def _label_key(labels: Optional[Mapping[str, object]]) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
 class HistogramSummary:
-    """Streaming summary of observed values (count/total/min/max).
+    """Streaming log-bucketed histogram of observed values.
 
-    Not a bucketed histogram — the mining pipeline needs distribution
-    *summaries* (how many launches, total and extreme modeled costs),
-    and a four-number summary merges exactly and costs O(1) per
-    observation.
+    Keeps the exact four-number summary (count / sum / min / max) the
+    mining pipeline has always used, plus per-bucket counts over the
+    fixed :data:`BUCKET_BOUNDS` grid so latency quantiles (p50 / p90 /
+    p99) can be estimated and exported live. Observation is O(log
+    buckets); merging is exact because every instance shares the same
+    bounds.
+
+    >>> h = HistogramSummary()
+    >>> for v in (1.0, 2.0, 3.0, 4.0):
+    ...     h.observe(v)
+    >>> d = h.as_dict()
+    >>> (d["count"], d["sum"], d["min"], d["max"])
+    (4, 10.0, 1.0, 4.0)
+    >>> d["sum"] / d["count"] == d["mean"]
+    True
+
+    ``sum`` is what lets merged means be re-derived downstream — two
+    summaries' means cannot be combined, but their sums and counts can:
+
+    >>> a, b = HistogramSummary(), HistogramSummary()
+    >>> a.observe(1.0); b.observe(3.0)
+    >>> merged = HistogramSummary()
+    >>> merged.merge(a); merged.merge(b)
+    >>> merged.as_dict()["sum"] / merged.as_dict()["count"]
+    2.0
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        # one slot per bound plus the +Inf overflow bucket
+        self.buckets = [0] * (len(BUCKET_BOUNDS) + 1)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -44,25 +94,87 @@ class HistogramSummary:
             self.min = value
         if value > self.max:
             self.max = value
+        self.buckets[bisect_left(BUCKET_BOUNDS, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    @property
+    def sum(self) -> float:
+        """Alias of ``total`` under Prometheus' conventional name."""
+        return self.total
 
     def merge(self, other: "HistogramSummary") -> None:
         self.count += other.count
         self.total += other.total
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+
+    # -- quantiles ----------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1) of the observations.
+
+        Walks the cumulative bucket counts to the target rank and
+        interpolates linearly inside the landing bucket; the estimate
+        is clamped to the exact observed [min, max], so single-value
+        histograms report that value for every quantile.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            if cumulative + n >= target:
+                lo = BUCKET_BOUNDS[i - 1] if i > 0 else self.min
+                hi = BUCKET_BOUNDS[i] if i < len(BUCKET_BOUNDS) else self.max
+                fraction = (target - cumulative) / n
+                estimate = lo + (hi - lo) * max(0.0, min(1.0, fraction))
+                return max(self.min, min(self.max, estimate))
+            cumulative += n
+        return self.max  # pragma: no cover - unreachable when counts agree
+
+    def percentiles(self) -> Dict[str, float]:
+        """The exported latency quantiles: p50 / p90 / p99."""
+        return {
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+    def bucket_counts(self) -> Iterable[Tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, Prometheus-style.
+
+        The final pair's bound is ``float("inf")`` and its count equals
+        :attr:`count`. Empty trailing buckets are included — exposition
+        needs the full fixed grid to stay mergeable across scrapes.
+        """
+        cumulative = 0
+        out = []
+        for i, n in enumerate(self.buckets):
+            cumulative += n
+            bound = BUCKET_BOUNDS[i] if i < len(BUCKET_BOUNDS) else float("inf")
+            out.append((bound, cumulative))
+        return out
 
     def as_dict(self) -> Dict[str, float]:
-        return {
+        d = {
             "count": self.count,
+            "sum": self.total,
             "total": self.total,
             "mean": self.mean,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
         }
+        d.update(self.percentiles())
+        return d
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"HistogramSummary(count={self.count}, total={self.total})"
@@ -75,7 +187,14 @@ class MetricsRegistry:
       (``bitset_words_anded``, ``kernel.launches``);
     * **gauges** — last-written values (``device_bytes_in_use``);
     * **histograms** — :class:`HistogramSummary` of repeated
-      observations (per-launch modeled seconds).
+      observations (per-launch modeled seconds, query latencies).
+
+    Each kind optionally takes a ``labels`` mapping — ``inc
+    ("http.requests", labels={"path": "/mine", "status": "200"})``
+    keeps one counter per label set under the shared name, which the
+    Prometheus exposition renders as one labeled sample per set.
+    Unlabeled metrics keep their original flat storage (and the live
+    ``counters`` dict view that ``RunMetrics`` shares).
     """
 
     def __init__(self) -> None:
@@ -83,17 +202,35 @@ class MetricsRegistry:
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, HistogramSummary] = {}
+        # name -> label-key -> value, for the labeled variants
+        self._labeled_counters: Dict[str, Dict[LabelKey, int]] = {}
+        self._labeled_gauges: Dict[str, Dict[LabelKey, float]] = {}
+        self._labeled_histograms: Dict[str, Dict[LabelKey, HistogramSummary]] = {}
 
     # -- counters ---------------------------------------------------------------
 
-    def inc(self, name: str, amount: int = 1) -> int:
+    def inc(
+        self,
+        name: str,
+        amount: int = 1,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> int:
         """Add ``amount`` to a counter; returns the new value."""
+        if labels:
+            key = _label_key(labels)
+            with self._lock:
+                family = self._labeled_counters.setdefault(name, {})
+                value = family.get(key, 0) + int(amount)
+                family[key] = value
+            return value
         with self._lock:
             value = self._counters.get(name, 0) + int(amount)
             self._counters[name] = value
         return value
 
-    def counter(self, name: str) -> int:
+    def counter(self, name: str, labels: Optional[Mapping[str, object]] = None) -> int:
+        if labels:
+            return self._labeled_counters.get(name, {}).get(_label_key(labels), 0)
         return self._counters.get(name, 0)
 
     @property
@@ -103,11 +240,26 @@ class MetricsRegistry:
 
     # -- gauges -------------------------------------------------------------------
 
-    def set_gauge(self, name: str, value: float) -> None:
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
         with self._lock:
-            self._gauges[name] = value
+            if labels:
+                self._labeled_gauges.setdefault(name, {})[_label_key(labels)] = value
+            else:
+                self._gauges[name] = value
 
-    def gauge(self, name: str, default: float = 0.0) -> float:
+    def gauge(
+        self,
+        name: str,
+        default: float = 0.0,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> float:
+        if labels:
+            return self._labeled_gauges.get(name, {}).get(_label_key(labels), default)
         return self._gauges.get(name, default)
 
     @property
@@ -116,21 +268,49 @@ class MetricsRegistry:
 
     # -- histograms ----------------------------------------------------------------
 
-    def observe(self, name: str, value: float) -> None:
-        # The four-field summary update must happen inside the lock:
-        # two racing observers could otherwise interleave count/total
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        # The summary update must happen inside the lock: two racing
+        # observers could otherwise interleave count/total/bucket
         # writes and lose observations.
         with self._lock:
-            hist = self._histograms.get(name)
-            if hist is None:
-                hist = self._histograms[name] = HistogramSummary()
+            if labels:
+                family = self._labeled_histograms.setdefault(name, {})
+                key = _label_key(labels)
+                hist = family.get(key)
+                if hist is None:
+                    hist = family[key] = HistogramSummary()
+            else:
+                hist = self._histograms.get(name)
+                if hist is None:
+                    hist = self._histograms[name] = HistogramSummary()
             hist.observe(value)
 
-    def histogram(self, name: str) -> HistogramSummary | None:
+    def histogram(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> HistogramSummary | None:
+        if labels:
+            return self._labeled_histograms.get(name, {}).get(_label_key(labels))
         return self._histograms.get(name)
 
     def histograms(self) -> Iterable[Tuple[str, HistogramSummary]]:
         return list(self._histograms.items())
+
+    # -- labeled access -----------------------------------------------------------
+
+    def labeled(self, kind: str) -> Dict[str, Dict[LabelKey, object]]:
+        """Copy of one labeled store: ``kind`` in counters/gauges/histograms."""
+        store = {
+            "counters": self._labeled_counters,
+            "gauges": self._labeled_gauges,
+            "histograms": self._labeled_histograms,
+        }[kind]
+        with self._lock:
+            return {name: dict(family) for name, family in store.items()}
 
     # -- aggregation ----------------------------------------------------------------
 
@@ -147,6 +327,18 @@ class MetricsRegistry:
                 frozen = HistogramSummary()
                 frozen.merge(hist)
                 histograms.append((name, frozen))
+            labeled_counters = {
+                name: dict(family) for name, family in other._labeled_counters.items()
+            }
+            labeled_gauges = {
+                name: dict(family) for name, family in other._labeled_gauges.items()
+            }
+            labeled_histograms = []
+            for name, family in other._labeled_histograms.items():
+                for key, hist in family.items():
+                    frozen = HistogramSummary()
+                    frozen.merge(hist)
+                    labeled_histograms.append((name, key, frozen))
         for name, amount in counters.items():
             self.inc(name, amount)
         for name, value in gauges.items():
@@ -157,15 +349,51 @@ class MetricsRegistry:
                 if mine is None:
                     mine = self._histograms[name] = HistogramSummary()
                 mine.merge(hist)
+        with self._lock:
+            for name, family in labeled_counters.items():
+                target = self._labeled_counters.setdefault(name, {})
+                for key, amount in family.items():
+                    target[key] = target.get(key, 0) + amount
+            for name, family in labeled_gauges.items():
+                self._labeled_gauges.setdefault(name, {}).update(family)
+            for name, key, hist in labeled_histograms:
+                family = self._labeled_histograms.setdefault(name, {})
+                mine = family.get(key)
+                if mine is None:
+                    mine = family[key] = HistogramSummary()
+                mine.merge(hist)
 
     def snapshot(self) -> Dict[str, Dict]:
-        """JSON-ready copy of everything the registry holds."""
+        """JSON-ready copy of everything the registry holds.
+
+        Labeled families appear under ``labeled`` keyed by metric name,
+        each label set rendered as a ``k="v",...`` string.
+        """
         with self._lock:
-            return {
+            doc: Dict[str, Dict] = {
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
                 "histograms": {n: h.as_dict() for n, h in self._histograms.items()},
             }
+            labeled: Dict[str, Dict] = {}
+            for kind, store in (
+                ("counters", self._labeled_counters),
+                ("gauges", self._labeled_gauges),
+                ("histograms", self._labeled_histograms),
+            ):
+                for name, family in store.items():
+                    rendered = {}
+                    for key, value in family.items():
+                        label_str = ",".join(f'{k}="{v}"' for k, v in key)
+                        rendered[label_str] = (
+                            value.as_dict()
+                            if isinstance(value, HistogramSummary)
+                            else value
+                        )
+                    labeled.setdefault(kind, {})[name] = rendered
+            if labeled:
+                doc["labeled"] = labeled
+            return doc
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

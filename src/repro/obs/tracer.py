@@ -23,9 +23,10 @@ from __future__ import annotations
 
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional
 
 __all__ = [
     "Span",
@@ -169,6 +170,7 @@ class Tracer:
 
     def __init__(self, clock=time.perf_counter) -> None:
         self.clock = clock
+        self.trace_id = uuid.uuid4().hex[:16]
         self.spans: List[Span] = []
         self._lock = threading.Lock()
         self._next_id = 0
@@ -221,6 +223,39 @@ class Tracer:
     def clear(self) -> None:
         with self._lock:
             self.spans.clear()
+
+    def adopt(self, records: Iterable[Mapping[str, Any]]) -> int:
+        """Graft finished span dicts from another tracer into this one.
+
+        Used when a per-query tracer (the flight recorder's unit of
+        retention) must also feed an outer tracer — e.g. the CLI's
+        ``--trace`` capturing everything a service call did. Ids are
+        remapped onto this tracer's sequence so they cannot collide
+        with spans recorded directly; parent links are preserved within
+        the adopted batch. Returns the number of spans adopted.
+        """
+        records = list(records)
+        if not records:
+            return 0
+        with self._lock:
+            id_map: Dict[Any, int] = {}
+            for rec in records:
+                self._next_id += 1
+                id_map[rec["id"]] = self._next_id
+            for rec in records:
+                adopted = Span(
+                    rec["name"],
+                    id_map[rec["id"]],
+                    id_map.get(rec.get("parent")),
+                    rec.get("depth", 0),
+                    rec.get("thread", "adopted"),
+                    dict(rec.get("attrs") or {}),
+                    self,
+                )
+                adopted.t_start = rec.get("start")
+                adopted.t_end = rec.get("end")
+                self.spans.append(adopted)
+        return len(records)
 
 
 def current_tracer() -> Optional[Tracer]:

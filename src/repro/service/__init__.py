@@ -26,6 +26,7 @@ same way it does batch runs.
 """
 
 from .cache import CachedEntry, ResultCache
+from .flightrec import FlightRecorder, QueryRecord, span_tree
 from .httpd import MiningHTTPServer, make_server
 from .registry import DatasetEntry, DatasetRegistry
 from .scheduler import QueryScheduler
@@ -42,4 +43,7 @@ __all__ = [
     "choose_algorithm",
     "MiningHTTPServer",
     "make_server",
+    "FlightRecorder",
+    "QueryRecord",
+    "span_tree",
 ]

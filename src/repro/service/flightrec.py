@@ -1,0 +1,148 @@
+"""Per-query flight recorder: a bounded ring of completed queries.
+
+A p99 outlier in production is gone by the time anyone looks at a
+dashboard — the HTTP response (and its ``elapsed_seconds``) has been
+consumed and the spans the query emitted were never kept anywhere. The
+:class:`FlightRecorder` closes that gap: the service records every
+completed query (successful or failed) with its options, outcome,
+full span tree, and the metrics counters it moved, bounded to the last
+N queries so memory stays flat under sustained traffic.
+
+Served by the HTTP frontend at ``GET /debug/queries`` (the ring,
+newest first, without span trees) and ``GET /debug/queries/<id>``
+(one record with its nested span tree).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["FlightRecorder", "QueryRecord", "span_tree"]
+
+DEFAULT_CAPACITY = 64
+
+
+def span_tree(spans: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Nest flat span dicts (``id`` / ``parent`` links) into a tree.
+
+    Returns the list of root spans, each with a ``children`` list,
+    ordered by start time. Spans whose parent is missing from the
+    batch (clock-skewed adoption, partial capture) become roots rather
+    than being dropped.
+    """
+    nodes = {}
+    for rec in spans:
+        node = dict(rec)
+        node["children"] = []
+        nodes[rec["id"]] = node
+    roots = []
+    for node in nodes.values():
+        parent = nodes.get(node.get("parent"))
+        if parent is not None:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    by_start = lambda n: (n.get("start") or 0.0, n["id"])  # noqa: E731
+    for node in nodes.values():
+        node["children"].sort(key=by_start)
+    roots.sort(key=by_start)
+    return roots
+
+
+@dataclass
+class QueryRecord:
+    """Everything retained about one completed query."""
+
+    query_id: str
+    trace_id: str
+    dataset: str
+    algorithm: str
+    status: str  # "ok" | "error"
+    source: Optional[str]  # cold / coalesced / cache / cache_filtered; None on error
+    abs_support: Optional[int]
+    max_k: Optional[int]
+    options: Dict[str, Any]
+    started_at: float  # Unix epoch (wall clock, for humans)
+    elapsed_seconds: float
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    metrics_delta: Dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, Any]:
+        """Listing form: everything except the (potentially large) spans."""
+        return {
+            "query_id": self.query_id,
+            "trace_id": self.trace_id,
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "status": self.status,
+            "source": self.source,
+            "abs_support": self.abs_support,
+            "max_k": self.max_k,
+            "started_at": self.started_at,
+            "elapsed_seconds": self.elapsed_seconds,
+            "error": self.error,
+            "error_type": self.error_type,
+            "n_spans": len(self.spans),
+        }
+
+    def detail(self) -> Dict[str, Any]:
+        """Full form: summary plus options, metrics delta, span tree."""
+        doc = self.summary()
+        doc["options"] = dict(self.options)
+        doc["metrics_delta"] = dict(self.metrics_delta)
+        doc["span_tree"] = span_tree(self.spans)
+        return doc
+
+
+class FlightRecorder:
+    """Thread-safe bounded ring of :class:`QueryRecord` by query id."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._records: "OrderedDict[str, QueryRecord]" = OrderedDict()
+        self._recorded = 0
+
+    def record(self, rec: QueryRecord) -> None:
+        with self._lock:
+            self._records[rec.query_id] = rec
+            self._records.move_to_end(rec.query_id)
+            self._recorded += 1
+            while len(self._records) > self.capacity:
+                self._records.popitem(last=False)
+
+    def get(self, query_id: str) -> Optional[QueryRecord]:
+        with self._lock:
+            return self._records.get(query_id)
+
+    def last(self, n: Optional[int] = None) -> List[QueryRecord]:
+        """Most recent records, newest first."""
+        with self._lock:
+            records = list(self._records.values())
+        records.reverse()
+        return records if n is None else records[:n]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "retained": len(self._records),
+                "recorded": self._recorded,
+            }
+
+
+def now_epoch() -> float:
+    """Wall-clock timestamp for record keeping (patchable in tests)."""
+    return time.time()

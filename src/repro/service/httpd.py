@@ -11,12 +11,22 @@ Endpoints
 ---------
 ``GET /healthz``
     ``{"status": "ok"}`` — liveness probe.
+``GET /readyz``
+    Readiness probe: 200 when datasets are preloaded and the worker
+    pool is healthy, 503 otherwise (body says why).
+``GET /metrics``
+    The whole metrics registry in Prometheus text exposition format
+    (version 0.0.4), including p50/p90/p99 gauges for histograms.
 ``GET /datasets``
     Registered dataset names; resident entries include their profile
     and shard plan.
 ``GET /stats``
-    Registry / cache / scheduler stats plus the full ``service.*``
-    metrics snapshot.
+    Registry / cache / scheduler / flight-recorder stats plus the
+    full ``service.*`` metrics snapshot.
+``GET /debug/queries``
+    The flight recorder's ring: most recent queries first (summaries,
+    no span trees). ``GET /debug/queries/<id>`` returns one record
+    with options, metrics delta, and the full nested span tree.
 ``POST /mine``
     Body: ``{"dataset": str, "min_support": float|int,
     "algorithm"?: str, "max_k"?: int, "timeout"?: float,
@@ -35,6 +45,8 @@ library raises deliberately → 400/500 with ``{"error": ..., "type":
 from __future__ import annotations
 
 import json
+import logging
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Tuple
 
@@ -44,9 +56,39 @@ from ..errors import (
     ReproError,
     ServiceOverloadError,
 )
+from ..obs.logging import get_logger, log_event
+from ..obs.promexpo import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from ..obs.promexpo import render_prometheus
 from .service import MiningService
 
 __all__ = ["MiningHTTPServer", "MiningRequestHandler", "make_server"]
+
+logger = get_logger("httpd")
+
+_KNOWN_ROUTES = (
+    "/",
+    "/healthz",
+    "/readyz",
+    "/metrics",
+    "/datasets",
+    "/stats",
+    "/mine",
+    "/debug/queries",
+)
+
+
+def _route_label(path: str) -> str:
+    """Collapse a request path onto a bounded label set.
+
+    Metrics labels must not have unbounded cardinality, so ids are
+    normalized (``/debug/queries/q000123`` → ``/debug/queries/:id``)
+    and anything unrecognized becomes ``other``.
+    """
+    if path.startswith("/debug/queries/"):
+        return "/debug/queries/:id"
+    if path in _KNOWN_ROUTES:
+        return path
+    return "other"
 
 MAX_BODY_BYTES = 1 << 20
 """Request bodies over 1 MiB are rejected outright (a mining query is
@@ -61,16 +103,46 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
 
     # -- helpers ------------------------------------------------------------
 
-    def _send_json(self, status: int, payload: Dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+        self._observe_request(status)
+
+    def _send_json(self, status: int, payload: Dict) -> None:
+        self._send_body(status, json.dumps(payload).encode("utf-8"), "application/json")
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_body(status, text.encode("utf-8"), content_type)
 
     def _send_error_json(self, status: int, exc: BaseException) -> None:
         self._send_json(status, {"error": str(exc), "type": type(exc).__name__})
+
+    def _observe_request(self, status: int) -> None:
+        """Per-request telemetry: labeled counter + structured log line."""
+        route = _route_label(self.path)
+        started = getattr(self, "_t_request", None)
+        duration_ms = (
+            round((time.perf_counter() - started) * 1000.0, 3)
+            if started is not None
+            else None
+        )
+        self.server.service.metrics.inc(
+            "http.requests",
+            labels={"method": self.command, "route": route, "status": str(status)},
+        )
+        log_event(
+            logger,
+            logging.INFO,
+            "http.request",
+            method=self.command,
+            path=self.path,
+            route=route,
+            status=status,
+            duration_ms=duration_ms,
+        )
 
     def log_message(self, fmt: str, *args) -> None:  # pragma: no cover
         if self.server.verbose:
@@ -79,9 +151,17 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
     # -- GET ----------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._t_request = time.perf_counter()
         service = self.server.service
         if self.path in ("/", "/healthz"):
             self._send_json(200, {"status": "ok"})
+        elif self.path == "/readyz":
+            readiness = service.ready()
+            self._send_json(200 if readiness["ready"] else 503, readiness)
+        elif self.path == "/metrics":
+            self._send_text(
+                200, render_prometheus(service.metrics), PROMETHEUS_CONTENT_TYPE
+            )
         elif self.path == "/datasets":
             resident = {
                 e.name: e.as_dict()
@@ -95,12 +175,28 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
             )
         elif self.path == "/stats":
             self._send_json(200, service.stats())
+        elif self.path == "/debug/queries":
+            self._send_json(
+                200,
+                {
+                    "queries": [r.summary() for r in service.flight.last()],
+                    **service.flight.stats(),
+                },
+            )
+        elif self.path.startswith("/debug/queries/"):
+            query_id = self.path[len("/debug/queries/"):]
+            record = service.flight.get(query_id)
+            if record is None:
+                self._send_json(404, {"error": f"no such query: {query_id}"})
+            else:
+                self._send_json(200, record.detail())
         else:
             self._send_json(404, {"error": f"no such endpoint: {self.path}"})
 
     # -- POST ---------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._t_request = time.perf_counter()
         if self.path != "/mine":
             self._send_json(404, {"error": f"no such endpoint: {self.path}"})
             return

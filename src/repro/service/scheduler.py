@@ -24,6 +24,7 @@ the frontend that requested them.
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
@@ -32,10 +33,13 @@ from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 from .._validation import check_positive_int
 from ..errors import QueryTimeoutError, ServiceError, ServiceOverloadError
 from ..obs import span
+from ..obs.logging import get_logger, log_event
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import current_tracer
 
 __all__ = ["QueryScheduler"]
+
+logger = get_logger("scheduler")
 
 
 class _Inflight:
@@ -130,6 +134,12 @@ class QueryScheduler:
                     self._queue.put_nowait(inflight)
                 except queue.Full:
                     self.metrics.inc("service.rejected")
+                    log_event(
+                        logger,
+                        logging.WARNING,
+                        "scheduler.overload",
+                        queue_depth=self._queue.maxsize,
+                    )
                     raise ServiceOverloadError(
                         f"admission queue full ({self._queue.maxsize} queued); "
                         "retry later"
@@ -137,6 +147,7 @@ class QueryScheduler:
                 self._inflight[key] = inflight
                 self.metrics.inc("service.scheduled")
             self.metrics.set_gauge("service.queue_depth", self._queue.qsize())
+            self.metrics.set_gauge("service.inflight", len(self._inflight))
         try:
             finished = inflight.done.wait(timeout)
         except BaseException:
@@ -145,6 +156,13 @@ class QueryScheduler:
         if not finished:
             self._abandon(inflight)
             self.metrics.inc("service.timeouts")
+            log_event(
+                logger,
+                logging.WARNING,
+                "scheduler.timeout",
+                timeout_seconds=timeout,
+                started=inflight.started,
+            )
             raise QueryTimeoutError(
                 f"query missed its {timeout:.3f}s deadline (still "
                 f"{'running' if inflight.started else 'queued'})"
@@ -193,13 +211,23 @@ class QueryScheduler:
             except BaseException as exc:  # delivered to every waiter
                 inflight.error = exc
                 self.metrics.inc("service.errors")
+                log_event(
+                    logger,
+                    logging.WARNING,
+                    "scheduler.execute_error",
+                    error=str(exc),
+                    error_type=type(exc).__name__,
+                )
             finally:
                 with self._lock:
                     if self._inflight.get(inflight.key) is inflight:
                         del self._inflight[inflight.key]
+                    inflight_now = len(self._inflight)
                 self.metrics.observe(
                     "service.exec_seconds", time.monotonic() - t0
                 )
+                self.metrics.set_gauge("service.queue_depth", self._queue.qsize())
+                self.metrics.set_gauge("service.inflight", inflight_now)
                 inflight.done.set()
                 self._queue.task_done()
 
@@ -222,6 +250,13 @@ class QueryScheduler:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def healthy(self) -> bool:
+        """True while open and every worker thread is still alive."""
+        with self._lock:
+            if self._closed:
+                return False
+        return all(t.is_alive() for t in self._workers)
 
     def stats(self) -> Dict:
         with self._lock:

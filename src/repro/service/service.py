@@ -27,6 +27,8 @@ Every stage emits spans and ``service.*`` metrics through
 
 from __future__ import annotations
 
+import itertools
+import logging
 import time
 from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Tuple
@@ -37,12 +39,17 @@ from ..core.config import GPAprioriConfig
 from ..datasets.characterize import DatasetProfile
 from ..errors import MiningError, ServiceError
 from ..obs import span
+from ..obs.logging import get_logger, log_event
 from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer, current_tracer
 from .cache import ResultCache
+from .flightrec import FlightRecorder, QueryRecord, now_epoch
 from .registry import DatasetEntry, DatasetRegistry
 from .scheduler import QueryScheduler
 
 __all__ = ["MiningService", "QueryResponse", "choose_algorithm"]
+
+logger = get_logger("service")
 
 DENSITY_AUTO_THRESHOLD = 0.05
 """Density above which ``algorithm="auto"`` picks the bitset pipeline.
@@ -109,6 +116,11 @@ class MiningService:
     metrics:
         Externally supplied :class:`MetricsRegistry`; by default the
         service creates one shared by registry, cache, and scheduler.
+    slow_query_ms:
+        When set, any query slower than this threshold emits a
+        ``query.slow`` structured log line at WARNING.
+    flight_capacity:
+        How many completed queries the flight recorder retains.
     """
 
     def __init__(
@@ -120,6 +132,8 @@ class MiningService:
         registry_bytes: Optional[int] = None,
         device_budget_bytes: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
+        slow_query_ms: Optional[float] = None,
+        flight_capacity: int = 64,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.registry = DatasetRegistry(
@@ -133,6 +147,11 @@ class MiningService:
         self.scheduler = QueryScheduler(
             workers=workers, queue_depth=queue_depth, metrics=self.metrics
         )
+        self.flight = FlightRecorder(capacity=flight_capacity)
+        self.slow_query_ms = slow_query_ms
+        self._query_ids = itertools.count(1)
+        self._preload_requested = False
+        self._preload_done = False
         self._closed = False
 
     # -- datasets -----------------------------------------------------------
@@ -143,8 +162,11 @@ class MiningService:
 
     def preload(self, *names: str) -> None:
         """Eagerly load datasets (all registered ones when no names)."""
+        self._preload_requested = True
+        self._preload_done = False
         for name in names or self.registry.names():
             self.registry.get(name)
+        self._preload_done = True
 
     # -- queries ------------------------------------------------------------
 
@@ -170,46 +192,160 @@ class MiningService:
         if self._closed:
             raise ServiceError("service is closed")
         t0 = time.perf_counter()
+        query_id = f"q{next(self._query_ids):06d}"
+        started_at = now_epoch()
+        # Each query runs under its own tracer so the flight recorder
+        # retains exactly this query's span tree; finished spans are
+        # grafted back into any outer tracer (CLI --trace) afterwards.
+        # The scheduler's workers re-activate the submitting tracer, so
+        # a cold mine's spans land here even though it runs on a pooled
+        # thread.
+        outer = current_tracer()
+        query_tracer = Tracer()
+        counters_before = dict(self.metrics.counters)
         self.metrics.inc("service.queries")
-        with span(
-            "service.query", dataset=dataset, algorithm=algorithm
-        ) as query_span:
-            entry = self.registry.get(dataset)
-            algorithm = self._resolve_algorithm(algorithm, entry)
-            options = self._check_options(algorithm, options)
-            if max_k is not None and max_k < 1:
-                raise MiningError(f"max_k must be >= 1, got {max_k}")
-            abs_support = check_support(
-                min_support, entry.db.n_transactions, MiningError
+        state: Dict = {
+            "algorithm": algorithm,
+            "source": None,
+            "abs_support": None,
+            "max_k": max_k,
+            "error": None,
+        }
+        try:
+            with query_tracer.activate():
+                with span(
+                    "service.query",
+                    query_id=query_id,
+                    dataset=dataset,
+                    algorithm=algorithm,
+                ) as query_span:
+                    entry = self.registry.get(dataset)
+                    algorithm = self._resolve_algorithm(algorithm, entry)
+                    state["algorithm"] = algorithm
+                    options = self._check_options(algorithm, options)
+                    if max_k is not None and max_k < 1:
+                        raise MiningError(f"max_k must be >= 1, got {max_k}")
+                    abs_support = check_support(
+                        min_support, entry.db.n_transactions, MiningError
+                    )
+                    state["abs_support"] = abs_support
+                    key = self._cache_key(dataset, algorithm, options, entry)
+                    cached = self.cache.lookup(key, abs_support, max_k)
+                    if cached is not None:
+                        result, kind = cached
+                        source = "cache" if kind == "hit" else "cache_filtered"
+                    else:
+                        result, coalesced = self.scheduler.execute(
+                            key=(key, abs_support, max_k),
+                            fn=lambda: self._mine_cold(
+                                entry, algorithm, abs_support, max_k, options, key
+                            ),
+                            timeout=timeout,
+                        )
+                        source = "coalesced" if coalesced else "cold"
+                    state["source"] = source
+                    elapsed = time.perf_counter() - t0
+                    query_span.set(source=source, abs_support=abs_support)
+            self.metrics.inc(f"service.source.{source}")
+            self.metrics.observe("service.query.seconds", elapsed)
+            return QueryResponse(
+                result=result,
+                dataset=dataset,
+                algorithm=algorithm,
+                source=source,
+                abs_support=abs_support,
+                elapsed_seconds=elapsed,
             )
-            key = self._cache_key(dataset, algorithm, options, entry)
-            cached = self.cache.lookup(key, abs_support, max_k)
-            if cached is not None:
-                result, kind = cached
-                source = "cache" if kind == "hit" else "cache_filtered"
-            else:
-                result, coalesced = self.scheduler.execute(
-                    key=(key, abs_support, max_k),
-                    fn=lambda: self._mine_cold(
-                        entry, algorithm, abs_support, max_k, options, key
-                    ),
-                    timeout=timeout,
-                )
-                source = "coalesced" if coalesced else "cold"
-            elapsed = time.perf_counter() - t0
-            query_span.set(source=source, abs_support=abs_support)
-        self.metrics.inc(f"service.source.{source}")
-        self.metrics.observe("service.query_seconds", elapsed)
-        return QueryResponse(
-            result=result,
-            dataset=dataset,
-            algorithm=algorithm,
-            source=source,
-            abs_support=abs_support,
-            elapsed_seconds=elapsed,
-        )
+        except BaseException as exc:
+            state["error"] = exc
+            raise
+        finally:
+            self._finish_query(
+                query_id=query_id,
+                query_tracer=query_tracer,
+                outer=outer,
+                dataset=dataset,
+                state=state,
+                options=options,
+                started_at=started_at,
+                elapsed=time.perf_counter() - t0,
+                counters_before=counters_before,
+            )
 
     # -- internals ----------------------------------------------------------
+
+    def _finish_query(
+        self,
+        query_id: str,
+        query_tracer: Tracer,
+        outer,
+        dataset: str,
+        state: Dict,
+        options: Dict,
+        started_at: float,
+        elapsed: float,
+        counters_before: Dict[str, int],
+    ) -> None:
+        """Telemetry fan-out after a query: flight record + log lines."""
+        spans = [s.to_dict() for s in query_tracer.finished()]
+        if outer is not None:
+            outer.adopt(spans)
+        counters_after = dict(self.metrics.counters)
+        delta = {
+            name: value - counters_before.get(name, 0)
+            for name, value in counters_after.items()
+            if value != counters_before.get(name, 0)
+        }
+        error = state["error"]
+        self.flight.record(
+            QueryRecord(
+                query_id=query_id,
+                trace_id=query_tracer.trace_id,
+                dataset=dataset,
+                algorithm=state["algorithm"],
+                status="ok" if error is None else "error",
+                source=state["source"],
+                abs_support=state["abs_support"],
+                max_k=state["max_k"],
+                options=dict(options),
+                started_at=started_at,
+                elapsed_seconds=elapsed,
+                error=None if error is None else str(error),
+                error_type=None if error is None else type(error).__name__,
+                spans=spans,
+                metrics_delta=delta,
+            )
+        )
+        duration_ms = elapsed * 1000.0
+        fields = {
+            "query_id": query_id,
+            "trace_id": query_tracer.trace_id,
+            "dataset": dataset,
+            "algorithm": state["algorithm"],
+            "source": state["source"],
+            "abs_support": state["abs_support"],
+            "duration_ms": round(duration_ms, 3),
+        }
+        if error is not None:
+            log_event(
+                logger,
+                logging.WARNING,
+                "query.error",
+                error=str(error),
+                error_type=type(error).__name__,
+                **fields,
+            )
+            return
+        log_event(logger, logging.INFO, "query", **fields)
+        if self.slow_query_ms is not None and duration_ms > self.slow_query_ms:
+            self.metrics.inc("service.slow_queries")
+            log_event(
+                logger,
+                logging.WARNING,
+                "query.slow",
+                slow_query_ms=self.slow_query_ms,
+                **fields,
+            )
 
     def _resolve_algorithm(self, algorithm: str, entry: DatasetEntry) -> str:
         key = algorithm.lower()
@@ -305,12 +441,32 @@ class MiningService:
 
     # -- introspection / lifecycle ------------------------------------------
 
+    def ready(self) -> Dict:
+        """Readiness probe state (distinct from liveness).
+
+        ``ready`` is False while the service is closed, a worker
+        thread has died, or a requested preload has not completed —
+        the conditions under which a load balancer should stop
+        routing here even though the process is alive.
+        """
+        scheduler_alive = self.scheduler.healthy()
+        preload_pending = self._preload_requested and not self._preload_done
+        return {
+            "ready": not self._closed and scheduler_alive and not preload_pending,
+            "closed": self._closed,
+            "scheduler_alive": scheduler_alive,
+            "preload_pending": preload_pending,
+            "datasets_registered": len(self.registry.names()),
+            "datasets_resident": len(self.registry.resident()),
+        }
+
     def stats(self) -> Dict:
         """One JSON-ready snapshot of every service component."""
         return {
             "registry": self.registry.stats(),
             "cache": self.cache.stats(),
             "scheduler": self.scheduler.stats(),
+            "flight": self.flight.stats(),
             "metrics": self.metrics.snapshot(),
         }
 

@@ -98,3 +98,43 @@ def test_serve_smoke_three_queries(server_proc, small_db):
     assert tighter["source"] == "cache_filtered"
     expected = mine(small_db, 0.3).to_dict(include_metrics=False)
     assert {k: tighter["result"][k] for k in expected} == expected
+
+    # -- telemetry scrape: the three queries must be visible coherently
+    # across /readyz, /metrics, and the flight recorder ------------------
+    with urllib.request.urlopen(f"{base}/readyz", timeout=5.0) as resp:
+        assert resp.status == 200
+        assert json.loads(resp.read().decode())["ready"] is True
+
+    from repro.obs import parse_prometheus
+
+    with urllib.request.urlopen(f"{base}/metrics", timeout=5.0) as resp:
+        assert resp.headers["Content-Type"].startswith("text/plain")
+        text = resp.read().decode()
+    samples = parse_prometheus(text)  # strict: raises on any malformed line
+    values = {
+        s["name"]: s["value"] for s in samples if not s["labels"]
+    }
+    assert values["service_queries"] == 3
+    assert values["service_source_cold"] == 1
+    assert values["service_cache_hits"] == 1
+    assert values["service_cache_filtered_hits"] == 1
+    assert values["service_query_seconds_count"] == 3
+    for q in ("p50", "p90", "p99"):
+        assert f"service_query_seconds_{q}" in values
+
+    with urllib.request.urlopen(f"{base}/debug/queries", timeout=5.0) as resp:
+        listing = json.loads(resp.read().decode())
+    assert listing["recorded"] == 3
+    # newest first: filtered hit, cache hit, cold
+    sources = [q["source"] for q in listing["queries"]]
+    assert sources == ["cache_filtered", "cache", "cold"]
+
+    cold_id = listing["queries"][-1]["query_id"]
+    with urllib.request.urlopen(
+        f"{base}/debug/queries/{cold_id}", timeout=5.0
+    ) as resp:
+        detail = json.loads(resp.read().decode())
+    assert detail["status"] == "ok"
+    roots = {r["name"] for r in detail["span_tree"]}
+    assert "service.query" in roots
+    assert detail["metrics_delta"]["service.cold_mines"] == 1

@@ -149,3 +149,29 @@ class TestSummary:
         wall = root["duration"]
         assert trace_coverage(traced, wall) == pytest.approx(1.0, rel=1e-6)
         assert trace_coverage(traced, 0.0) == 0.0
+
+
+class TestExportCountsMatchTracer:
+    """Satellite contract: exported span/event counts equal the tracer's."""
+
+    def test_chrome_event_count_matches_tracer(self, traced, tmp_path):
+        path = str(tmp_path / "trace.json")
+        written = write_trace(traced, path, "chrome")
+        n_spans = len(traced.finished())
+        assert written == n_spans
+        doc = json.loads(open(path).read())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == n_spans
+        metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        threads = {s.thread for s in traced.finished()}
+        assert len(metadata) == len(threads)
+        assert len(doc["traceEvents"]) == n_spans + len(metadata)
+
+    def test_jsonl_line_count_matches_tracer(self, traced, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        written = write_trace(traced, str(path), "jsonl")
+        assert written == len(traced.finished())
+        lines = [ln for ln in path.read_text().splitlines() if ln.strip()]
+        assert len(lines) == written
+        for line in lines:
+            json.loads(line)  # every line is one valid JSON span

@@ -1,0 +1,110 @@
+"""Structured JSON logging: line schema, guards, configuration."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.obs import JsonLineFormatter, configure_json_logging, get_logger, log_event
+
+
+def _capture(level=logging.INFO):
+    sink = io.StringIO()
+    handler = configure_json_logging(sink, level=level)
+    return sink, handler
+
+
+def _teardown(handler):
+    logging.getLogger("repro").removeHandler(handler)
+
+
+class TestLogEvent:
+    def test_one_json_object_per_line(self):
+        sink, handler = _capture()
+        try:
+            logger = get_logger("service")
+            log_event(logger, logging.INFO, "query", query_id="q000001", duration_ms=1.5)
+            log_event(logger, logging.WARNING, "query.slow", query_id="q000002")
+        finally:
+            _teardown(handler)
+        lines = sink.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["event"] == "query"
+        assert first["level"] == "info"
+        assert first["logger"] == "repro.service"
+        assert first["query_id"] == "q000001"
+        assert first["duration_ms"] == 1.5
+        assert isinstance(first["ts"], float)
+        assert second["level"] == "warning"
+
+    def test_below_level_is_dropped(self):
+        sink, handler = _capture(level=logging.WARNING)
+        try:
+            log_event(get_logger("service"), logging.INFO, "query")
+        finally:
+            _teardown(handler)
+        assert sink.getvalue() == ""
+
+    def test_non_jsonable_field_is_reprd(self):
+        sink, handler = _capture()
+        try:
+            log_event(get_logger("x"), logging.INFO, "e", obj=object())
+        finally:
+            _teardown(handler)
+        doc = json.loads(sink.getvalue())
+        assert doc["obj"].startswith("<object object")
+
+    def test_reserved_keys_not_clobbered(self):
+        # fields named like the envelope's own keys must not overwrite it
+        formatter = JsonLineFormatter()
+        record = logging.LogRecord(
+            "repro.t", logging.INFO, __file__, 1, "e", None, None
+        )
+        record.fields = {"ts": "hax", "level": "hax", "event": "hax", "ok": 1}
+        doc = json.loads(formatter.format(record))
+        assert doc["level"] == "info"
+        assert doc["event"] == "e"
+        assert doc["ts"] != "hax"
+        assert doc["ok"] == 1
+
+
+class TestConfigure:
+    def test_idempotent_per_stream(self):
+        sink = io.StringIO()
+        h1 = configure_json_logging(sink)
+        h2 = configure_json_logging(sink)
+        try:
+            log_event(get_logger("x"), logging.INFO, "once")
+        finally:
+            _teardown(h2)
+        assert len(sink.getvalue().strip().splitlines()) == 1
+        assert h1 is not h2
+
+    def test_library_silent_by_default(self):
+        # the package must not write anywhere unless configured
+        logger = get_logger("silent")
+        assert not logger.handlers or all(
+            isinstance(h, logging.NullHandler) for h in logger.handlers
+        )
+
+
+class TestFormatter:
+    def test_exception_fields(self):
+        formatter = JsonLineFormatter()
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            import sys
+
+            record = logging.LogRecord(
+                "repro.t", logging.ERROR, __file__, 1, "died", None, sys.exc_info()
+            )
+        doc = json.loads(formatter.format(record))
+        assert doc["error"] == "boom"
+        assert doc["error_type"] == "ValueError"
+
+    def test_get_logger_idempotent_prefix(self):
+        assert get_logger("repro.service").name == "repro.service"
+        assert get_logger("service").name == "repro.service"

@@ -94,6 +94,102 @@ class TestHistogramSummary:
         assert a.max == 4.0
 
 
+class TestHistogramBuckets:
+    def test_as_dict_has_sum_and_quantiles(self):
+        h = HistogramSummary()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        d = h.as_dict()
+        assert d["sum"] == pytest.approx(10.0)
+        assert d["sum"] == d["total"]  # back-compat alias
+        for key in ("p50", "p90", "p99"):
+            assert key in d
+
+    def test_quantiles_clamped_to_observed_range(self):
+        h = HistogramSummary()
+        h.observe(3.0)
+        assert h.quantile(0.0) == 3.0
+        assert h.quantile(0.5) == 3.0
+        assert h.quantile(1.0) == 3.0
+
+    def test_quantile_ordering(self):
+        h = HistogramSummary()
+        for i in range(1, 101):
+            h.observe(i / 100.0)
+        p50, p90, p99 = h.quantile(0.5), h.quantile(0.9), h.quantile(0.99)
+        assert p50 <= p90 <= p99
+        # log-bucket interpolation is coarse but must land in the right
+        # neighborhood
+        assert 0.2 <= p50 <= 0.8
+        assert p99 <= 1.0
+
+    def test_quantile_validates_range(self):
+        with pytest.raises(ValueError):
+            HistogramSummary().quantile(1.5)
+
+    def test_empty_quantile(self):
+        assert HistogramSummary().quantile(0.9) == 0.0
+
+    def test_bucket_counts_cumulative(self):
+        h = HistogramSummary()
+        for v in (0.5, 1.0, 2.0, 1e30):  # last lands in the +Inf bucket
+            h.observe(v)
+        pairs = list(h.bucket_counts())
+        values = [c for _, c in pairs]
+        assert values == sorted(values)
+        bound, cumulative = pairs[-1]
+        assert bound == float("inf")
+        assert cumulative == 4
+
+    def test_merge_merges_buckets(self):
+        a, b = HistogramSummary(), HistogramSummary()
+        a.observe(1.0)
+        b.observe(2.0)
+        a.merge(b)
+        assert sum(a.buckets) == 2
+        assert a.quantile(1.0) == 2.0
+
+
+class TestLabels:
+    def test_labeled_counters_independent(self):
+        reg = MetricsRegistry()
+        reg.inc("req", labels={"path": "/a"})
+        reg.inc("req", 2, labels={"path": "/b"})
+        reg.inc("req", 10)  # unlabeled is a separate series
+        assert reg.counter("req", labels={"path": "/a"}) == 1
+        assert reg.counter("req", labels={"path": "/b"}) == 2
+        assert reg.counter("req") == 10
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.inc("req", labels={"a": 1, "b": 2})
+        reg.inc("req", labels={"b": 2, "a": 1})
+        assert reg.counter("req", labels={"a": 1, "b": 2}) == 2
+
+    def test_labeled_gauge_and_histogram(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 5.0, labels={"shard": "0"})
+        reg.observe("h", 1.0, labels={"engine": "simulated"})
+        assert reg.gauge("g", labels={"shard": "0"}) == 5.0
+        assert reg.histogram("h", labels={"engine": "simulated"}).count == 1
+        assert reg.histogram("h") is None
+
+    def test_snapshot_includes_labeled(self):
+        reg = MetricsRegistry()
+        reg.inc("req", labels={"path": "/a"})
+        snap = reg.snapshot()
+        assert snap["labeled"]["counters"]["req"] == {'path="/a"': 1}
+
+    def test_merge_carries_labels(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("req", labels={"p": "x"})
+        b.inc("req", 4, labels={"p": "x"})
+        b.observe("h", 2.0, labels={"p": "y"})
+        a.merge(b)
+        assert a.counter("req", labels={"p": "x"}) == 5
+        assert a.histogram("h", labels={"p": "y"}).count == 1
+
+
 class TestRunMetricsIntegration:
     def test_counters_backed_by_registry(self):
         m = RunMetrics(algorithm="demo")

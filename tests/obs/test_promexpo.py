@@ -1,0 +1,131 @@
+"""Prometheus text exposition: rendering and strict re-parsing.
+
+The re-parse tests are the exposition format's contract: every line
+the renderer emits must match the sample grammar exactly (name,
+labels, value), so a real Prometheus scraper never chokes on our
+``/metrics``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, parse_prometheus, render_prometheus
+from repro.obs.promexpo import CONTENT_TYPE, sanitize_name
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.inc("service.queries", 7)
+    reg.inc("http.requests", 3, labels={"method": "GET", "status": "200"})
+    reg.inc("http.requests", 1, labels={"method": "POST", "status": "429"})
+    reg.set_gauge("device_bytes_in_use", 4096.0)
+    for v in (0.002, 0.004, 0.008, 0.5):
+        reg.observe("service.query.seconds", v)
+    return reg
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_name("service.cache.hits") == "service_cache_hits"
+
+    def test_leading_digit(self):
+        assert sanitize_name("95th.percentile")[0] == "_"
+
+    def test_odd_chars(self):
+        assert sanitize_name("a-b/c d") == "a_b_c_d"
+
+
+class TestRender:
+    def test_every_line_reparses(self, registry):
+        text = render_prometheus(registry)
+        samples = parse_prometheus(text)  # raises on any bad line
+        assert samples, "no samples rendered"
+
+    def test_counter_value_and_type(self, registry):
+        samples = parse_prometheus(render_prometheus(registry))
+        (q,) = [s for s in samples if s["name"] == "service_queries"]
+        assert q["value"] == 7
+        assert q["type"] == "counter"
+        assert q["labels"] == {}
+
+    def test_labeled_counters(self, registry):
+        samples = parse_prometheus(render_prometheus(registry))
+        http = [s for s in samples if s["name"] == "http_requests"]
+        assert len(http) == 2
+        by_labels = {tuple(sorted(s["labels"].items())): s["value"] for s in http}
+        assert by_labels[(("method", "GET"), ("status", "200"))] == 3
+        assert by_labels[(("method", "POST"), ("status", "429"))] == 1
+
+    def test_gauge(self, registry):
+        samples = parse_prometheus(render_prometheus(registry))
+        (g,) = [s for s in samples if s["name"] == "device_bytes_in_use"]
+        assert g["value"] == 4096
+        assert g["type"] == "gauge"
+
+    def test_histogram_series(self, registry):
+        samples = parse_prometheus(render_prometheus(registry))
+        buckets = [s for s in samples if s["name"] == "service_query_seconds_bucket"]
+        assert buckets, "no bucket series"
+        # cumulative and monotone, ending at the +Inf bucket == count
+        values = [s["value"] for s in buckets]
+        assert values == sorted(values)
+        assert buckets[-1]["labels"]["le"] == "+Inf"
+        assert buckets[-1]["value"] == 4
+        (count,) = [s for s in samples if s["name"] == "service_query_seconds_count"]
+        assert count["value"] == 4
+        (total,) = [s for s in samples if s["name"] == "service_query_seconds_sum"]
+        assert total["value"] == pytest.approx(0.514)
+
+    def test_quantile_gauges_present(self, registry):
+        samples = parse_prometheus(render_prometheus(registry))
+        names = {s["name"] for s in samples}
+        for q in ("p50", "p90", "p99"):
+            assert f"service_query_seconds_{q}" in names
+        p99 = next(
+            s for s in samples if s["name"] == "service_query_seconds_p99"
+        )
+        assert 0.002 <= p99["value"] <= 0.5
+
+    def test_label_value_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        nasty = 'a"b\\c\nd'
+        reg.inc("weird", labels={"v": nasty})
+        (s,) = parse_prometheus(render_prometheus(reg))
+        assert s["labels"]["v"] == nasty
+
+    def test_empty_registry(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_content_type_versioned(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestStrictParser:
+    def test_rejects_bad_sample(self):
+        with pytest.raises(ValueError, match="not a valid sample"):
+            parse_prometheus("this is ! not a sample\n")
+
+    def test_rejects_bad_label(self):
+        with pytest.raises(ValueError, match="malformed label"):
+            parse_prometheus('m{key=unquoted} 1\n')
+
+    def test_rejects_bad_type_line(self):
+        with pytest.raises(ValueError, match="malformed TYPE"):
+            parse_prometheus("# TYPE missing_kind\n")
+
+    def test_inf_values(self):
+        (s,) = parse_prometheus("m_bucket{le=\"+Inf\"} 3\n")
+        assert s["labels"]["le"] == "+Inf"
+
+    def test_skips_blank_and_help_lines(self):
+        samples = parse_prometheus("\n# HELP m something\n# TYPE m counter\nm 1\n")
+        assert len(samples) == 1
+        assert samples[0]["type"] == "counter"
+
+    def test_value_inf(self):
+        (s,) = parse_prometheus("m +Inf\n")
+        assert math.isinf(s["value"])

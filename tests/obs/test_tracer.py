@@ -232,3 +232,48 @@ class TestMiningRun:
         assert [r.name for r in roots] == ["mining_run"]
         assert roots[0].attrs["algorithm"] == "demo"
         assert roots[0].attrs["engine"] == "vectorized"
+
+
+class TestTraceIdentity:
+    def test_trace_ids_unique(self):
+        ids = {Tracer().trace_id for _ in range(8)}
+        assert len(ids) == 8
+        assert all(len(t) == 16 for t in ids)
+
+
+class TestAdopt:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with span("root"):
+                with span("child", k=2):
+                    pass
+        return tracer
+
+    def test_adopt_preserves_structure(self):
+        inner = self._traced()
+        outer = Tracer()
+        with outer.activate():
+            with span("outer_work"):
+                pass
+        adopted = outer.adopt([s.to_dict() for s in inner.finished()])
+        assert adopted == 2
+        spans = {s.name: s for s in outer.finished()}
+        assert len(spans) == 3
+        assert spans["child"].parent_id == spans["root"].span_id
+        assert spans["root"].parent_id is None
+        assert spans["child"].attrs == {"k": 2}
+        assert spans["child"].duration >= 0.0
+
+    def test_adopted_ids_do_not_collide(self):
+        inner = self._traced()
+        outer = Tracer()
+        with outer.activate():
+            with span("a"):
+                pass
+        outer.adopt([s.to_dict() for s in inner.finished()])
+        ids = [s.span_id for s in outer.finished()]
+        assert len(ids) == len(set(ids))
+
+    def test_adopt_empty(self):
+        assert Tracer().adopt([]) == 0

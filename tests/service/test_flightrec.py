@@ -1,0 +1,127 @@
+"""Flight recorder: ring bounding, span tree nesting, record retrieval."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import FlightRecorder, QueryRecord, span_tree
+
+
+def _record(query_id, **over):
+    fields = dict(
+        query_id=query_id,
+        trace_id="t" * 16,
+        dataset="toy",
+        algorithm="gpapriori",
+        status="ok",
+        source="cold",
+        abs_support=2,
+        max_k=None,
+        options={},
+        started_at=1000.0,
+        elapsed_seconds=0.01,
+    )
+    fields.update(over)
+    return QueryRecord(**fields)
+
+
+class TestSpanTree:
+    def test_nests_by_parent(self):
+        spans = [
+            {"id": 1, "parent": None, "name": "root", "start": 0.0},
+            {"id": 2, "parent": 1, "name": "child_b", "start": 2.0},
+            {"id": 3, "parent": 1, "name": "child_a", "start": 1.0},
+            {"id": 4, "parent": 3, "name": "grandchild", "start": 1.5},
+        ]
+        roots = span_tree(spans)
+        assert len(roots) == 1
+        root = roots[0]
+        assert root["name"] == "root"
+        # children ordered by start time, not insertion order
+        assert [c["name"] for c in root["children"]] == ["child_a", "child_b"]
+        assert root["children"][0]["children"][0]["name"] == "grandchild"
+
+    def test_orphans_become_roots(self):
+        spans = [
+            {"id": 1, "parent": 99, "name": "orphan", "start": 1.0},
+            {"id": 2, "parent": None, "name": "real_root", "start": 0.0},
+        ]
+        roots = span_tree(spans)
+        assert [r["name"] for r in roots] == ["real_root", "orphan"]
+
+    def test_input_not_mutated(self):
+        spans = [{"id": 1, "parent": None, "name": "root", "start": 0.0}]
+        span_tree(spans)
+        assert "children" not in spans[0]
+
+    def test_empty(self):
+        assert span_tree([]) == []
+
+
+class TestQueryRecord:
+    def test_summary_omits_spans(self):
+        rec = _record("q1", spans=[{"id": 1, "parent": None, "start": 0.0}])
+        doc = rec.summary()
+        assert doc["n_spans"] == 1
+        assert "spans" not in doc and "span_tree" not in doc
+
+    def test_detail_has_tree_options_delta(self):
+        rec = _record(
+            "q1",
+            spans=[
+                {"id": 1, "parent": None, "name": "service.query", "start": 0.0},
+                {"id": 2, "parent": 1, "name": "mine", "start": 0.1},
+            ],
+            options={"algorithm": "eclat"},
+            metrics_delta={"service.queries": 1},
+        )
+        doc = rec.detail()
+        assert doc["options"] == {"algorithm": "eclat"}
+        assert doc["metrics_delta"] == {"service.queries": 1}
+        (root,) = doc["span_tree"]
+        assert root["name"] == "service.query"
+        assert root["children"][0]["name"] == "mine"
+
+    def test_error_record(self):
+        rec = _record(
+            "q1", status="error", source=None, error="boom", error_type="MiningError"
+        )
+        doc = rec.summary()
+        assert doc["status"] == "error"
+        assert doc["error_type"] == "MiningError"
+
+
+class TestFlightRecorder:
+    def test_ring_evicts_oldest(self):
+        fr = FlightRecorder(capacity=3)
+        for i in range(5):
+            fr.record(_record(f"q{i}"))
+        assert len(fr) == 3
+        assert fr.get("q0") is None and fr.get("q1") is None
+        assert fr.get("q4") is not None
+        assert [r.query_id for r in fr.last()] == ["q4", "q3", "q2"]
+
+    def test_last_n_newest_first(self):
+        fr = FlightRecorder(capacity=10)
+        for i in range(4):
+            fr.record(_record(f"q{i}"))
+        assert [r.query_id for r in fr.last(2)] == ["q3", "q2"]
+
+    def test_rerecord_moves_to_newest(self):
+        fr = FlightRecorder(capacity=2)
+        fr.record(_record("a"))
+        fr.record(_record("b"))
+        fr.record(_record("a", status="error"))  # refresh "a"
+        fr.record(_record("c"))  # evicts "b", the stalest
+        assert fr.get("b") is None
+        assert fr.get("a").status == "error"
+
+    def test_stats_counts_all_ever_recorded(self):
+        fr = FlightRecorder(capacity=2)
+        for i in range(5):
+            fr.record(_record(f"q{i}"))
+        assert fr.stats() == {"capacity": 2, "retained": 2, "recorded": 5}
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)

@@ -180,3 +180,110 @@ class TestMine:
             gate.set()
             for t in holders:
                 t.join(timeout=5.0)
+
+
+def _get_raw(server, path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{server.port}{path}") as resp:
+        return resp.status, resp.headers.get("Content-Type", ""), resp.read().decode()
+
+
+class TestReadyz:
+    def test_ready_after_startup(self, server):
+        status, doc = _get(server, "/readyz")
+        assert status == 200
+        assert doc["ready"] is True
+        assert doc["scheduler_alive"] is True
+
+    def test_not_ready_after_close(self, server):
+        server.service.close()
+        try:
+            _get(server, "/readyz")
+            raise AssertionError("expected HTTPError")
+        except urllib.error.HTTPError as err:
+            assert err.code == 503
+            doc = json.loads(err.read().decode())
+            assert doc["ready"] is False
+            assert doc["closed"] is True
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_text_reparses(self, server):
+        from repro.obs import parse_prometheus
+
+        _post(server, "/mine", {"dataset": "toy", "min_support": 2})
+        status, ctype, text = _get_raw(server, "/metrics")
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        assert "version=0.0.4" in ctype
+        samples = parse_prometheus(text)  # strict: raises on any bad line
+        by_name = {}
+        for s in samples:
+            by_name.setdefault(s["name"], []).append(s)
+        assert by_name["service_queries"][0]["value"] == 1
+        # the query latency histogram made it out with quantile gauges
+        assert by_name["service_query_seconds_count"][0]["value"] == 1
+        for q in ("p50", "p90", "p99"):
+            assert f"service_query_seconds_{q}" in by_name
+
+    def test_http_request_counters_labeled_by_route(self, server):
+        from repro.obs import parse_prometheus
+
+        _get(server, "/healthz")
+        _get_raw(server, "/metrics")
+        _, _, text = _get_raw(server, "/metrics")
+        http = [
+            s for s in parse_prometheus(text) if s["name"] == "http_requests"
+        ]
+        routes = {s["labels"]["route"] for s in http}
+        assert {"/healthz", "/metrics"} <= routes
+        healthz = next(s for s in http if s["labels"]["route"] == "/healthz")
+        assert healthz["labels"]["status"] == "200"
+        assert healthz["value"] >= 1
+
+
+class TestDebugQueries:
+    def test_listing_and_detail(self, server):
+        _post(server, "/mine", {"dataset": "toy", "min_support": 2})
+        _post(server, "/mine", {"dataset": "toy", "min_support": 2})
+        status, doc = _get(server, "/debug/queries")
+        assert status == 200
+        assert doc["recorded"] == 2
+        assert doc["retained"] == 2
+        assert len(doc["queries"]) == 2
+        newest, oldest = doc["queries"]
+        assert newest["started_at"] >= oldest["started_at"]
+        assert oldest["source"] == "cold"
+        assert newest["source"] == "cache"
+        assert "span_tree" not in newest  # listing is summaries only
+
+        status, detail = _get(server, f"/debug/queries/{oldest['query_id']}")
+        assert status == 200
+        assert detail["query_id"] == oldest["query_id"]
+        assert len(detail["trace_id"]) == 16
+        # two roots: the query span (submitter thread) and the worker's
+        # execute span — parent links don't cross threads
+        roots = {r["name"]: r for r in detail["span_tree"]}
+        assert "service.query" in roots
+        assert roots["service.query"]["attrs"]["dataset"] == "toy"
+        execute = roots["service.execute"]
+        (mine_cold,) = [
+            c for c in execute["children"] if c["name"] == "service.mine_cold"
+        ]
+        # the mining run's own spans are nested under the cold mine
+        assert any(c["name"] == "mining_run" for c in mine_cold["children"])
+        assert detail["metrics_delta"]["service.queries"] == 1
+
+    def test_unknown_query_404(self, server):
+        try:
+            _get(server, "/debug/queries/q999999")
+            raise AssertionError("expected HTTPError")
+        except urllib.error.HTTPError as err:
+            assert err.code == 404
+
+    def test_error_queries_are_recorded(self, server):
+        _post(server, "/mine", {"dataset": "toy", "min_support": 0})
+        _, doc = _get(server, "/debug/queries")
+        (rec,) = doc["queries"]
+        assert rec["status"] == "error"
+        assert rec["error_type"] == "MiningError"
+        assert rec["source"] is None

@@ -135,6 +135,11 @@ class TestOperations:
         assert stats["registry"]["resident"] == ["toy"]
         assert stats["metrics"]["counters"]["service.queries"] == 1
         assert stats["metrics"]["counters"]["service.source.cold"] == 1
+        # live load gauges + coalescing + flight recorder are all visible
+        assert stats["metrics"]["gauges"]["service.queue_depth"] == 0
+        assert stats["metrics"]["gauges"]["service.inflight"] == 0
+        assert stats["scheduler"]["coalesced"] == 0
+        assert stats["flight"]["recorded"] == 1
 
     def test_response_as_dict_is_json_ready(self, service):
         import json
@@ -166,3 +171,74 @@ class TestOperations:
             assert entry.shard_plan is not None
             got = svc.query("big", 0.2)
             assert got.result.same_itemsets(mine(big, 0.2))
+
+
+class TestTelemetry:
+    def test_query_latency_histogram_observed(self, service):
+        service.query("toy", 2)
+        service.query("toy", 2)
+        hist = service.metrics.histogram("service.query.seconds")
+        assert hist is not None
+        assert hist.count == 2
+        assert hist.max > 0.0
+
+    def test_flight_record_after_ok_query(self, service):
+        got = service.query("toy", 2, engine="parallel")
+        (rec,) = service.flight.last()
+        assert rec.query_id == "q000001"
+        assert rec.status == "ok"
+        assert rec.source == got.source == "cold"
+        assert rec.algorithm == "gpapriori"
+        assert rec.abs_support == 2
+        assert rec.options == {"engine": "parallel"}
+        assert rec.metrics_delta["service.queries"] == 1
+        assert any(s["name"] == "service.query" for s in rec.spans)
+
+    def test_flight_record_after_error(self, service):
+        with pytest.raises(DatasetError):
+            service.query("nope", 2)
+        (rec,) = service.flight.last()
+        assert rec.status == "error"
+        assert rec.error_type == "DatasetError"
+        assert rec.source is None
+
+    def test_query_ids_are_sequential(self, service):
+        service.query("toy", 2)
+        service.query("toy", 2)
+        ids = [r.query_id for r in service.flight.last()]
+        assert ids == ["q000002", "q000001"]
+        # every record carries the service-wide trace correlation id
+        assert all(len(r.trace_id) == 16 for r in service.flight.last())
+
+    def test_flight_capacity_honoured(self, db):
+        with MiningService(workers=1, flight_capacity=2) as svc:
+            svc.register_dataset("toy", db)
+            for _ in range(3):
+                svc.query("toy", 2)
+            assert svc.flight.stats() == {
+                "capacity": 2,
+                "retained": 2,
+                "recorded": 3,
+            }
+
+    def test_slow_query_counter(self, db):
+        # threshold of 0 ms: every query is "slow"
+        with MiningService(workers=1, slow_query_ms=0.0) as svc:
+            svc.register_dataset("toy", db)
+            svc.query("toy", 2)
+            assert svc.metrics.counter("service.slow_queries") == 1
+
+    def test_ready_states(self, db):
+        svc = MiningService(workers=1)
+        svc.register_dataset("toy", db)
+        doc = svc.ready()
+        assert doc["ready"] is True
+        assert doc["scheduler_alive"] is True
+        assert doc["datasets_registered"] == 1
+        svc.preload()
+        assert svc.ready()["preload_pending"] is False
+        assert svc.ready()["datasets_resident"] == 1
+        svc.close()
+        after = svc.ready()
+        assert after["ready"] is False
+        assert after["closed"] is True
