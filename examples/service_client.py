@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""A well-behaved HTTP client: exponential backoff honoring Retry-After.
+
+Starts an in-process mining server deliberately sized to overload
+(one worker, queue depth one), fires concurrent queries at it, and
+shows the client-side half of the backpressure contract: on a 429 the
+server names its own retry policy's hint in the ``Retry-After`` header,
+and the client sleeps that long (or its own exponential schedule,
+whichever is larger) before trying again. Every query eventually
+succeeds without hammering the overloaded service. Run with:
+
+    python examples/service_client.py
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.datasets import dataset_analog
+from repro.service import MiningService, make_server
+
+N_CLIENTS = 4
+MAX_ATTEMPTS = 8
+
+
+def post_mine(port: int, doc: dict) -> dict:
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}/mine",
+        data=json.dumps(doc).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req) as resp:
+        return json.loads(resp.read().decode())
+
+
+def query_with_backoff(port: int, doc: dict, label: str) -> dict:
+    """POST /mine, backing off on 429 as the server asks."""
+    delay = 0.05
+    for attempt in range(1, MAX_ATTEMPTS + 1):
+        try:
+            result = post_mine(port, doc)
+            print(f"  [{label}] ok on attempt {attempt}")
+            return result
+        except urllib.error.HTTPError as err:
+            if err.code != 429:
+                raise
+            retry_after = float(err.headers.get("Retry-After", "1"))
+            pause = max(retry_after, delay)
+            print(
+                f"  [{label}] 429 overloaded; waiting {pause:.2f}s "
+                f"(server hint {retry_after:.0f}s)"
+            )
+            err.read()  # drain so the connection can be reused
+            time.sleep(pause)
+            delay *= 2.0  # exponential, floored by the server's hint
+    raise RuntimeError(f"{label}: still overloaded after {MAX_ATTEMPTS} tries")
+
+
+def main() -> None:
+    # A service sized to trip over itself: one worker, queue depth one.
+    service = MiningService(workers=1, queue_depth=1)
+    # One dataset per client so neither the result cache nor request
+    # coalescing can absorb the load — every query is real work that
+    # holds the single worker for a while (simulated engine).
+    db = dataset_analog("chess", scale=0.1)
+    for i in range(N_CLIENTS):
+        service.register_dataset(f"chess-{i}", db)
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    print(f"serving on 127.0.0.1:{server.port} (workers=1, queue_depth=1)")
+    print(f"server Retry-After hint: {service.retry.retry_after_seconds}s")
+
+    try:
+        results: dict[str, dict] = {}
+        errors: list[BaseException] = []
+
+        def client(i: int) -> None:
+            label = f"c{i}"
+            doc = {
+                "dataset": f"chess-{i}",
+                "min_support": 0.75,
+                "engine": "simulated",
+            }
+            try:
+                results[label] = query_with_backoff(server.port, doc, label)
+            except BaseException as exc:  # surface, never swallow
+                errors.append(exc)
+
+        clients = [
+            threading.Thread(target=client, args=(i,)) for i in range(N_CLIENTS)
+        ]
+        for t in clients:
+            t.start()
+        for t in clients:
+            t.join()
+        if errors:
+            raise errors[0]
+
+        rejected = service.metrics.counter("service.rejected")
+        print(
+            f"\nall {len(results)} clients served; the server shed "
+            f"{rejected} request(s) with 429 + Retry-After on the way"
+        )
+        for label, result in sorted(results.items()):
+            print(
+                f"  {label}: {len(result['result']['itemsets'])} itemsets "
+                f"at abs support {result['abs_support']}"
+            )
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(timeout=5.0)
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,7 @@ from .core.hybrid import ModelBalancer, StaticBalancer, hybrid_mine
 from .core.itemset import Itemset, MiningResult, RunMetrics
 from .core.multigpu import MultiGpuResult, multigpu_mine, scaling_efficiency
 from .errors import ReproError
+from .faults import FaultPlan, FaultSpec, parse_fault_spec
 
 __version__ = "1.0.0"
 
@@ -51,6 +52,9 @@ __all__ = [
     "Itemset",
     "MiningResult",
     "RunMetrics",
+    "FaultPlan",
+    "FaultSpec",
+    "parse_fault_spec",
     "ReproError",
     "__version__",
 ]

@@ -165,6 +165,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the result as a repro.mining_result/1 JSON document "
         "(the same serializer the serve endpoint uses)",
     )
+    p_mine.add_argument(
+        "--inject-fault",
+        action="append",
+        default=None,
+        metavar="SITE:KIND[:OPTS]",
+        help="inject a deterministic fault, e.g. "
+        "gpusim.alloc:device_oom:on_nth=1,max_fires=1 (repeatable; "
+        "sites: gpusim.alloc/htod/dtoh/launch, parallel.submit, "
+        "scheduler.worker)",
+    )
+    p_mine.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="seed for rate-triggered --inject-fault draws (default 0)",
+    )
 
     p_rules = sub.add_parser("rules", help="mine and derive association rules")
     _add_db_args(p_rules)
@@ -348,9 +365,17 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    faults = None
+    if args.inject_fault:
+        from .faults import FaultPlan, parse_fault_spec
+
+        faults = FaultPlan(
+            specs=tuple(parse_fault_spec(s) for s in args.inject_fault),
+            seed=args.fault_seed,
+        )
     result = mine(
         db, args.min_support, algorithm=args.algorithm, max_k=args.max_k,
-        **engine_kwargs,
+        faults=faults, **engine_kwargs,
     )
     if args.json:
         # The bare serializer document and nothing else: batch output
@@ -475,6 +500,31 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_plan_from_env():
+    """FaultPlan from ``REPRO_CHAOS_FAULTS`` / ``REPRO_CHAOS_SEED``.
+
+    Serve-only by design: the env knob lets chaos smoke tests break a
+    *service process* without any client being able to request faults
+    (the service refuses a ``faults`` query option). Format: comma-
+    separated ``site:kind[:key=value;...]`` specs — note ``;`` between
+    options inside one spec, since ``,`` separates specs.
+    """
+    import os
+
+    raw = os.environ.get("REPRO_CHAOS_FAULTS", "").strip()
+    if not raw:
+        return None
+    from .faults import FaultPlan, parse_fault_spec
+
+    specs = tuple(
+        parse_fault_spec(part.strip().replace(";", ","))
+        for part in raw.split(",")
+        if part.strip()
+    )
+    seed = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+    return FaultPlan(specs=specs, seed=seed)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .datasets.io import read_fimi as _read_fimi
     from .obs.logging import configure_json_logging
@@ -482,6 +532,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.log_json:
         configure_json_logging(sys.stderr)
+    chaos = _chaos_plan_from_env()
+    if chaos is not None:
+        from .faults import install
+
+        install(chaos)
+        _emit(
+            f"CHAOS MODE: {len(chaos.specs)} fault spec(s) armed from "
+            f"REPRO_CHAOS_FAULTS (seed {chaos.seed})",
+            file=sys.stderr,
+        )
     service = MiningService(
         workers=args.workers,
         queue_depth=args.queue_depth,
@@ -532,6 +592,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         service.close()
+        if chaos is not None:
+            from .faults import uninstall
+
+            uninstall()
         _emit("service stopped", file=sys.stderr)
     return 0
 

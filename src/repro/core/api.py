@@ -14,6 +14,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
 from ..errors import MiningError
+from ..faults.injection import inject
+from ..faults.plan import FaultPlan
 from .config import GPAprioriConfig
 from .gpapriori import gpapriori_mine
 from .itemset import MiningResult
@@ -176,7 +178,10 @@ def mine(db, min_support, algorithm: str = "gpapriori", **kwargs) -> MiningResul
         ``gpu_eclat`` or ``partition``.
     **kwargs:
         Per-algorithm options, checked against the registry entry's
-        ``accepts`` tuple: ``max_k`` everywhere; GPApriori's ``config=``
+        ``accepts`` tuple: ``max_k`` everywhere; ``faults=`` (a seeded
+        :class:`~repro.faults.FaultPlan`) everywhere — the plan is
+        activated around the run regardless of algorithm; GPApriori's
+        ``config=``
         or individual config fields (``engine=``, ``shards=``,
         ``memory_budget_bytes=``, ...) plus ``matrix=`` for a
         pre-built (pinned) bitset matrix; Eclat's ``diffsets=True``;
@@ -218,6 +223,13 @@ def mine(db, min_support, algorithm: str = "gpapriori", **kwargs) -> MiningResul
         raise MiningError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
         )
+    # ``faults=`` is universal: every algorithm runs under the plan's
+    # injection session, whether or not its runner knows about chaos.
+    faults = kwargs.pop("faults", None)
+    if faults is not None and not isinstance(faults, FaultPlan):
+        raise MiningError(
+            f"faults must be a repro.faults.FaultPlan or None, got {faults!r}"
+        )
     info = ALGORITHMS[key]
     for name in kwargs:
         if name not in info.accepts:
@@ -225,4 +237,5 @@ def mine(db, min_support, algorithm: str = "gpapriori", **kwargs) -> MiningResul
                 f"unknown option {name!r} for algorithm {key!r}; "
                 f"it accepts: {', '.join(info.accepts)}"
             )
-    return info.runner(db, min_support, **kwargs)
+    with inject(faults):
+        return info.runner(db, min_support, **kwargs)

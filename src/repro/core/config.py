@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ..errors import ConfigError
+from ..faults.plan import FaultPlan
 
 __all__ = ["GPAprioriConfig"]
 
@@ -76,6 +77,12 @@ class GPAprioriConfig:
         bitset matrix exceeds the budget, the shard width is sized so
         two shard slabs (double buffering) fit inside it — this is what
         lets datasets larger than (simulated) device DRAM be mined.
+    faults:
+        Optional seeded :class:`~repro.faults.FaultPlan` activated for
+        the duration of the run (chaos testing). ``None`` (the default)
+        keeps the injection hooks on their zero-cost disabled path.
+        Frozen and hashable, so it participates in :meth:`signature`
+        and two runs under different plans never share a cache entry.
     """
 
     block_size: int = 256
@@ -88,6 +95,7 @@ class GPAprioriConfig:
     trace_accesses: bool = False
     shards: int = 0
     memory_budget_bytes: int | None = None
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.block_size, int) or isinstance(self.block_size, bool):
@@ -124,6 +132,10 @@ class GPAprioriConfig:
             raise ConfigError(
                 "memory_budget_bytes must be a positive int or None, "
                 f"got {self.memory_budget_bytes!r}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ConfigError(
+                f"faults must be a FaultPlan or None, got {self.faults!r}"
             )
 
     @property

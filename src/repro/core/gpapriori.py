@@ -22,6 +22,7 @@ import numpy as np
 from .._validation import check_support
 from ..bitset.bitset import BitsetMatrix
 from ..errors import MiningError
+from ..faults.injection import inject
 from ..gpusim.device import TESLA_T10, DeviceProperties
 from ..obs import mining_run, span
 from ..trie.generation import generate_candidates
@@ -103,7 +104,7 @@ def gpapriori_mine(
                 "config.aligned=True but the pinned matrix is not 64-byte aligned"
             )
 
-    with mining_run("gpapriori", metrics, **run_attrs):
+    with inject(config.faults), mining_run("gpapriori", metrics, **run_attrs):
         with span("transpose", aligned=config.aligned, pinned=matrix is not None) as sp:
             if matrix is None:
                 matrix = BitsetMatrix.from_database(db, aligned=config.aligned)

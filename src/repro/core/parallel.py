@@ -37,6 +37,8 @@ import numpy as np
 from ..bitset.bitset import BitsetMatrix
 from ..bitset.ops import popcount_words, support_words, tile_bounds
 from ..errors import BitsetError, MiningError
+from ..faults.degrade import record_degradation
+from ..faults.injection import fault_point
 from ..gpusim.device import TESLA_T10, DeviceProperties
 from ..obs import span
 from .support import SupportEngine, _check_retain_indices
@@ -198,19 +200,29 @@ class ParallelEngine(SupportEngine):
         except (ValueError, OSError, ImportError):
             # no fork on this platform / process limits hit: degrade to
             # in-process execution, permanently for this engine.
-            self._pool_broken = True
-            self.metrics.add_counter("parallel.pool_failures", 1)
             self._pool = None
+            self._record_pool_failure("pool creation failed")
         return self._pool
 
-    def _abandon_pool(self) -> None:
+    def _abandon_pool(self, reason: str = "pool task failed") -> None:
         """Tear down a misbehaving pool and stop trying."""
         pool, self._pool = self._pool, None
-        self._pool_broken = True
-        self.metrics.add_counter("parallel.pool_failures", 1)
+        self._record_pool_failure(reason)
         if pool is not None:
             pool.terminate()
             pool.join()
+
+    def _record_pool_failure(self, reason: str) -> None:
+        self._pool_broken = True
+        self.metrics.add_counter("parallel.pool_failures", 1)
+        record_degradation(
+            self.metrics.registry,
+            site="parallel.submit",
+            from_mode="pool",
+            to_mode="in_process",
+            reason=reason,
+            workers=self.n_workers,
+        )
 
     def _map_tiles(self, fn, per_tile_args: List[tuple]) -> Optional[List[np.ndarray]]:
         """Fan tiles out to the pool; None means "run it in-process".
@@ -222,13 +234,14 @@ class ParallelEngine(SupportEngine):
         pool = self._ensure_pool()
         if pool is None:
             return None
-        handles = [pool.apply_async(fn, args) for args in per_tile_args]
         try:
+            fault_point("parallel.submit", tiles=len(per_tile_args))
+            handles = [pool.apply_async(fn, args) for args in per_tile_args]
             return [h.get(timeout=self.task_timeout) for h in handles]
         except (BitsetError, MiningError):
             raise
-        except Exception:
-            self._abandon_pool()
+        except Exception as exc:
+            self._abandon_pool(f"{type(exc).__name__}: {exc}")
             return None
 
     def _tiles(self, n: int) -> List[Tuple[int, int]]:

@@ -225,6 +225,23 @@ class ShardPlan:
         )
 
     @classmethod
+    def min_budget_for_matrix(cls, matrix: BitsetMatrix) -> int:
+        """Smallest ``memory_budget_bytes`` :meth:`for_matrix` accepts.
+
+        One minimum-width single-buffered slab plus the full candidate
+        scratch reservation. The service's degradation ladder clamps
+        its halved budget here so "degrade to sharded" can never ask
+        for a plan that is impossible by construction.
+        """
+        align = (
+            WORDS_PER_ALIGN
+            if matrix.is_aligned() and matrix.n_words % WORDS_PER_ALIGN == 0
+            else 1
+        )
+        min_width = max(1, min(align, matrix.n_words))
+        return matrix.n_items * 4 * min_width + STREAM_SCRATCH_BYTES
+
+    @classmethod
     def for_matrix(
         cls,
         matrix: BitsetMatrix,

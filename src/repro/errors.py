@@ -22,6 +22,7 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadError",
     "QueryTimeoutError",
+    "WorkerCrashError",
 ]
 
 
@@ -87,4 +88,13 @@ class QueryTimeoutError(ServiceError):
     The query may still complete in the background (a running mining
     pass is not interruptible); only this caller's wait is abandoned.
     The HTTP frontend maps this to ``504 Gateway Timeout``.
+    """
+
+
+class WorkerCrashError(ServiceError):
+    """Raised when a scheduler worker dies mid-query.
+
+    Transient by construction: the query itself was well-formed, so the
+    service retries it under its :class:`~repro.service.retry.RetryPolicy`
+    before surfacing the error to the caller.
     """

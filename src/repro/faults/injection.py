@@ -1,0 +1,172 @@
+"""Runtime side of fault injection: sessions, activation, fault points.
+
+``fault_point(site)`` calls are wired permanently into the simulator,
+the parallel engine, and the scheduler. When no plan is active the call
+is a single module-global ``is None`` check — cheap enough to leave in
+hot paths (held under 2% by ``benchmarks/bench_fault_overhead.py``).
+
+The active session is a plain module global rather than a context
+variable on purpose: ``MiningService`` executes queries on scheduler
+worker threads, and a chaos plan installed by the serve process must be
+visible from those threads. Per-run scoping is instead handled by the
+:func:`inject` context manager saving and restoring the previous
+session, and determinism by each spec drawing from its own
+:class:`random.Random` seeded from ``(plan.seed, spec index)``.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from .plan import FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultSession",
+    "active_session",
+    "fault_point",
+    "inject",
+    "install",
+    "uninstall",
+]
+
+_ACTIVE: Optional["FaultSession"] = None
+_LOCK = threading.Lock()
+
+
+class FaultSession:
+    """Mutable per-run state for one :class:`FaultPlan`.
+
+    Tracks how many times each site has been visited and how many times
+    each spec has fired; both are guarded by one lock because sites are
+    hit concurrently from scheduler worker threads.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._visits: dict[str, int] = {}
+        self._fires: dict[int, int] = {}
+        # Python 3.11 dropped tuple seeding, so mix plan seed and spec
+        # index into one int (golden-ratio multiplier keeps nearby seeds
+        # from producing correlated streams).
+        self._rngs = {
+            i: random.Random(plan.seed * 0x9E3779B1 + i)
+            for i, spec in enumerate(plan.specs)
+            if spec.rate > 0.0
+        }
+        self._by_site: dict[str, list[tuple[int, FaultSpec]]] = {}
+        for i, spec in enumerate(plan.specs):
+            self._by_site.setdefault(spec.site, []).append((i, spec))
+
+    def visits(self, site: str) -> int:
+        with self._lock:
+            return self._visits.get(site, 0)
+
+    def fired(self) -> int:
+        """Total number of faults this session has injected."""
+        with self._lock:
+            return sum(self._fires.values())
+
+    def check(self, site: str) -> Optional[FaultSpec]:
+        """Record a visit to *site*; return the spec to fire, if any."""
+        specs = self._by_site.get(site)
+        if not specs:
+            return None
+        with self._lock:
+            visit = self._visits.get(site, 0) + 1
+            self._visits[site] = visit
+            for index, spec in specs:
+                fires = self._fires.get(index, 0)
+                if spec.max_fires is not None and fires >= spec.max_fires:
+                    continue
+                if spec.on_nth is not None:
+                    hit = visit >= spec.on_nth
+                else:
+                    hit = self._rngs[index].random() < spec.rate
+                if hit:
+                    self._fires[index] = fires + 1
+                    return spec
+        return None
+
+
+def active_session() -> Optional[FaultSession]:
+    """The currently installed session, or None."""
+    return _ACTIVE
+
+
+def install(plan: FaultPlan) -> FaultSession:
+    """Install *plan* globally (serve-process chaos mode).
+
+    Returns the live session so smoke tests can assert fire counts.
+    Prefer :func:`inject` everywhere a scope is available.
+    """
+    global _ACTIVE
+    session = plan.session()
+    with _LOCK:
+        _ACTIVE = session
+    return session
+
+
+def uninstall() -> None:
+    """Remove any globally installed session."""
+    global _ACTIVE
+    with _LOCK:
+        _ACTIVE = None
+
+
+@contextmanager
+def inject(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultSession]]:
+    """Activate *plan* for the duration of the block (None is a no-op).
+
+    Nested activations stack: the previous session is restored on exit,
+    so ``mine(faults=...)`` inside an already-chaotic serve process
+    temporarily narrows injection to the inner plan.
+    """
+    global _ACTIVE
+    if plan is None:
+        yield _ACTIVE
+        return
+    session = plan.session()
+    with _LOCK:
+        previous = _ACTIVE
+        _ACTIVE = session
+    try:
+        yield session
+    finally:
+        with _LOCK:
+            _ACTIVE = previous
+
+
+def fault_point(site: str, **attrs: Any) -> None:
+    """Injection hook. Raises the planned fault when *site* is armed.
+
+    The disabled path is one global read and one ``is None`` test;
+    everything below only runs while a chaos session is active.
+    """
+    session = _ACTIVE
+    if session is None:
+        return
+    spec = session.check(site)
+    if spec is None:
+        return
+    # Leave evidence before raising: a structured log line and a span so
+    # the flight recorder shows exactly which fault fired where.
+    from ..obs.logging import get_logger, log_event
+    from ..obs.tracer import span
+
+    log_event(
+        get_logger("faults"),
+        logging.WARNING,
+        "fault.injected",
+        site=site,
+        kind=spec.kind,
+        visit=session.visits(site),
+        **attrs,
+    )
+    with span("fault.injected", site=site, kind=spec.kind, **attrs):
+        pass
+    spec.raise_fault()

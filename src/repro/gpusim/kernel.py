@@ -26,6 +26,7 @@ from typing import Callable, Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..errors import GpuSimError, KernelLaunchError
+from ..faults.injection import fault_point
 from ..obs import span as _obs_span
 from .device import DeviceProperties, TESLA_T10
 from .memory import DeviceBuffer, SharedMemory
@@ -297,6 +298,11 @@ def launch_kernel(
         undefined behaviour on hardware, a hard error here.
     """
     config.validate(device)
+    fault_point(
+        "gpusim.launch",
+        kernel=getattr(kernel, "__name__", str(kernel)),
+        grid_dim=config.grid_dim,
+    )
     access_trace: Optional[List[GlobalAccess]] = [] if trace else None
     block_ids = range(config.grid_dim) if blocks is None else sorted(set(blocks))
     threads_run = 0

@@ -22,6 +22,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from ..errors import DeviceMemoryError, GpuSimError
+from ..faults.injection import fault_point
 from ..obs import span
 
 __all__ = ["DeviceBuffer", "GlobalMemory", "SharedMemory", "TransferStats"]
@@ -140,6 +141,7 @@ class GlobalMemory:
             raise GpuSimError(f"negative dimension in shape {shape}")
         itemsize = np.dtype(dtype).itemsize
         nbytes = int(np.prod(shape, dtype=np.int64)) * itemsize
+        fault_point("gpusim.alloc", buffer=name, bytes=nbytes)
         if self._in_use + nbytes > self.capacity_bytes:
             raise DeviceMemoryError(
                 f"device OOM allocating {nbytes} bytes for {name!r}: "
@@ -177,12 +179,14 @@ class GlobalMemory:
                 f"htod mismatch for {buf.name!r}: host {host_array.shape}:"
                 f"{host_array.dtype} vs device {buf.shape}:{buf.dtype}"
             )
+        fault_point("gpusim.htod", buffer=buf.name, bytes=buf.nbytes)
         with span("htod", buffer=buf.name, bytes=buf.nbytes):
             buf.data[...] = host_array
             self.stats.record_htod(buf.nbytes)
 
     def dtoh(self, buf: DeviceBuffer) -> np.ndarray:
         """Copy device -> host (cudaMemcpyDeviceToHost); returns a host copy."""
+        fault_point("gpusim.dtoh", buffer=buf.name, bytes=buf.nbytes)
         with span("dtoh", buffer=buf.name, bytes=buf.nbytes):
             out = buf.data.copy()
             self.stats.record_dtoh(buf.nbytes)

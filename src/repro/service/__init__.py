@@ -29,6 +29,7 @@ from .cache import CachedEntry, ResultCache
 from .flightrec import FlightRecorder, QueryRecord, span_tree
 from .httpd import MiningHTTPServer, make_server
 from .registry import DatasetEntry, DatasetRegistry
+from .retry import RetryPolicy, record_degradation
 from .scheduler import QueryScheduler
 from .service import MiningService, QueryResponse, choose_algorithm
 
@@ -38,6 +39,8 @@ __all__ = [
     "CachedEntry",
     "ResultCache",
     "QueryScheduler",
+    "RetryPolicy",
+    "record_degradation",
     "MiningService",
     "QueryResponse",
     "choose_algorithm",

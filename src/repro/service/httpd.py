@@ -103,16 +103,31 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
 
     # -- helpers ------------------------------------------------------------
 
-    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: Dict[str, str] | None = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
         self._observe_request(status)
 
-    def _send_json(self, status: int, payload: Dict) -> None:
-        self._send_body(status, json.dumps(payload).encode("utf-8"), "application/json")
+    def _send_json(
+        self, status: int, payload: Dict, headers: Dict[str, str] | None = None
+    ) -> None:
+        self._send_body(
+            status,
+            json.dumps(payload).encode("utf-8"),
+            "application/json",
+            headers=headers,
+        )
 
     def _send_text(self, status: int, text: str, content_type: str) -> None:
         self._send_body(status, text.encode("utf-8"), content_type)
@@ -215,33 +230,46 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             self._send_json(400, {"error": f"body is not valid JSON: {exc}"})
             return
-        status, payload = self._run_query(doc)
-        self._send_json(status, payload)
+        status, payload, headers = self._run_query(doc)
+        self._send_json(status, payload, headers=headers)
 
-    def _run_query(self, doc) -> Tuple[int, Dict]:
+    def _run_query(self, doc) -> Tuple[int, Dict, Dict[str, str] | None]:
         if not isinstance(doc, dict):
-            return 400, {"error": "body must be a JSON object"}
+            return 400, {"error": "body must be a JSON object"}, None
         if "dataset" not in doc or "min_support" not in doc:
-            return 400, {"error": "body requires 'dataset' and 'min_support'"}
+            return 400, {"error": "body requires 'dataset' and 'min_support'"}, None
         kwargs = dict(doc)
         dataset = kwargs.pop("dataset")
         min_support = kwargs.pop("min_support")
         if not isinstance(dataset, str):
-            return 400, {"error": "'dataset' must be a string"}
+            return 400, {"error": "'dataset' must be a string"}, None
+        service = self.server.service
         try:
-            response = self.server.service.query(dataset, min_support, **kwargs)
+            response = service.query(dataset, min_support, **kwargs)
         except TypeError as exc:
             # e.g. a non-keywordable option smuggled in the JSON body
-            return 400, {"error": str(exc), "type": "TypeError"}
+            return 400, {"error": str(exc), "type": "TypeError"}, None
         except DatasetError as exc:
-            return 404, {"error": str(exc), "type": type(exc).__name__}
+            return 404, {"error": str(exc), "type": type(exc).__name__}, None
         except ServiceOverloadError as exc:
-            return 429, {"error": str(exc), "type": type(exc).__name__}
+            # Retry-After tells well-behaved clients how long to back
+            # off; the value comes from the service's retry policy so
+            # both sides of the wire share one backoff schedule.
+            retry_after = service.retry.retry_after_seconds
+            return (
+                429,
+                {
+                    "error": str(exc),
+                    "type": type(exc).__name__,
+                    "retry_after_seconds": retry_after,
+                },
+                {"Retry-After": str(retry_after)},
+            )
         except QueryTimeoutError as exc:
-            return 504, {"error": str(exc), "type": type(exc).__name__}
+            return 504, {"error": str(exc), "type": type(exc).__name__}, None
         except ReproError as exc:
-            return 400, {"error": str(exc), "type": type(exc).__name__}
-        return 200, response.as_dict()
+            return 400, {"error": str(exc), "type": type(exc).__name__}, None
+        return 200, response.as_dict(), None
 
 
 class MiningHTTPServer(ThreadingHTTPServer):

@@ -1,0 +1,154 @@
+"""Retry policy: bounded attempts, exponential backoff, evidence trail.
+
+One policy object serves every transient-failure surface the service
+has — scheduler worker crashes, device OOM before degradation — so the
+knobs (attempts, backoff shape, total sleep budget) are configured in
+one place and every retry leaves the same three-channel evidence:
+``service.retry.*`` metrics, a structured ``service.retry`` log event,
+and a span the flight recorder keeps with the query.
+
+Determinism matters more than politeness here: ``sleep`` and ``jitter``
+are injectable so tests (and the chaos CI job) run the full policy
+without wall-clock delays or nondeterministic schedules. The default
+jitter is *none* — reproducibility is the product; operators who want
+decorrelation inject ``random.Random(seed).random``.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Callable, Optional, Tuple, Type
+
+from ..errors import ServiceError
+from ..faults.degrade import record_degradation
+from ..obs.logging import get_logger, log_event
+from ..obs.tracer import span
+
+__all__ = ["RetryPolicy", "record_degradation"]
+
+logger = get_logger("service.retry")
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff and a sleep budget.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (1 = no retries).
+    base_delay:
+        Sleep before the first retry, in seconds.
+    multiplier:
+        Backoff growth factor per retry.
+    max_delay:
+        Cap on any single sleep.
+    budget_seconds:
+        Cap on *cumulative* sleep across one :meth:`call`; when the
+        next backoff would exceed it, the policy stops retrying even if
+        attempts remain (a slow failure burning the whole budget must
+        not pin a worker thread).
+    retry_after_seconds:
+        The hint the HTTP frontend surfaces as ``Retry-After`` on 429
+        responses; defaults to ``base_delay`` rounded up to >= 1s.
+    jitter:
+        Optional ``() -> float in [0, 1)``; the delay is scaled by
+        ``0.5 + jitter()/2`` (decorrelation without ever sleeping
+        longer than the deterministic schedule).
+    sleep:
+        Injectable clock for tests; defaults to :func:`time.sleep`.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 2.0,
+        budget_seconds: float = 10.0,
+        retry_after_seconds: Optional[int] = None,
+        jitter: Optional[Callable[[], float]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_attempts < 1:
+            raise ServiceError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0 or max_delay < 0 or budget_seconds < 0:
+            raise ServiceError("retry delays and budget must be >= 0")
+        if multiplier < 1.0:
+            raise ServiceError(f"multiplier must be >= 1, got {multiplier}")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.budget_seconds = budget_seconds
+        self.retry_after_seconds = (
+            retry_after_seconds
+            if retry_after_seconds is not None
+            else max(1, int(-(-base_delay // 1)))
+        )
+        self.jitter = jitter
+        self.sleep = sleep
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ServiceError(f"attempt must be >= 1, got {attempt}")
+        delay = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter is not None:
+            delay *= 0.5 + self.jitter() / 2.0
+        return delay
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        retry_on: Tuple[Type[BaseException], ...],
+        *,
+        metrics=None,
+        site: str = "service.retry",
+        attempts: Optional[int] = None,
+    ):
+        """Run ``fn``, retrying ``retry_on`` failures under the policy.
+
+        ``attempts`` overrides ``max_attempts`` for one call (the
+        service retries device OOM fewer times than worker crashes
+        because degradation is waiting behind it). The last failure is
+        re-raised unchanged once attempts or the sleep budget run out.
+        """
+        limit = self.max_attempts if attempts is None else attempts
+        slept = 0.0
+        attempt = 1
+        while True:
+            try:
+                return fn()
+            except retry_on as exc:
+                if attempt >= limit:
+                    self._note(metrics, site, "exhausted", attempt, exc)
+                    raise
+                pause = self.delay(attempt)
+                if slept + pause > self.budget_seconds:
+                    self._note(metrics, site, "budget_exhausted", attempt, exc)
+                    raise
+                self._note(metrics, site, "retrying", attempt, exc, sleep=pause)
+                if metrics is not None:
+                    metrics.observe("service.retry.sleep_seconds", pause)
+                self.sleep(pause)
+                slept += pause
+                attempt += 1
+
+    def _note(self, metrics, site, outcome, attempt, exc, sleep=None) -> None:
+        if metrics is not None:
+            metrics.inc("service.retry.attempts", labels={"site": site})
+            if outcome != "retrying":
+                metrics.inc("service.retry.exhausted", labels={"site": site})
+        fields = dict(
+            site=site,
+            outcome=outcome,
+            attempt=attempt,
+            error=str(exc),
+            error_type=type(exc).__name__,
+        )
+        if sleep is not None:
+            fields["sleep_seconds"] = sleep
+        log_event(logger, logging.WARNING, "service.retry", **fields)
+        with span("service.retry", **fields):
+            pass

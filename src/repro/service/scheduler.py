@@ -24,6 +24,7 @@ the frontend that requested them.
 
 from __future__ import annotations
 
+import copy
 import logging
 import queue
 import threading
@@ -32,6 +33,7 @@ from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 from .._validation import check_positive_int
 from ..errors import QueryTimeoutError, ServiceError, ServiceOverloadError
+from ..faults.injection import fault_point
 from ..obs import span
 from ..obs.logging import get_logger, log_event
 from ..obs.metrics import MetricsRegistry
@@ -40,6 +42,30 @@ from ..obs.tracer import current_tracer
 __all__ = ["QueryScheduler"]
 
 logger = get_logger("scheduler")
+
+CLOSE_TIMEOUT_SECONDS = 5.0
+"""Default bound on :meth:`QueryScheduler.close`: sentinel delivery and
+worker joins together never block longer than this."""
+
+
+def _clone_exception(error: BaseException) -> BaseException:
+    """A per-waiter copy of a shared execution error.
+
+    Coalesced waiters all observe the same ``_Inflight.error``;
+    re-raising the *same object* from several threads races on
+    ``__traceback__`` mutation and grows chained tracebacks across
+    waiters. A shallow copy (class + args + ``__dict__``) gives each
+    waiter a fresh raise while keeping type and message intact. Falls
+    back to the shared object when the exception resists copying.
+    """
+    try:
+        clone = copy.copy(error)
+    except Exception:
+        return error
+    if type(clone) is not type(error) or clone is error:
+        return error
+    clone.__traceback__ = None
+    return clone
 
 
 class _Inflight:
@@ -168,7 +194,11 @@ class QueryScheduler:
                 f"{'running' if inflight.started else 'queued'})"
             )
         if inflight.error is not None:
-            raise inflight.error
+            original = inflight.error
+            clone = _clone_exception(original)
+            if clone is original:
+                raise original
+            raise clone from original
         return inflight.result, coalesced
 
     def _abandon(self, inflight: _Inflight) -> None:
@@ -205,9 +235,9 @@ class QueryScheduler:
                 if inflight.tracer is not None:
                     with inflight.tracer.activate():
                         with span("service.execute", coalesced_waiters=inflight.waiters):
-                            inflight.result = inflight.fn()
+                            inflight.result = self._run_inflight(inflight)
                 else:
-                    inflight.result = inflight.fn()
+                    inflight.result = self._run_inflight(inflight)
             except BaseException as exc:  # delivered to every waiter
                 inflight.error = exc
                 self.metrics.inc("service.errors")
@@ -231,19 +261,87 @@ class QueryScheduler:
                 inflight.done.set()
                 self._queue.task_done()
 
+    def _run_inflight(self, inflight: _Inflight) -> Any:
+        """Execute one query body (the chaos harness's worker site)."""
+        fault_point("scheduler.worker", waiters=inflight.waiters)
+        return inflight.fn()
+
     # -- lifecycle ----------------------------------------------------------
 
-    def close(self, wait: bool = True) -> None:
-        """Stop accepting work and shut the worker pool down."""
+    def _fail_pending(self) -> int:
+        """Fail every queued-but-unstarted query with a typed error.
+
+        Without this, ``close()`` strands them: workers exit on the
+        sentinel, the queued ``_Inflight.done`` is never set, and a
+        caller blocked in ``execute(..., timeout=None)`` hangs forever.
+        Sentinels pulled while draining are re-enqueued. Returns the
+        number of queries failed.
+        """
+        failed = 0
+        sentinels = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            self._queue.task_done()
+            if item is None:
+                sentinels += 1
+                continue
+            with self._lock:
+                if self._inflight.get(item.key) is item:
+                    del self._inflight[item.key]
+            item.error = ServiceError("scheduler closed")
+            item.done.set()
+            failed += 1
+        for _ in range(sentinels):
+            try:
+                self._queue.put_nowait(None)
+            except queue.Full:  # pragma: no cover - drain made room above
+                break
+        if failed:
+            self.metrics.inc("service.drained_on_close", failed)
+            log_event(
+                logger,
+                logging.WARNING,
+                "scheduler.drained_on_close",
+                failed=failed,
+            )
+        return failed
+
+    def close(self, wait: bool = True, timeout: float = CLOSE_TIMEOUT_SECONDS) -> None:
+        """Stop accepting work and shut the worker pool down.
+
+        Bounded: queued queries are failed (not stranded), sentinel
+        delivery never blocks on a full queue — the combination a dead
+        worker plus full queue used to deadlock — and worker joins
+        share the remaining ``timeout``. Workers that cannot be reached
+        within the deadline are abandoned to their daemon flag.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        for _ in self._workers:
-            self._queue.put(None)
+        deadline = time.monotonic() + timeout
+        self._fail_pending()
+        delivered = 0
+        while delivered < len(self._workers):
+            try:
+                self._queue.put_nowait(None)
+                delivered += 1
+            except queue.Full:
+                # No room for a sentinel. Live workers free slots as
+                # they consume sentinels; with dead workers and a full
+                # queue (the old deadlock) the deadline bounds the wait.
+                if self._fail_pending() == 0:
+                    if time.monotonic() >= deadline:
+                        break
+                    time.sleep(0.005)
         if wait:
             for t in self._workers:
-                t.join()
+                t.join(max(0.0, deadline - time.monotonic()))
+        # Anything that slipped into the queue mid-shutdown fails too.
+        self._fail_pending()
 
     def __enter__(self) -> "QueryScheduler":
         return self

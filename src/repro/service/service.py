@@ -37,7 +37,12 @@ from .._validation import check_support
 from ..core.api import ALGORITHMS, mine
 from ..core.config import GPAprioriConfig
 from ..datasets.characterize import DatasetProfile
-from ..errors import MiningError, ServiceError
+from ..errors import (
+    DeviceMemoryError,
+    MiningError,
+    ServiceError,
+    WorkerCrashError,
+)
 from ..obs import span
 from ..obs.logging import get_logger, log_event
 from ..obs.metrics import MetricsRegistry
@@ -45,6 +50,7 @@ from ..obs.tracer import Tracer, current_tracer
 from .cache import ResultCache
 from .flightrec import FlightRecorder, QueryRecord, now_epoch
 from .registry import DatasetEntry, DatasetRegistry
+from .retry import RetryPolicy, record_degradation
 from .scheduler import QueryScheduler
 
 __all__ = ["MiningService", "QueryResponse", "choose_algorithm"]
@@ -94,7 +100,9 @@ class QueryResponse:
 
 
 # options the service controls itself and refuses from callers
-_RESERVED_OPTIONS = ("config", "device", "matrix")
+# ("faults" included: chaos plans come from the operator's env knob,
+# never from a client of a shared service)
+_RESERVED_OPTIONS = ("config", "device", "matrix", "faults")
 
 
 class MiningService:
@@ -121,6 +129,12 @@ class MiningService:
         ``query.slow`` structured log line at WARNING.
     flight_capacity:
         How many completed queries the flight recorder retains.
+    retry_policy:
+        The :class:`~repro.service.retry.RetryPolicy` governing every
+        transient-failure surface: worker crashes retry up to its
+        ``max_attempts``, device OOM retries once and then degrades to
+        a sharded mine under a halved memory budget. Defaults to a
+        policy with 3 attempts and 50 ms base backoff.
     """
 
     def __init__(
@@ -134,6 +148,7 @@ class MiningService:
         metrics: Optional[MetricsRegistry] = None,
         slow_query_ms: Optional[float] = None,
         flight_capacity: int = 64,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.registry = DatasetRegistry(
@@ -148,6 +163,7 @@ class MiningService:
             workers=workers, queue_depth=queue_depth, metrics=self.metrics
         )
         self.flight = FlightRecorder(capacity=flight_capacity)
+        self.retry = retry_policy if retry_policy is not None else RetryPolicy()
         self.slow_query_ms = slow_query_ms
         self._query_ids = itertools.count(1)
         self._preload_requested = False
@@ -235,12 +251,19 @@ class MiningService:
                         result, kind = cached
                         source = "cache" if kind == "hit" else "cache_filtered"
                     else:
-                        result, coalesced = self.scheduler.execute(
-                            key=(key, abs_support, max_k),
-                            fn=lambda: self._mine_cold(
-                                entry, algorithm, abs_support, max_k, options, key
+                        # A dead worker is transient: the query itself
+                        # was fine, so resubmit under the retry policy.
+                        result, coalesced = self.retry.call(
+                            lambda: self.scheduler.execute(
+                                key=(key, abs_support, max_k),
+                                fn=lambda: self._mine_cold(
+                                    entry, algorithm, abs_support, max_k, options, key
+                                ),
+                                timeout=timeout,
                             ),
-                            timeout=timeout,
+                            retry_on=(WorkerCrashError,),
+                            metrics=self.metrics,
+                            site="scheduler.worker",
                         )
                         source = "coalesced" if coalesced else "cold"
                     state["source"] = source
@@ -416,7 +439,14 @@ class MiningService:
         options: Dict,
         key: Hashable,
     ):
-        """One scheduled cold mine; runs on a worker thread."""
+        """One scheduled cold mine; runs on a worker thread.
+
+        Device OOM gets one in-place retry (transient pressure — e.g.
+        another query's shard slab in flight), then the degradation
+        ladder: re-mine sharded under a halved memory budget. Sharded
+        supports are additive over disjoint tid ranges, so the degraded
+        answer is bit-identical, just slower.
+        """
         self.metrics.inc("service.cold_mines")
         t0 = time.perf_counter()
         with span(
@@ -424,20 +454,86 @@ class MiningService:
             dataset=entry.name,
             algorithm=algorithm,
             abs_support=abs_support,
-        ):
-            if algorithm == "gpapriori":
-                config, rest = self._gpapriori_config(options, entry)
-                kwargs = dict(rest, config=config)
-                if config.aligned:
-                    kwargs["matrix"] = entry.matrix
-            else:
-                kwargs = dict(options)
-            result = mine(
-                entry.db, abs_support, algorithm=algorithm, max_k=max_k, **kwargs
-            )
+        ) as cold_span:
+            try:
+                result = self.retry.call(
+                    lambda: self._run_mine(
+                        entry, algorithm, abs_support, max_k, options
+                    ),
+                    retry_on=(DeviceMemoryError,),
+                    metrics=self.metrics,
+                    site="device_memory",
+                    attempts=2,
+                )
+            except DeviceMemoryError as exc:
+                if algorithm != "gpapriori":
+                    raise
+                result = self._mine_degraded(
+                    entry, abs_support, max_k, options, exc
+                )
+                cold_span.set(degraded=True)
         self.cache.store(key, result, abs_support, max_k)
         self.metrics.observe("service.cold_seconds", time.perf_counter() - t0)
         return result
+
+    def _run_mine(
+        self,
+        entry: DatasetEntry,
+        algorithm: str,
+        abs_support: int,
+        max_k: Optional[int],
+        options: Dict,
+    ):
+        if algorithm == "gpapriori":
+            config, rest = self._gpapriori_config(options, entry)
+            kwargs = dict(rest, config=config)
+            if config.aligned:
+                kwargs["matrix"] = entry.matrix
+        else:
+            kwargs = dict(options)
+        return mine(
+            entry.db, abs_support, algorithm=algorithm, max_k=max_k, **kwargs
+        )
+
+    def _mine_degraded(
+        self,
+        entry: DatasetEntry,
+        abs_support: int,
+        max_k: Optional[int],
+        options: Dict,
+        cause: DeviceMemoryError,
+    ):
+        """Re-mine under a halved, sharded memory budget after OOM."""
+        from ..core.sharding import ShardPlan
+
+        config, rest = self._gpapriori_config(options, entry)
+        base_budget = (
+            config.memory_budget_bytes
+            or self.registry.device_budget_bytes
+            or entry.matrix.nbytes
+        )
+        # Halve the budget, but never below the smallest plan the shard
+        # math can build — a degraded mine must stay feasible.
+        halved = max(
+            ShardPlan.min_budget_for_matrix(entry.matrix),
+            int(base_budget) // 2,
+        )
+        degraded = config.with_(memory_budget_bytes=halved)
+        record_degradation(
+            self.metrics,
+            site="service.mine_cold",
+            from_mode="sharded" if config.sharded else config.engine,
+            to_mode="sharded",
+            reason=f"{type(cause).__name__}: {cause}",
+            dataset=entry.name,
+            memory_budget_bytes=halved,
+        )
+        kwargs = dict(rest, config=degraded)
+        if degraded.aligned:
+            kwargs["matrix"] = entry.matrix
+        return mine(
+            entry.db, abs_support, algorithm="gpapriori", max_k=max_k, **kwargs
+        )
 
     # -- introspection / lifecycle ------------------------------------------
 

@@ -1,0 +1,182 @@
+"""FaultSession semantics: triggers, bounds, determinism, activation.
+
+The CI chaos job re-runs this suite under several ``REPRO_FAULT_SEED``
+values; every property here must hold for any seed.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.errors import DeviceMemoryError, GpuSimError
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    active_session,
+    fault_point,
+    inject,
+    install,
+    uninstall,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_session():
+    """Never leak an installed chaos session into other tests."""
+    uninstall()
+    yield
+    uninstall()
+
+
+BASE_SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+
+def plan_of(*specs, seed=BASE_SEED):
+    return FaultPlan(specs=tuple(specs), seed=seed)
+
+
+class TestTriggers:
+    def test_disabled_fault_point_is_noop(self):
+        assert active_session() is None
+        fault_point("gpusim.alloc", buffer="x")  # must not raise
+
+    def test_on_nth_fires_on_nth_and_after(self):
+        plan = plan_of(FaultSpec(site="gpusim.alloc", kind="device_oom", on_nth=3))
+        with inject(plan) as session:
+            fault_point("gpusim.alloc")
+            fault_point("gpusim.alloc")
+            with pytest.raises(DeviceMemoryError, match="injected device OOM"):
+                fault_point("gpusim.alloc")
+            # unbounded: every visit after the Nth also fires
+            with pytest.raises(DeviceMemoryError):
+                fault_point("gpusim.alloc")
+            assert session.visits("gpusim.alloc") == 4
+            assert session.fired() == 2
+
+    def test_max_fires_bounds_the_trigger(self):
+        plan = plan_of(
+            FaultSpec(site="gpusim.htod", kind="transfer_error", on_nth=1, max_fires=2)
+        )
+        with inject(plan) as session:
+            with pytest.raises(GpuSimError):
+                fault_point("gpusim.htod")
+            with pytest.raises(GpuSimError):
+                fault_point("gpusim.htod")
+            fault_point("gpusim.htod")  # budget spent: passes through
+            assert session.fired() == 2
+
+    def test_other_sites_unaffected(self):
+        plan = plan_of(FaultSpec(site="gpusim.alloc", kind="device_oom", on_nth=1))
+        with inject(plan):
+            fault_point("gpusim.dtoh")
+            fault_point("gpusim.launch")
+
+    def test_rate_one_always_fires(self):
+        plan = plan_of(FaultSpec(site="gpusim.launch", kind="launch_error", rate=1.0))
+        with inject(plan):
+            for _ in range(3):
+                with pytest.raises(Exception, match="injected launch failure"):
+                    fault_point("gpusim.launch")
+
+    def test_rate_is_deterministic_given_seed(self):
+        plan = plan_of(
+            FaultSpec(site="gpusim.alloc", kind="device_oom", rate=0.5),
+            seed=BASE_SEED + 7,
+        )
+
+        def pattern():
+            fires = []
+            with inject(plan):
+                for _ in range(50):
+                    try:
+                        fault_point("gpusim.alloc")
+                        fires.append(False)
+                    except DeviceMemoryError:
+                        fires.append(True)
+            return fires
+
+        first, second = pattern(), pattern()
+        assert first == second
+        assert any(first) and not all(first)  # a real Bernoulli stream
+
+    def test_different_seeds_differ(self):
+        def pattern(seed):
+            plan = plan_of(
+                FaultSpec(site="gpusim.alloc", kind="device_oom", rate=0.5),
+                seed=seed,
+            )
+            fires = []
+            with inject(plan):
+                for _ in range(50):
+                    try:
+                        fault_point("gpusim.alloc")
+                        fires.append(False)
+                    except DeviceMemoryError:
+                        fires.append(True)
+            return fires
+
+        assert pattern(BASE_SEED + 1) != pattern(BASE_SEED + 2)
+
+
+class TestActivation:
+    def test_inject_restores_previous_session(self):
+        outer = plan_of(FaultSpec(site="gpusim.alloc", kind="device_oom", on_nth=9))
+        inner = plan_of(FaultSpec(site="gpusim.dtoh", kind="transfer_error", on_nth=9))
+        assert active_session() is None
+        with inject(outer) as outer_session:
+            assert active_session() is outer_session
+            with inject(inner) as inner_session:
+                assert active_session() is inner_session
+            assert active_session() is outer_session
+        assert active_session() is None
+
+    def test_inject_none_is_passthrough(self):
+        plan = plan_of(FaultSpec(site="gpusim.alloc", kind="device_oom", on_nth=9))
+        with inject(plan) as session:
+            with inject(None) as inner:
+                assert inner is session
+                assert active_session() is session
+
+    def test_install_and_uninstall(self):
+        plan = plan_of(FaultSpec(site="gpusim.alloc", kind="device_oom", on_nth=1))
+        session = install(plan)
+        assert active_session() is session
+        uninstall()
+        assert active_session() is None
+
+    def test_installed_session_visible_from_worker_threads(self):
+        # The service mines on scheduler worker threads; a chaos plan
+        # installed by the serve process must reach them (this is why
+        # the active session is a module global, not a contextvar).
+        plan = plan_of(FaultSpec(site="gpusim.alloc", kind="device_oom", on_nth=1))
+        install(plan)
+        raised = []
+
+        def worker():
+            try:
+                fault_point("gpusim.alloc")
+            except DeviceMemoryError as exc:
+                raised.append(exc)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join(5.0)
+        assert len(raised) == 1
+
+    def test_concurrent_visits_count_exactly(self):
+        plan = plan_of(
+            FaultSpec(site="gpusim.alloc", kind="device_oom", on_nth=10_000)
+        )
+        with inject(plan) as session:
+            threads = [
+                threading.Thread(
+                    target=lambda: [fault_point("gpusim.alloc") for _ in range(200)]
+                )
+                for _ in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(10.0)
+            assert session.visits("gpusim.alloc") == 8 * 200

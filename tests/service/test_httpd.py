@@ -182,6 +182,75 @@ class TestMine:
                 t.join(timeout=5.0)
 
 
+def _post_raw(server, path, doc):
+    """Like _post but also returns the response headers."""
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}",
+        data=json.dumps(doc).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read().decode())
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), json.loads(err.read().decode())
+
+
+class TestOverloadBackpressure:
+    @pytest.fixture
+    def tiny_server(self, db):
+        service = MiningService(workers=1, queue_depth=1)
+        service.register_dataset("toy", db)
+        srv = make_server(service, port=0)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        yield srv
+        srv.shutdown()
+        srv.server_close()
+        service.close()
+        thread.join(timeout=5.0)
+
+    def test_429_carries_retry_after(self, tiny_server):
+        service = tiny_server.service
+        gate = threading.Event()
+        running = []
+
+        def block():
+            running.append(1)
+            gate.wait(10.0)
+
+        holder = threading.Thread(
+            target=lambda: service.scheduler.execute("block", block)
+        )
+        filler = threading.Thread(
+            target=lambda: service.scheduler.execute("fill", lambda: gate.wait(10.0))
+        )
+        holder.start()
+        deadline = time.monotonic() + 5.0
+        while not running and time.monotonic() < deadline:
+            time.sleep(0.005)
+        filler.start()
+        while (
+            service.scheduler.stats()["queued"] < 1
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        try:
+            status, headers, doc = _post_raw(
+                tiny_server, "/mine", {"dataset": "toy", "min_support": 2}
+            )
+            assert status == 429
+            assert doc["type"] == "ServiceOverloadError"
+            # both sides of the wire share one backoff schedule
+            expected = service.retry.retry_after_seconds
+            assert doc["retry_after_seconds"] == expected
+            assert headers.get("Retry-After") == str(expected)
+        finally:
+            gate.set()
+            holder.join(timeout=5.0)
+            filler.join(timeout=5.0)
+
+
 def _get_raw(server, path):
     with urllib.request.urlopen(f"http://127.0.0.1:{server.port}{path}") as resp:
         return resp.status, resp.headers.get("Content-Type", ""), resp.read().decode()

@@ -1,0 +1,154 @@
+"""RetryPolicy: backoff schedule, budget, evidence, injectable clocks."""
+
+import pytest
+
+from repro.errors import ServiceError, WorkerCrashError
+from repro.obs import MetricsRegistry
+from repro.service import RetryPolicy
+
+
+def no_sleep_policy(**kwargs):
+    sleeps = []
+    policy = RetryPolicy(sleep=sleeps.append, **kwargs)
+    return policy, sleeps
+
+
+class TestValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ServiceError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ServiceError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ServiceError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_delay_rejects_bad_attempt(self):
+        with pytest.raises(ServiceError):
+            RetryPolicy().delay(0)
+
+
+class TestDelaySchedule:
+    def test_exponential_capped(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.35)
+        assert [policy.delay(a) for a in (1, 2, 3, 4)] == pytest.approx(
+            [0.1, 0.2, 0.35, 0.35]
+        )
+
+    def test_jitter_scales_down_only(self):
+        full = RetryPolicy(base_delay=1.0, jitter=lambda: 1.0)
+        half = RetryPolicy(base_delay=1.0, jitter=lambda: 0.0)
+        assert full.delay(1) == pytest.approx(1.0)
+        assert half.delay(1) == pytest.approx(0.5)
+
+    def test_retry_after_defaults_to_base_delay_ceiling(self):
+        assert RetryPolicy(base_delay=0.05).retry_after_seconds == 1
+        assert RetryPolicy(base_delay=3.2).retry_after_seconds == 4
+        assert RetryPolicy(retry_after_seconds=9).retry_after_seconds == 9
+
+
+class TestCall:
+    def test_success_passes_through(self):
+        policy, sleeps = no_sleep_policy()
+        assert policy.call(lambda: 42, retry_on=(WorkerCrashError,)) == 42
+        assert sleeps == []
+
+    def test_retries_then_succeeds(self):
+        policy, sleeps = no_sleep_policy(base_delay=0.1, multiplier=2.0)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise WorkerCrashError("boom")
+            return "ok"
+
+        assert policy.call(flaky, retry_on=(WorkerCrashError,)) == "ok"
+        assert len(calls) == 3
+        assert sleeps == pytest.approx([0.1, 0.2])
+
+    def test_exhausted_reraises_last_error(self):
+        policy, sleeps = no_sleep_policy(max_attempts=3)
+        calls = []
+
+        def always():
+            calls.append(1)
+            raise WorkerCrashError("persistent")
+
+        with pytest.raises(WorkerCrashError, match="persistent"):
+            policy.call(always, retry_on=(WorkerCrashError,))
+        assert len(calls) == 3
+        assert len(sleeps) == 2
+
+    def test_attempts_override(self):
+        policy, _ = no_sleep_policy(max_attempts=5)
+        calls = []
+
+        def always():
+            calls.append(1)
+            raise WorkerCrashError("boom")
+
+        with pytest.raises(WorkerCrashError):
+            policy.call(always, retry_on=(WorkerCrashError,), attempts=2)
+        assert len(calls) == 2
+
+    def test_budget_stops_retries_early(self):
+        policy, sleeps = no_sleep_policy(
+            max_attempts=10, base_delay=0.2, budget_seconds=0.1
+        )
+        calls = []
+
+        def always():
+            calls.append(1)
+            raise WorkerCrashError("boom")
+
+        with pytest.raises(WorkerCrashError):
+            policy.call(always, retry_on=(WorkerCrashError,))
+        assert len(calls) == 1  # first backoff would already bust the budget
+        assert sleeps == []
+
+    def test_non_retryable_propagates_immediately(self):
+        policy, sleeps = no_sleep_policy()
+        calls = []
+
+        def wrong_kind():
+            calls.append(1)
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            policy.call(wrong_kind, retry_on=(WorkerCrashError,))
+        assert len(calls) == 1
+        assert sleeps == []
+
+
+class TestEvidence:
+    def test_metrics_on_retry_and_exhaustion(self):
+        policy, _ = no_sleep_policy(max_attempts=3)
+        metrics = MetricsRegistry()
+
+        def always():
+            raise WorkerCrashError("boom")
+
+        with pytest.raises(WorkerCrashError):
+            policy.call(
+                always,
+                retry_on=(WorkerCrashError,),
+                metrics=metrics,
+                site="scheduler.worker",
+            )
+        labels = {"site": "scheduler.worker"}
+        # two "retrying" notes plus one "exhausted" note
+        assert metrics.counter("service.retry.attempts", labels=labels) == 3
+        assert metrics.counter("service.retry.exhausted", labels=labels) == 1
+        assert metrics.histogram("service.retry.sleep_seconds").count == 2
+
+    def test_no_metrics_needed(self):
+        policy, _ = no_sleep_policy()
+        calls = []
+
+        def once():
+            calls.append(1)
+            if len(calls) == 1:
+                raise WorkerCrashError("boom")
+            return 1
+
+        assert policy.call(once, retry_on=(WorkerCrashError,)) == 1

@@ -167,6 +167,115 @@ class TestDeadlines:
             s.close()
 
 
+class TestCloseLifecycle:
+    """Regression tests for the three shutdown/error-isolation bugs."""
+
+    def test_close_fails_queued_queries_instead_of_stranding(self):
+        # Bug 1: close() used to let workers exit on the sentinel while
+        # queued _Inflight.done was never set, so a caller blocked in
+        # execute(..., timeout=None) hung forever.
+        s = QueryScheduler(workers=1, queue_depth=4)
+        gate = threading.Event()
+        running = threading.Event()
+
+        def busy():
+            running.set()
+            gate.wait(5.0)
+
+        holder = threading.Thread(target=lambda: s.execute("busy", busy))
+        holder.start()
+        assert running.wait(5.0)  # the one worker is now occupied
+        errors = []
+
+        def waiter():
+            try:
+                s.execute("queued", lambda: 1, timeout=None)
+            except BaseException as exc:  # noqa: BLE001 - recorded for asserts
+                errors.append(exc)
+
+        w = threading.Thread(target=waiter)
+        w.start()
+        deadline = time.monotonic() + 5.0
+        while s.stats()["queued"] < 1 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        s.close(wait=False)
+        w.join(2.0)  # hung forever before the fix
+        gate.set()
+        holder.join(5.0)
+        assert not w.is_alive()
+        assert len(errors) == 1
+        assert isinstance(errors[0], ServiceError)
+        assert "closed" in str(errors[0])
+        assert s.metrics.counter("service.drained_on_close") == 1
+
+    def test_close_bounded_with_dead_worker_and_full_queue(self):
+        # Bug 2: close() used a blocking put(None) per worker; a full
+        # queue plus a dead worker (exactly what readyz detects)
+        # deadlocked the close() caller.
+        s = QueryScheduler(workers=1, queue_depth=1)
+        s._queue.put(None)  # kill the only worker, as a crash would
+        s._workers[0].join(5.0)
+        assert not s._workers[0].is_alive()
+        errors = []
+
+        def waiter():
+            try:
+                s.execute("queued", lambda: 1, timeout=None)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        w = threading.Thread(target=waiter)
+        w.start()
+        deadline = time.monotonic() + 5.0
+        while s.stats()["queued"] < 1 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        t0 = time.monotonic()
+        s.close(timeout=0.5)  # deadlocked forever before the fix
+        assert time.monotonic() - t0 < 3.0
+        w.join(2.0)
+        assert not w.is_alive()
+        assert len(errors) == 1
+        assert isinstance(errors[0], ServiceError)
+
+    def test_coalesced_waiters_get_isolated_exceptions(self, scheduler):
+        # Bug 3: every waiter re-raised the *same* exception object, so
+        # concurrent re-raises raced on __traceback__ mutation.
+        release = threading.Event()
+
+        def boom():
+            release.wait(5.0)
+            raise ValueError("nope")
+
+        caught = []
+
+        def run():
+            try:
+                scheduler.execute("same", boom)
+            except ValueError as exc:
+                caught.append(exc)
+
+        threads = [threading.Thread(target=run) for _ in range(2)]
+        for t in threads:
+            t.start()
+        deadline = time.monotonic() + 5.0
+        while (
+            scheduler.metrics.counter("service.coalesced") < 1
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        release.set()
+        for t in threads:
+            t.join(5.0)
+        assert len(caught) == 2
+        first, second = caught
+        assert first is not second
+        assert str(first) == str(second) == "nope"
+        assert first.__traceback__ is not second.__traceback__
+        # both copies chain back to the worker's original exception
+        assert first.__cause__ is second.__cause__
+        assert first.__cause__ is not None
+
+
 class TestTracing:
     def test_worker_spans_land_in_submitter_trace(self, scheduler):
         tracer = Tracer()

@@ -63,6 +63,55 @@ class TestMineCommand:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_inject_fault_surfaces_typed_error(self, fimi_file, capsys):
+        code = main(
+            [
+                "mine",
+                "--file",
+                fimi_file,
+                "--min-support",
+                "0.15",
+                "--engine",
+                "simulated",
+                "--inject-fault",
+                "gpusim.alloc:device_oom:on_nth=1",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "injected device OOM" in err
+
+    def test_inject_fault_on_unvisited_site_is_inert(self, fimi_file, capsys):
+        # vectorized mining never touches simulator memory
+        code = main(
+            [
+                "mine",
+                "--file",
+                fimi_file,
+                "--min-support",
+                "0.15",
+                "--inject-fault",
+                "gpusim.alloc:device_oom:on_nth=1",
+            ]
+        )
+        assert code == 0
+        assert "frequent itemsets" in capsys.readouterr().out
+
+    def test_bad_inject_fault_spec_rejected(self, fimi_file, capsys):
+        code = main(
+            [
+                "mine",
+                "--file",
+                fimi_file,
+                "--min-support",
+                "0.15",
+                "--inject-fault",
+                "nowhere:device_oom:on_nth=1",
+            ]
+        )
+        assert code == 2
+        assert "unknown fault site" in capsys.readouterr().err
+
     @pytest.mark.parametrize("rep", ["closed", "maximal"])
     def test_condensed_representations(self, fimi_file, capsys, rep):
         code = main(
@@ -271,3 +320,31 @@ class TestServeParser:
         assert args.workers == 4
         assert args.queue_depth == 32
         assert args.dataset is None
+
+
+class TestChaosEnv:
+    """Serve-only chaos knob: REPRO_CHAOS_FAULTS / REPRO_CHAOS_SEED."""
+
+    def test_plan_parsed_from_env(self, monkeypatch):
+        from repro.cli import _chaos_plan_from_env
+
+        monkeypatch.setenv(
+            "REPRO_CHAOS_FAULTS",
+            "gpusim.alloc:device_oom:on_nth=1;max_fires=2,"
+            "scheduler.worker:worker_crash:rate=0.5",
+        )
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "9")
+        plan = _chaos_plan_from_env()
+        assert plan.seed == 9
+        assert [s.site for s in plan.specs] == [
+            "gpusim.alloc",
+            "scheduler.worker",
+        ]
+        assert plan.specs[0].max_fires == 2
+        assert plan.specs[1].rate == 0.5
+
+    def test_unset_env_means_no_chaos(self, monkeypatch):
+        from repro.cli import _chaos_plan_from_env
+
+        monkeypatch.delenv("REPRO_CHAOS_FAULTS", raising=False)
+        assert _chaos_plan_from_env() is None

@@ -26,6 +26,7 @@ from repro.errors import (
     MiningError,
     ReproError,
 )
+from repro.faults import FaultPlan, FaultSpec
 from repro.gpusim import SYNCTHREADS, GlobalMemory, TESLA_T10, launch_kernel
 from repro.gpusim.kernel import LaunchConfig
 
@@ -155,6 +156,52 @@ class TestKernelMisuse:
 
         with pytest.raises(TypeError):
             launch_kernel(kernel, LaunchConfig(1, 1))
+
+
+class TestInjectedFaults:
+    """The fault harness drives the same loud-failure contract on demand."""
+
+    def test_injected_oom_surfaces_typed_error(self, small_db):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="gpusim.alloc", kind="device_oom", on_nth=1),)
+        )
+        with pytest.raises(DeviceMemoryError, match="injected device OOM"):
+            mine(small_db, 8, engine="simulated", faults=plan)
+
+    def test_injected_launch_failure_surfaces_typed_error(self, small_db):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="gpusim.launch", kind="launch_error", on_nth=1),)
+        )
+        with pytest.raises(KernelLaunchError, match="injected launch failure"):
+            mine(small_db, 8, engine="simulated", faults=plan)
+
+    def test_injected_transfer_error_surfaces_typed_error(self, small_db):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="gpusim.htod", kind="transfer_error", on_nth=1),)
+        )
+        with pytest.raises(GpuSimError, match="injected transfer error"):
+            mine(small_db, 8, engine="simulated", faults=plan)
+
+    def test_plan_via_config_equivalent_to_kwarg(self, small_db):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="gpusim.dtoh", kind="transfer_error", on_nth=1),)
+        )
+        with pytest.raises(GpuSimError, match="injected"):
+            mine(small_db, 8, config=GPAprioriConfig(engine="simulated", faults=plan))
+
+    def test_unvisited_site_leaves_result_untouched(self, small_db):
+        # vectorized counting never touches simulator memory, so a
+        # gpusim fault plan must be inert there
+        plan = FaultPlan(
+            specs=(FaultSpec(site="gpusim.alloc", kind="device_oom", on_nth=1),)
+        )
+        clean = mine(small_db, 8)
+        chaotic = mine(small_db, 8, faults=plan)
+        assert chaotic.as_dict() == clean.as_dict()
+
+    def test_faults_kwarg_type_checked(self, small_db):
+        with pytest.raises(MiningError, match="faults"):
+            mine(small_db, 8, faults="gpusim.alloc:device_oom")
 
 
 class TestConfigMisuse:
