@@ -27,7 +27,7 @@ MAX_ATTEMPTS = 8
 
 def post_mine(port: int, doc: dict) -> dict:
     req = urllib.request.Request(
-        f"http://127.0.0.1:{port}/mine",
+        f"http://127.0.0.1:{port}/v1/mine",
         data=json.dumps(doc).encode(),
         headers={"Content-Type": "application/json"},
     )
@@ -36,7 +36,7 @@ def post_mine(port: int, doc: dict) -> dict:
 
 
 def query_with_backoff(port: int, doc: dict, label: str) -> dict:
-    """POST /mine, backing off on 429 as the server asks."""
+    """POST /v1/mine, backing off on 429 as the server asks."""
     delay = 0.05
     for attempt in range(1, MAX_ATTEMPTS + 1):
         try:

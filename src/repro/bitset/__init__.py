@@ -26,6 +26,14 @@ from .ops import (
 )
 from .tidset import TidsetTable, intersect_tidsets, intersect_tidsets_merge
 from .vertical import build_bitset_matrix, build_tidset_table, bitset_to_tidsets, tidsets_to_bitset
+from .hybrid import (
+    HybridLayout,
+    auto_dense_threshold,
+    choose_layout,
+    hybrid_supports,
+    hybrid_extend_rows,
+    densify_rows,
+)
 
 __all__ = [
     "BitsetMatrix",
@@ -47,4 +55,10 @@ __all__ = [
     "build_tidset_table",
     "bitset_to_tidsets",
     "tidsets_to_bitset",
+    "HybridLayout",
+    "auto_dense_threshold",
+    "choose_layout",
+    "hybrid_supports",
+    "hybrid_extend_rows",
+    "densify_rows",
 ]

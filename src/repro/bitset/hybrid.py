@@ -1,0 +1,496 @@
+"""Density-adaptive hybrid vertical layout: dense bitsets + sparse tid-lists.
+
+GPApriori's static bitset table (paper Fig. 3) charges one bit per
+transaction per item no matter how rare the item is, so on sparse
+datasets most of the device memory — and most of the AND/popcount
+bandwidth — is spent on words that are almost entirely zero.
+HybridMiner (Bashir & Baig) and the GPU set-intersection layouts of
+Amossen & Pagh both show the fix: pick the representation *per item*
+by density.
+
+:class:`HybridLayout` keeps every item whose support-density clears a
+threshold as a 64-byte-aligned bitset row (exactly the rows the static
+layout would hold) and demotes the rest to sorted tid-lists. Support
+counting is mixed-mode:
+
+* dense ∧ dense — word-wise AND + popcount, unchanged from the paper;
+* sparse probe into dense — walk the (short) tid-list and test the
+  corresponding bit of the dense partial intersection;
+* sparse ∧ sparse — merge intersection of the sorted tid-lists.
+
+The break-even threshold is exact: an aligned row costs
+``n_words * 4`` bytes while a tid-list costs ``4 * support`` bytes, so
+an item stores smaller as a tid-list iff its support is below
+``n_words`` — i.e. its density is below ``n_words / n_transactions``
+(roughly 1/32 plus alignment padding). :func:`auto_dense_threshold`
+computes that, and ``layout="auto"`` additionally falls back to the
+all-dense layout whenever hybridizing would not actually save bytes.
+
+Everything here is NumPy-level host code shared by the vectorized and
+parallel engines and by the tests that pin the simulated kernels; the
+simulated engine has genuine generator kernels over the same device
+arrays (see :mod:`repro.core.kernels`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import BitsetError
+from .bitset import WORD_BITS, BitsetMatrix, _tail_mask, words_for
+from .ops import popcount_words, tile_bounds
+
+__all__ = [
+    "HybridLayout",
+    "auto_dense_threshold",
+    "choose_layout",
+    "hybrid_supports",
+    "hybrid_extend_rows",
+    "densify_rows",
+    "count_cost_stats",
+]
+
+VALID_LAYOUTS = ("dense", "hybrid", "auto")
+"""Accepted values for ``GPAprioriConfig.layout`` / ``--layout``."""
+
+
+def auto_dense_threshold(n_transactions: int, n_words: int) -> float:
+    """Break-even density above which a bitset row beats a tid-list.
+
+    An aligned bitset row occupies ``n_words * 4`` bytes; an ``int32``
+    tid-list occupies ``4 * support`` bytes. They tie when
+    ``support == n_words``, i.e. at density ``n_words/n_transactions``.
+
+    >>> auto_dense_threshold(n_transactions=1024, n_words=32)
+    0.03125
+    """
+    return n_words / max(n_transactions, 1)
+
+
+def choose_layout(profile) -> str:
+    """Pick ``"hybrid"`` or ``"dense"`` from dataset characterization.
+
+    Uses the :class:`~repro.datasets.characterize.DatasetProfile`
+    density: when the *average* item's tid-list would undercut its
+    dense row (density below the break-even threshold), hybridize.
+    Skewed datasets benefit even above this cutoff — the per-item
+    classification in :meth:`HybridLayout.from_matrix` handles those
+    exactly; this is only the cheap stats-level default.
+    """
+    n_words = words_for(profile.n_transactions)
+    threshold = auto_dense_threshold(profile.n_transactions, n_words)
+    return "hybrid" if profile.density < threshold else "dense"
+
+
+class HybridLayout:
+    """Per-item hybrid of aligned bitset rows and sorted tid-lists.
+
+    Parameters (see :meth:`from_parts`): ``dense_words`` is the
+    ``(n_dense, n_words)`` uint32 block holding the rows of items
+    classified dense; ``row_map`` is an int32 array of length
+    ``n_items`` mapping item id → dense row index when ``>= 0``, or
+    sparse slot ``-(value + 1)`` when negative; ``sparse_tids`` holds
+    every sparse item's sorted transaction ids back to back, delimited
+    by ``sparse_offsets`` (CSR-style, length ``n_sparse + 1``).
+
+    The dense block keeps the static layout's invariants: rows are the
+    same ``n_words`` the all-dense matrix would use, and padding bits
+    past ``n_transactions`` are zero, so popcounts never over-count.
+    """
+
+    __slots__ = (
+        "dense_words",
+        "row_map",
+        "sparse_tids",
+        "sparse_offsets",
+        "dense_threshold",
+        "_n_transactions",
+    )
+
+    def __init__(
+        self,
+        dense_words: np.ndarray,
+        row_map: np.ndarray,
+        sparse_tids: np.ndarray,
+        sparse_offsets: np.ndarray,
+        n_transactions: int,
+        dense_threshold: float,
+    ) -> None:
+        dense_words = np.ascontiguousarray(dense_words, dtype=np.uint32)
+        row_map = np.ascontiguousarray(row_map, dtype=np.int32)
+        sparse_tids = np.ascontiguousarray(sparse_tids, dtype=np.int32)
+        sparse_offsets = np.ascontiguousarray(sparse_offsets, dtype=np.int64)
+        if dense_words.ndim != 2:
+            raise BitsetError(
+                f"dense_words must be 2-D, got shape {dense_words.shape}"
+            )
+        if dense_words.shape[1] * WORD_BITS < n_transactions:
+            raise BitsetError(
+                f"{dense_words.shape[1]} words hold "
+                f"{dense_words.shape[1] * WORD_BITS} bits < "
+                f"n_transactions={n_transactions}"
+            )
+        n_sparse = sparse_offsets.size - 1
+        if n_sparse < 0:
+            raise BitsetError("sparse_offsets must have at least one entry")
+        if sparse_offsets[0] != 0 or sparse_offsets[-1] != sparse_tids.size:
+            raise BitsetError("sparse_offsets must span sparse_tids exactly")
+        if np.any(np.diff(sparse_offsets) < 0):
+            raise BitsetError("sparse_offsets must be non-decreasing")
+        dense_rows = row_map[row_map >= 0]
+        slots = -(row_map[row_map < 0]) - 1
+        if dense_rows.size != dense_words.shape[0] or (
+            dense_rows.size and not np.array_equal(
+                np.sort(dense_rows), np.arange(dense_words.shape[0])
+            )
+        ):
+            raise BitsetError("row_map dense entries must cover every dense row")
+        if slots.size != n_sparse or (
+            slots.size and not np.array_equal(np.sort(slots), np.arange(n_sparse))
+        ):
+            raise BitsetError("row_map sparse entries must cover every slot")
+        if sparse_tids.size:
+            if sparse_tids.min() < 0 or sparse_tids.max() >= max(n_transactions, 1):
+                raise BitsetError(
+                    f"sparse tid out of range [0, {n_transactions})"
+                )
+        self.dense_words = dense_words
+        self.dense_words.setflags(write=False)
+        self.row_map = row_map
+        self.row_map.setflags(write=False)
+        self.sparse_tids = sparse_tids
+        self.sparse_tids.setflags(write=False)
+        self.sparse_offsets = sparse_offsets
+        self.sparse_offsets.setflags(write=False)
+        self.dense_threshold = float(dense_threshold)
+        self._n_transactions = int(n_transactions)
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_matrix(
+        cls, matrix: BitsetMatrix, dense_threshold: float
+    ) -> "HybridLayout":
+        """Classify every item of an all-dense matrix by support density.
+
+        Items with ``support >= dense_threshold * n_transactions`` keep
+        their bitset row; the rest are decoded to tid-lists. The dense
+        block preserves the matrix's word width (and therefore its
+        alignment), so hybrid and all-dense runs AND identical rows.
+        """
+        supports = matrix.supports()
+        n_tx = matrix.n_transactions
+        dense_mask = supports >= dense_threshold * n_tx
+        dense_items = np.nonzero(dense_mask)[0]
+        sparse_items = np.nonzero(~dense_mask)[0]
+        row_map = np.empty(matrix.n_items, dtype=np.int32)
+        row_map[dense_items] = np.arange(dense_items.size, dtype=np.int32)
+        row_map[sparse_items] = -np.arange(sparse_items.size, dtype=np.int32) - 1
+        dense_words = matrix.words[dense_items].copy()
+        lengths = supports[sparse_items]
+        offsets = np.zeros(sparse_items.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        tids = np.empty(int(offsets[-1]), dtype=np.int32)
+        for slot, item in enumerate(sparse_items):
+            tids[offsets[slot]:offsets[slot + 1]] = matrix.tidset(int(item))
+        return cls(dense_words, row_map, tids, offsets, n_tx, dense_threshold)
+
+    @classmethod
+    def from_database(
+        cls, db, dense_threshold: float, aligned: bool = True
+    ) -> "HybridLayout":
+        """Build straight from a horizontal database (via the transpose)."""
+        return cls.from_matrix(
+            BitsetMatrix.from_database(db, aligned=aligned), dense_threshold
+        )
+
+    @classmethod
+    def from_parts(
+        cls,
+        dense_words: np.ndarray,
+        row_map: np.ndarray,
+        sparse_tids: np.ndarray,
+        sparse_offsets: np.ndarray,
+        n_transactions: int,
+        dense_threshold: float = 0.0,
+    ) -> "HybridLayout":
+        """Rebuild from raw arrays (shard slices, shared-memory workers)."""
+        return cls(
+            dense_words,
+            row_map,
+            sparse_tids,
+            sparse_offsets,
+            n_transactions,
+            dense_threshold,
+        )
+
+    # -- geometry --------------------------------------------------------------
+
+    @property
+    def n_items(self) -> int:
+        return self.row_map.size
+
+    @property
+    def n_transactions(self) -> int:
+        return self._n_transactions
+
+    @property
+    def n_words(self) -> int:
+        """Words per dense row (matches the all-dense matrix's width)."""
+        return self.dense_words.shape[1]
+
+    @property
+    def n_dense(self) -> int:
+        return self.dense_words.shape[0]
+
+    @property
+    def n_sparse(self) -> int:
+        return self.sparse_offsets.size - 1
+
+    @property
+    def device_bytes(self) -> int:
+        """Bytes the layout occupies on the device (all four arrays)."""
+        return (
+            self.dense_words.nbytes
+            + self.row_map.nbytes
+            + self.sparse_tids.nbytes
+            + self.sparse_offsets.nbytes
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return self.device_bytes
+
+    @property
+    def riding_bytes(self) -> int:
+        """Bytes that ride along whole when the dense block is sharded."""
+        return self.device_bytes - self.dense_words.nbytes
+
+    @property
+    def all_dense_bytes(self) -> int:
+        """What the equivalent static all-dense matrix would occupy."""
+        return self.n_items * self.n_words * 4
+
+    @property
+    def bytes_saved(self) -> int:
+        """Device bytes saved vs all-dense (negative when hybrid loses)."""
+        return self.all_dense_bytes - self.device_bytes
+
+    def sparse_length(self, slot: int) -> int:
+        return int(self.sparse_offsets[slot + 1] - self.sparse_offsets[slot])
+
+    def item_tidset(self, item: int) -> np.ndarray:
+        """Sorted transaction ids of one item, whichever side it lives on."""
+        entry = int(self.row_map[item])
+        if entry >= 0:
+            bits = np.unpackbits(
+                self.dense_words[entry].view(np.uint8), bitorder="little"
+            )
+            return np.nonzero(bits[: self._n_transactions])[0].astype(np.int64)
+        slot = -entry - 1
+        lo, hi = self.sparse_offsets[slot], self.sparse_offsets[slot + 1]
+        return self.sparse_tids[lo:hi].astype(np.int64)
+
+    def as_dict(self) -> dict:
+        """Summary for ``/v1/datasets`` and the pin profile."""
+        return {
+            "n_items": self.n_items,
+            "dense_items": self.n_dense,
+            "sparse_items": self.n_sparse,
+            "dense_threshold": self.dense_threshold,
+            "device_bytes": self.device_bytes,
+            "bytes_saved": self.bytes_saved,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"HybridLayout(n_items={self.n_items}, dense={self.n_dense}, "
+            f"sparse={self.n_sparse}, n_words={self.n_words}, "
+            f"device_bytes={self.device_bytes})"
+        )
+
+    # -- sharding --------------------------------------------------------------
+
+    def slice_shard(self, shard) -> "HybridLayout":
+        """Restrict the layout to one tid-range shard.
+
+        The dense block is sliced column-wise to the shard's word range
+        (exactly like :func:`~repro.core.sharding.slice_matrix`); each
+        tid-list is cut to ``[tid_start, tid_stop)`` and rebased so the
+        slice is self-contained. Per-shard supports stay additive.
+        """
+        dense = np.ascontiguousarray(
+            self.dense_words[:, shard.word_start:shard.word_stop]
+        )
+        cuts_lo = np.empty(self.n_sparse, dtype=np.int64)
+        cuts_hi = np.empty(self.n_sparse, dtype=np.int64)
+        for slot in range(self.n_sparse):
+            lo, hi = self.sparse_offsets[slot], self.sparse_offsets[slot + 1]
+            seg = self.sparse_tids[lo:hi]
+            cuts_lo[slot] = lo + np.searchsorted(seg, shard.tid_start)
+            cuts_hi[slot] = lo + np.searchsorted(seg, shard.tid_stop)
+        lengths = cuts_hi - cuts_lo
+        offsets = np.zeros(self.n_sparse + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        tids = np.empty(int(offsets[-1]), dtype=np.int32)
+        for slot in range(self.n_sparse):
+            tids[offsets[slot]:offsets[slot + 1]] = (
+                self.sparse_tids[cuts_lo[slot]:cuts_hi[slot]] - shard.tid_start
+            )
+        return HybridLayout(
+            dense,
+            self.row_map.copy(),
+            tids,
+            offsets,
+            shard.n_transactions,
+            self.dense_threshold,
+        )
+
+
+# -- mixed-mode counting (shared by vectorized + parallel engines) ------------
+
+
+def _full_block(layout: HybridLayout, n_rows: int) -> np.ndarray:
+    """All-ones rows with padding bits masked off (the neutral AND row)."""
+    block = np.full((n_rows, layout.n_words), 0xFFFFFFFF, dtype=np.uint32)
+    mask = _tail_mask(layout.n_words, layout.n_transactions)
+    if mask is not None:
+        block &= mask
+    return block
+
+
+def _sparse_chain(
+    layout: HybridLayout, slots: Sequence[int]
+) -> np.ndarray:
+    """Intersect the tid-lists of several sparse slots (smallest first)."""
+    segs: List[np.ndarray] = []
+    for slot in slots:
+        lo, hi = layout.sparse_offsets[slot], layout.sparse_offsets[slot + 1]
+        segs.append(layout.sparse_tids[lo:hi])
+    segs.sort(key=len)
+    acc = segs[0]
+    for seg in segs[1:]:
+        if acc.size == 0:
+            break
+        acc = np.intersect1d(acc, seg, assume_unique=True)
+    return acc
+
+
+def hybrid_supports(layout: HybridLayout, candidates: np.ndarray) -> np.ndarray:
+    """Mixed-mode support counts for ``(n, k)`` candidate itemsets.
+
+    Per candidate: AND its dense members' rows into a tail-masked
+    all-ones block row; intersect its sparse members' tid-lists; then
+    either popcount the block (no sparse members) or probe the
+    surviving tids into the block and count hits. A candidate with no
+    dense members probes into the neutral all-ones row, so the pure
+    tid-list path falls out of the same code.
+
+    Returns int64 supports, bit-identical to the all-dense
+    :func:`~repro.bitset.ops.support_many`.
+    """
+    candidates = np.ascontiguousarray(candidates)
+    if candidates.ndim != 2:
+        raise BitsetError(f"candidates must be 2-D, got shape {candidates.shape}")
+    n, k = candidates.shape
+    if n and (candidates.min() < 0 or candidates.max() >= layout.n_items):
+        raise BitsetError(f"candidate item id out of range [0, {layout.n_items})")
+    supports = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return supports
+    rows = layout.row_map[candidates]
+    row_bytes = max(layout.n_words * 4, 1)
+    for start, stop in tile_bounds(n, row_bytes):
+        tile_rows = rows[start:stop]
+        block = _full_block(layout, stop - start)
+        for j in range(k):
+            sel = tile_rows[:, j] >= 0
+            if np.any(sel):
+                block[sel] &= layout.dense_words[tile_rows[sel, j]]
+        any_sparse = (tile_rows < 0).any(axis=1)
+        counts = popcount_words(block).sum(axis=1).astype(np.int64)
+        for i in np.nonzero(any_sparse)[0]:
+            slots = [-int(r) - 1 for r in tile_rows[i] if r < 0]
+            tids = _sparse_chain(layout, slots)
+            if tids.size == 0:
+                counts[i] = 0
+                continue
+            probe = (
+                block[i, tids // WORD_BITS] >> (tids % WORD_BITS).astype(np.uint32)
+            ) & 1
+            counts[i] = int(probe.sum())
+        supports[start:stop] = counts
+    return supports
+
+
+def densify_rows(layout: HybridLayout, items: np.ndarray) -> np.ndarray:
+    """Materialize bitset rows for ``items`` whichever side they live on.
+
+    Dense items gather their block row; sparse items scatter their
+    tid-list into a fresh zeroed row. Used to seed the (always dense)
+    prefix-row cache at the first equivalence-class extend generation.
+    """
+    items = np.ascontiguousarray(items)
+    out = np.zeros((items.size, layout.n_words), dtype=np.uint32)
+    entries = layout.row_map[items]
+    dense_sel = entries >= 0
+    if np.any(dense_sel):
+        out[dense_sel] = layout.dense_words[entries[dense_sel]]
+    for i in np.nonzero(~dense_sel)[0]:
+        slot = -int(entries[i]) - 1
+        lo, hi = layout.sparse_offsets[slot], layout.sparse_offsets[slot + 1]
+        tids = layout.sparse_tids[lo:hi]
+        np.bitwise_or.at(
+            out[i],
+            tids // WORD_BITS,
+            np.uint32(1) << (tids % WORD_BITS).astype(np.uint32),
+        )
+    return out
+
+
+def hybrid_extend_rows(
+    layout: HybridLayout,
+    base_rows: Optional[np.ndarray],
+    pairs: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Equivalence-class extend under the hybrid layout.
+
+    ``pairs[:, 0]`` indexes prefix rows when ``base_rows`` is given;
+    when ``base_rows is None`` (the first extend generation) it is a
+    raw *item id*, which may live on either side of the layout — both
+    operands are densified on the fly. ``pairs[:, 1]`` is always an
+    item id. Returns ``(rows, supports)`` with dense output rows, so
+    the prefix cache built from them is ordinary bitset data.
+    """
+    pairs = np.ascontiguousarray(pairs)
+    if base_rows is None:
+        base = densify_rows(layout, pairs[:, 0])
+    else:
+        base = base_rows[pairs[:, 0]]
+    rows = base & densify_rows(layout, pairs[:, 1])
+    supports = popcount_words(rows).sum(axis=1).astype(np.int64)
+    return rows, supports
+
+
+def count_cost_stats(
+    layout: HybridLayout,
+    items: np.ndarray,
+) -> Tuple[int, int]:
+    """Deterministic traffic stats for a batch of item references.
+
+    Returns ``(dense_entries, sparse_tids)``: how many dense rows are
+    gathered and how many tid-list entries are walked if every item in
+    ``items`` (any shape) is resolved once. Pure function of
+    ``(layout, items)`` — every engine charges from this, so modeled
+    costs agree across vectorized/simulated/parallel execution.
+    """
+    items = np.ascontiguousarray(items).reshape(-1)
+    if items.size == 0:
+        return 0, 0
+    entries = layout.row_map[items]
+    dense_entries = int((entries >= 0).sum())
+    slots = -(entries[entries < 0]) - 1
+    lengths = layout.sparse_offsets[slots + 1] - layout.sparse_offsets[slots]
+    return dense_entries, int(lengths.sum())

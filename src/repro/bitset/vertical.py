@@ -12,7 +12,8 @@ from typing import List, Sequence
 
 import numpy as np
 
-from .bitset import BitsetMatrix
+from ..errors import BitsetError
+from .bitset import WORD_BITS, BitsetMatrix, words_for
 from .tidset import TidsetTable
 
 __all__ = [
@@ -34,12 +35,60 @@ def build_tidset_table(db) -> TidsetTable:
 
 
 def bitset_to_tidsets(matrix: BitsetMatrix) -> TidsetTable:
-    """Decode every bitset row into a tidset (lossless)."""
+    """Decode every bitset row into a tidset (lossless).
+
+    Only the ``n_transactions`` valid bit positions are decoded —
+    alignment padding bits are zero by :class:`BitsetMatrix` invariant
+    and never leak into the tidsets.
+
+    >>> m = BitsetMatrix.from_sets([[0, 33], [2]], n_transactions=40)
+    >>> t = bitset_to_tidsets(m)
+    >>> [t.tidset(i).tolist() for i in range(t.n_items)]
+    [[0, 33], [2]]
+    """
     tidsets: List[np.ndarray] = [matrix.tidset(i) for i in range(matrix.n_items)]
     return TidsetTable(tidsets, matrix.n_transactions)
 
 
-def tidsets_to_bitset(table: TidsetTable, aligned: bool = True) -> BitsetMatrix:
-    """Encode a tidset table as a static bitset matrix (lossless)."""
+def tidsets_to_bitset(
+    table: TidsetTable, aligned: bool = True, n_words: int | None = None
+) -> BitsetMatrix:
+    """Encode a tidset table as a static bitset matrix (lossless).
+
+    ``n_words`` pins the exact row width so a round-trip reproduces the
+    original matrix word for word — including its alignment padding,
+    which stays all-zero by construction. Without it the width is
+    recomputed from ``n_transactions`` (and ``aligned``), which loses
+    any extra padding the source matrix carried (e.g. a sharded slice).
+
+    >>> m = BitsetMatrix.from_sets([[0, 33], [2]], n_transactions=40)
+    >>> back = tidsets_to_bitset(bitset_to_tidsets(m), n_words=m.n_words)
+    >>> back.n_words == m.n_words and bool((back.words == m.words).all())
+    True
+    >>> unaligned = BitsetMatrix.from_sets([[7]], 40, aligned=False)
+    >>> rt = tidsets_to_bitset(
+    ...     bitset_to_tidsets(unaligned), n_words=unaligned.n_words
+    ... )
+    >>> (rt.n_words, rt.is_aligned()) == (unaligned.n_words, False)
+    True
+    """
     sets: Sequence[np.ndarray] = [table.tidset(i) for i in range(table.n_items)]
-    return BitsetMatrix.from_sets(sets, table.n_transactions, aligned=aligned)
+    if n_words is None:
+        return BitsetMatrix.from_sets(sets, table.n_transactions, aligned=aligned)
+    minimum = words_for(table.n_transactions, aligned=False)
+    if n_words < minimum:
+        raise BitsetError(
+            f"n_words={n_words} cannot hold {table.n_transactions} "
+            f"transactions (needs >= {minimum})"
+        )
+    words = np.zeros((table.n_items, n_words), dtype=np.uint32)
+    for row, tids in enumerate(sets):
+        if len(tids) == 0:
+            continue
+        tid_arr = np.asarray(tids, dtype=np.int64)
+        np.bitwise_or.at(
+            words[row],
+            tid_arr // WORD_BITS,
+            np.uint32(1) << (tid_arr % WORD_BITS).astype(np.uint32),
+        )
+    return BitsetMatrix(words, table.n_transactions)

@@ -151,6 +151,21 @@ def build_parser() -> argparse.ArgumentParser:
         "K/M/G suffix, e.g. 512K or 4M (gpapriori only)",
     )
     p_mine.add_argument(
+        "--layout",
+        choices=["dense", "hybrid", "auto"],
+        default=None,
+        help="vertical layout: dense bitsets, hybrid bitset+tid-list, "
+        "or auto break-even choice (gpapriori only)",
+    )
+    p_mine.add_argument(
+        "--dense-threshold",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="support-density cutoff keeping an item dense under "
+        "--layout hybrid/auto (default: storage break-even)",
+    )
+    p_mine.add_argument(
         "--top", type=int, default=20, help="print at most this many itemsets"
     )
     p_mine.add_argument(
@@ -293,6 +308,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-dataset device budget; larger matrices are shard-planned",
     )
     p_serve.add_argument(
+        "--layout",
+        choices=["dense", "hybrid", "auto"],
+        default="dense",
+        help="vertical layout pinned per dataset and defaulted into "
+        "gpapriori queries (default: dense)",
+    )
+    p_serve.add_argument(
+        "--dense-threshold",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="support-density cutoff for --layout hybrid/auto "
+        "(default: storage break-even)",
+    )
+    p_serve.add_argument(
         "--dataset",
         action="append",
         choices=sorted(DATASET_REGISTRY),
@@ -358,10 +388,15 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         engine_kwargs["shards"] = args.shards
     if args.memory_budget is not None:
         engine_kwargs["memory_budget_bytes"] = args.memory_budget
+    if args.layout is not None:
+        engine_kwargs["layout"] = args.layout
+    if args.dense_threshold is not None:
+        engine_kwargs["dense_threshold"] = args.dense_threshold
     if engine_kwargs and args.algorithm != "gpapriori":
         _emit(
-            f"error: --engine/--workers/--shards/--memory-budget apply to "
-            f"the gpapriori algorithm, not {args.algorithm!r}",
+            f"error: --engine/--workers/--shards/--memory-budget/--layout/"
+            f"--dense-threshold apply to the gpapriori algorithm, "
+            f"not {args.algorithm!r}",
             file=sys.stderr,
         )
         return 2
@@ -551,6 +586,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         device_budget_bytes=args.memory_budget,
         slow_query_ms=args.slow_query_ms,
         flight_capacity=args.flight_queries,
+        layout=args.layout,
+        dense_threshold=args.dense_threshold,
     )
     names = args.dataset or sorted(DATASET_REGISTRY)
     for name in names:
@@ -580,9 +617,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flush=True,
     )
     _emit(
-        "endpoints: GET /healthz /readyz /metrics /datasets /stats "
-        "/debug/queries, POST /mine "
-        '{"dataset": ..., "min_support": ...}',
+        "endpoints: GET /v1/healthz /v1/readyz /v1/metrics /v1/datasets "
+        "/v1/stats /v1/debug/queries, POST /v1/mine "
+        '{"dataset": ..., "min_support": ...} '
+        "(unversioned paths answer too, marked Deprecation: true)",
         file=sys.stderr,
     )
     try:

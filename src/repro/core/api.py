@@ -13,12 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
-from ..errors import MiningError
-from ..faults.injection import inject
-from ..faults.plan import FaultPlan
 from .config import GPAprioriConfig
 from .gpapriori import gpapriori_mine
 from .itemset import MiningResult
+from .request import MiningRequest
 
 __all__ = ["AlgorithmInfo", "ALGORITHMS", "mine"]
 
@@ -45,6 +43,7 @@ _GPAPRIORI_ACCEPTS: Tuple[str, ...] = (
     "config",
     "device",
     "matrix",
+    "hybrid",
     *GPAprioriConfig.__dataclass_fields__,
 )
 
@@ -218,24 +217,7 @@ def mine(db, min_support, algorithm: str = "gpapriori", **kwargs) -> MiningResul
         ...
     repro.errors.MiningError: unknown algorithm 'apriori'; choose from ['bodon', 'borgelt', 'cpu_bitset', 'eclat', 'fpgrowth', 'goethals', 'gpapriori', 'gpu_eclat', 'hybrid', 'partition']
     """
-    key = algorithm.lower()
-    if key not in ALGORITHMS:
-        raise MiningError(
-            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
-        )
-    # ``faults=`` is universal: every algorithm runs under the plan's
-    # injection session, whether or not its runner knows about chaos.
-    faults = kwargs.pop("faults", None)
-    if faults is not None and not isinstance(faults, FaultPlan):
-        raise MiningError(
-            f"faults must be a repro.faults.FaultPlan or None, got {faults!r}"
-        )
-    info = ALGORITHMS[key]
-    for name in kwargs:
-        if name not in info.accepts:
-            raise MiningError(
-                f"unknown option {name!r} for algorithm {key!r}; "
-                f"it accepts: {', '.join(info.accepts)}"
-            )
-    with inject(faults):
-        return info.runner(db, min_support, **kwargs)
+    # One canonical validation path: ``mine()`` kwargs, service
+    # queries, and the HTTP body all become a MiningRequest first.
+    request = MiningRequest.build(min_support, algorithm=algorithm, options=kwargs)
+    return request.execute(db)

@@ -18,6 +18,7 @@ __all__ = ["GPAprioriConfig"]
 
 _VALID_ENGINES = ("vectorized", "simulated", "parallel")
 _VALID_PLANS = ("complete", "equivalence")
+_VALID_LAYOUTS = ("dense", "hybrid", "auto")
 
 
 @dataclass(frozen=True)
@@ -83,6 +84,21 @@ class GPAprioriConfig:
         keeps the injection hooks on their zero-cost disabled path.
         Frozen and hashable, so it participates in :meth:`signature`
         and two runs under different plans never share a cache entry.
+    layout:
+        Vertical layout for the generation-1 table. ``"dense"`` (the
+        default) is the paper's static bitset matrix. ``"hybrid"``
+        keeps only high-density items as bitset rows and demotes the
+        rest to sorted tid-lists (HybridMiner-style); results are
+        bit-identical, memory and streamed bytes shrink on sparse
+        data. ``"auto"`` builds the hybrid classification at the
+        break-even threshold and falls back to all-dense whenever
+        hybridizing would not actually save device bytes.
+    dense_threshold:
+        Support-density cutoff for the hybrid classification: items
+        with ``support >= dense_threshold * n_transactions`` stay
+        dense. ``None`` (the default) uses the exact storage
+        break-even ``n_words / n_transactions`` (~1/32). Only
+        meaningful with ``layout="hybrid"``/``"auto"``.
     """
 
     block_size: int = 256
@@ -96,6 +112,8 @@ class GPAprioriConfig:
     shards: int = 0
     memory_budget_bytes: int | None = None
     faults: FaultPlan | None = None
+    layout: str = "dense"
+    dense_threshold: float | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.block_size, int) or isinstance(self.block_size, bool):
@@ -137,6 +155,24 @@ class GPAprioriConfig:
             raise ConfigError(
                 f"faults must be a FaultPlan or None, got {self.faults!r}"
             )
+        if self.layout not in _VALID_LAYOUTS:
+            raise ConfigError(
+                f"layout must be one of {_VALID_LAYOUTS}, got {self.layout!r}"
+            )
+        if self.dense_threshold is not None:
+            if (
+                not isinstance(self.dense_threshold, (int, float))
+                or isinstance(self.dense_threshold, bool)
+                or not 0.0 <= self.dense_threshold <= 1.0
+            ):
+                raise ConfigError(
+                    "dense_threshold must be a float in [0, 1] or None, "
+                    f"got {self.dense_threshold!r}"
+                )
+            if self.layout == "dense":
+                raise ConfigError(
+                    "dense_threshold requires layout='hybrid' or 'auto'"
+                )
 
     @property
     def sharded(self) -> bool:

@@ -21,6 +21,7 @@ import numpy as np
 
 from .._validation import check_support
 from ..bitset.bitset import BitsetMatrix
+from ..bitset.hybrid import HybridLayout, auto_dense_threshold
 from ..errors import MiningError
 from ..faults.injection import inject
 from ..gpusim.device import TESLA_T10, DeviceProperties
@@ -42,6 +43,7 @@ def gpapriori_mine(
     device: DeviceProperties = TESLA_T10,
     max_k: int | None = None,
     matrix: BitsetMatrix | None = None,
+    hybrid: HybridLayout | None = None,
 ) -> MiningResult:
     """Mine all frequent itemsets of ``db`` with GPApriori.
 
@@ -64,6 +66,15 @@ def gpapriori_mine(
         mining service's dataset registry pins one per dataset so the
         O(db) transpose happens once per dataset, not once per query;
         it must match ``db``'s dimensions and ``config.aligned``.
+    hybrid:
+        Optional pre-built :class:`~repro.bitset.hybrid.HybridLayout`
+        of ``db`` (the registry's pinned classification). Requires
+        ``config.layout`` of ``"hybrid"`` or ``"auto"`` and is used
+        as-is — the caller decided the threshold when building it.
+        Without it, a non-dense ``config.layout`` classifies the
+        (possibly pinned) matrix here: ``"hybrid"`` always installs
+        the hybrid table, ``"auto"`` only when it actually saves
+        device bytes.
 
     Returns
     -------
@@ -103,15 +114,74 @@ def gpapriori_mine(
             raise MiningError(
                 "config.aligned=True but the pinned matrix is not 64-byte aligned"
             )
+    if hybrid is not None:
+        if config.layout == "dense":
+            raise MiningError(
+                "hybrid= requires config.layout='hybrid' or 'auto'"
+            )
+        if (
+            hybrid.n_transactions != db.n_transactions
+            or hybrid.n_items != db.n_items
+        ):
+            raise MiningError(
+                f"pinned hybrid layout shape ({hybrid.n_items} items x "
+                f"{hybrid.n_transactions} transactions) does not match the "
+                f"database ({db.n_items} x {db.n_transactions})"
+            )
+    if config.layout != "dense":
+        run_attrs["layout"] = config.layout
+        if config.dense_threshold is not None:
+            run_attrs["dense_threshold"] = config.dense_threshold
 
     with inject(config.faults), mining_run("gpapriori", metrics, **run_attrs):
-        with span("transpose", aligned=config.aligned, pinned=matrix is not None) as sp:
-            if matrix is None:
-                matrix = BitsetMatrix.from_database(db, aligned=config.aligned)
-            sp.set(n_items=matrix.n_items, n_words=matrix.n_words, bytes=matrix.nbytes)
+        layout = hybrid
+        with span(
+            "transpose",
+            aligned=config.aligned,
+            pinned=matrix is not None or hybrid is not None,
+        ) as sp:
+            if layout is None:
+                if matrix is None:
+                    matrix = BitsetMatrix.from_database(db, aligned=config.aligned)
+                if config.layout != "dense":
+                    threshold = (
+                        config.dense_threshold
+                        if config.dense_threshold is not None
+                        else auto_dense_threshold(
+                            matrix.n_transactions, matrix.n_words
+                        )
+                    )
+                    built = HybridLayout.from_matrix(matrix, threshold)
+                    if config.layout == "hybrid" or built.bytes_saved > 0:
+                        layout = built
+            if layout is not None:
+                sp.set(
+                    n_items=layout.n_items,
+                    n_words=layout.n_words,
+                    bytes=layout.device_bytes,
+                    layout="hybrid",
+                    dense_items=layout.n_dense,
+                    sparse_items=layout.n_sparse,
+                )
+            else:
+                sp.set(
+                    n_items=matrix.n_items,
+                    n_words=matrix.n_words,
+                    bytes=matrix.nbytes,
+                )
         engine = make_engine(config, metrics, device)
-        with span("install", bytes=matrix.nbytes):
-            engine.setup(matrix)
+        if layout is not None:
+            reg = metrics.registry
+            reg.set_gauge("layout.dense_items", layout.n_dense)
+            reg.set_gauge("layout.sparse_items", layout.n_sparse)
+            reg.set_gauge("layout.device_bytes", layout.device_bytes)
+            reg.set_gauge("layout.bytes_saved", layout.bytes_saved)
+        install_bytes = layout.device_bytes if layout is not None else matrix.nbytes
+        with span("install", bytes=install_bytes):
+            if layout is not None:
+                engine.setup(None, hybrid=layout)
+            else:
+                engine.setup(matrix)
         plan = make_plan(config.plan)
 
         trie = CandidateTrie()

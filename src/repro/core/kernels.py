@@ -34,6 +34,8 @@ __all__ = [
     "support_count_kernel",
     "extend_kernel",
     "thread_per_candidate_kernel",
+    "hybrid_support_count_kernel",
+    "hybrid_extend_kernel",
 ]
 
 
@@ -86,6 +88,172 @@ def support_count_kernel(
         word = np.uint32(ctx.load(bitsets, (item_at(0), w)))
         for j in range(1, k):
             word &= np.uint32(ctx.load(bitsets, (item_at(j), w)))
+        acc += popc(word)
+        w += ctx.block_dim
+    partials[tid] = acc
+    yield SYNCTHREADS
+
+    yield from block_reduce_sum(ctx, partials, ctx.block_dim)
+    if tid == 0:
+        ctx.store(supports, cand, partials[0])
+
+
+def _valid_mask(w: int, n_transactions: int) -> np.uint32:
+    """Mask of valid transaction bits within word ``w`` (pure arithmetic)."""
+    base = w * 32
+    if n_transactions >= base + 32:
+        return np.uint32(0xFFFFFFFF)
+    if n_transactions <= base:
+        return np.uint32(0)
+    return np.uint32((1 << (n_transactions - base)) - 1)
+
+
+def _hybrid_item_word(
+    ctx: KernelContext,
+    dense_rows: DeviceBuffer,
+    sparse_tids: DeviceBuffer,
+    sparse_offsets: DeviceBuffer,
+    entry: int,
+    w: int,
+) -> np.uint32:
+    """Word ``w`` of one item's *virtual* bitset row under the hybrid layout.
+
+    A non-negative ``entry`` is a dense row index: one coalesced global
+    load. A negative entry names sparse slot ``-(entry+1)``: the thread
+    binary-searches the slot's sorted tid-list for the word's tid range
+    ``[32w, 32w+32)`` and assembles the word's bits on the fly — the
+    "sparse probe" side of the mixed intersection. No barriers, so the
+    data-dependent search is safe inside the divergence-checked word
+    loop.
+    """
+    if entry >= 0:
+        return np.uint32(ctx.load(dense_rows, (entry, w)))
+    slot = -entry - 1
+    lo = int(ctx.load(sparse_offsets, slot))
+    stop = int(ctx.load(sparse_offsets, slot + 1))
+    base = w * 32
+    hi = stop
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if int(ctx.load(sparse_tids, mid)) < base:
+            lo = mid + 1
+        else:
+            hi = mid
+    mask = 0
+    while lo < stop:
+        t = int(ctx.load(sparse_tids, lo))
+        if t >= base + 32:
+            break
+        mask |= 1 << (t - base)
+        lo += 1
+    return np.uint32(mask)
+
+
+def hybrid_support_count_kernel(
+    ctx: KernelContext,
+    dense_rows: DeviceBuffer,
+    row_map: DeviceBuffer,
+    sparse_tids: DeviceBuffer,
+    sparse_offsets: DeviceBuffer,
+    candidates: DeviceBuffer,
+    k: int,
+    n_words: int,
+    n_transactions: int,
+    supports: DeviceBuffer,
+    preload: bool = True,
+):
+    """Support counting over the hybrid dense+tid-list layout.
+
+    Same shape as :func:`support_count_kernel` — one block per
+    candidate, word-strided threads, shared-memory reduction — but each
+    operand word is resolved through the layout's ``row_map``: dense
+    items AND their bitset row's word, sparse items AND a word built by
+    probing their tid-list. The accumulator starts from the tail-masked
+    all-ones word so a candidate whose members are all sparse counts
+    correctly through the same path.
+    """
+    tid = ctx.thread_idx
+    cand = ctx.block_idx
+    partials = ctx.shared_array("partials", ctx.block_dim, np.int64)
+
+    if preload:
+        entries = ctx.shared_array("cand_entries", k, np.int32)
+        i = tid
+        while i < k:
+            item = int(ctx.load(candidates, (cand, i)))
+            entries[i] = ctx.load(row_map, item)
+            i += ctx.block_dim
+        yield SYNCTHREADS
+        entry_at = lambda j: int(entries[j])
+    else:
+        local = [
+            int(ctx.load(row_map, int(ctx.load(candidates, (cand, j)))))
+            for j in range(k)
+        ]
+        entry_at = lambda j: local[j]
+
+    acc = 0
+    w = tid
+    while w < n_words:
+        word = _valid_mask(w, n_transactions)
+        for j in range(k):
+            word &= _hybrid_item_word(
+                ctx, dense_rows, sparse_tids, sparse_offsets, entry_at(j), w
+            )
+        acc += popc(word)
+        w += ctx.block_dim
+    partials[tid] = acc
+    yield SYNCTHREADS
+
+    yield from block_reduce_sum(ctx, partials, ctx.block_dim)
+    if tid == 0:
+        ctx.store(supports, cand, partials[0])
+
+
+def hybrid_extend_kernel(
+    ctx: KernelContext,
+    prefix_rows: DeviceBuffer,
+    dense_rows: DeviceBuffer,
+    row_map: DeviceBuffer,
+    sparse_tids: DeviceBuffer,
+    sparse_offsets: DeviceBuffer,
+    pairs: DeviceBuffer,
+    n_words: int,
+    gen1_base: bool,
+    out_rows: DeviceBuffer,
+    supports: DeviceBuffer,
+):
+    """Equivalence-class extension under the hybrid layout.
+
+    The item side (``pairs[:, 1]``) always resolves through the layout.
+    The base side is a cached dense prefix row — except at the first
+    extend generation (``gen1_base``), where ``pairs[:, 0]`` is a raw
+    item id that may itself be sparse, so it resolves through the
+    layout too. Result rows are written back dense (both operand words
+    are already zero past ``n_transactions``, so no tail mask is
+    needed) and seed the ordinary dense prefix cache.
+    """
+    tid = ctx.thread_idx
+    cand = ctx.block_idx
+    partials = ctx.shared_array("partials", ctx.block_dim, np.int64)
+    p = int(ctx.load(pairs, (cand, 0)))
+    item = int(ctx.load(pairs, (cand, 1)))
+    item_entry = int(ctx.load(row_map, item))
+    base_entry = int(ctx.load(row_map, p)) if gen1_base else 0
+
+    acc = 0
+    w = tid
+    while w < n_words:
+        if gen1_base:
+            base_word = _hybrid_item_word(
+                ctx, dense_rows, sparse_tids, sparse_offsets, base_entry, w
+            )
+        else:
+            base_word = np.uint32(ctx.load(prefix_rows, (p, w)))
+        word = base_word & _hybrid_item_word(
+            ctx, dense_rows, sparse_tids, sparse_offsets, item_entry, w
+        )
+        ctx.store(out_rows, (cand, w), word)
         acc += popc(word)
         w += ctx.block_dim
     partials[tid] = acc

@@ -35,6 +35,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..bitset.bitset import BitsetMatrix
+from ..bitset.hybrid import HybridLayout, hybrid_extend_rows, hybrid_supports
 from ..bitset.ops import popcount_words, support_words, tile_bounds
 from ..errors import BitsetError, MiningError
 from ..faults.degrade import record_degradation
@@ -120,6 +121,60 @@ def _extend_tile(
     return popcount_words(rows).sum(axis=1, dtype=np.int64)
 
 
+def _attach_or_empty(
+    ref: Optional[_ShmRef], shape: Tuple[int, ...], dtype
+) -> np.ndarray:
+    """Attach a segment, or rebuild the zero-byte array it stands for.
+
+    ``_publish`` returns None for empty arrays (shared memory cannot
+    hold zero bytes), so degenerate hybrid pieces — an all-sparse
+    layout's dense block, an all-dense layout's tid store — are
+    reconstructed from their shape instead.
+    """
+    if ref is None:
+        return np.zeros(shape, dtype=dtype)
+    return _attach(ref)
+
+
+# A hybrid layout shipped by reference: the four array refs plus the
+# scalar geometry workers need to rebuild empty pieces.
+_HybridRefs = Tuple[
+    Optional[_ShmRef],  # dense words
+    Optional[_ShmRef],  # row map
+    Optional[_ShmRef],  # sparse tids
+    Optional[_ShmRef],  # sparse offsets
+    Tuple[int, int, int, int, int],  # n_dense, n_words, n_items, n_tids, n_tx
+]
+
+
+def _hybrid_from_refs(refs: _HybridRefs) -> HybridLayout:
+    dense_ref, map_ref, tids_ref, offs_ref, meta = refs
+    n_dense, n_words, n_items, n_tids, n_tx = meta
+    return HybridLayout.from_parts(
+        _attach_or_empty(dense_ref, (n_dense, n_words), np.uint32),
+        _attach_or_empty(map_ref, (n_items,), np.int32),
+        _attach_or_empty(tids_ref, (n_tids,), np.int32),
+        _attach_or_empty(offs_ref, (1,), np.int64),
+        n_tx,
+    )
+
+
+def _hybrid_complete_tile(refs: _HybridRefs, candidates: np.ndarray) -> np.ndarray:
+    """Count one tile of candidates against the hybrid layout."""
+    return hybrid_supports(_hybrid_from_refs(refs), candidates)
+
+
+def _hybrid_extend_tile(
+    refs: _HybridRefs,
+    prefix_ref: Optional[_ShmRef],
+    pairs: np.ndarray,
+) -> np.ndarray:
+    """Count one tile of extension pairs against the hybrid layout."""
+    base = _attach(prefix_ref) if prefix_ref is not None else None
+    _, supports = hybrid_extend_rows(_hybrid_from_refs(refs), base, pairs)
+    return supports
+
+
 # ---------------------------------------------------------------------------
 # Parent-side engine.
 
@@ -164,6 +219,8 @@ class ParallelEngine(SupportEngine):
         self._pool = None
         self._pool_broken = False
         self._matrix_seg: Optional[_Segment] = None
+        self._hybrid_segs: List[_Segment] = []
+        self._hybrid_refs: Optional[_HybridRefs] = None
         self._prefix_seg: Optional[_Segment] = None
         self._prefix_rows: Optional[np.ndarray] = None  # None = gen-1 matrix
         self._prefix_dirty = False
@@ -177,8 +234,37 @@ class ParallelEngine(SupportEngine):
         """Whether the engine has (so far) run without a worker pool."""
         return self._pool is None
 
-    def setup(self, matrix: BitsetMatrix) -> None:
-        super().setup(matrix)
+    def setup(
+        self,
+        matrix: Optional[BitsetMatrix],
+        hybrid: Optional[HybridLayout] = None,
+    ) -> None:
+        super().setup(matrix, hybrid)
+        if hybrid is not None:
+            # The dense block and the tid-list slabs each become their
+            # own segment: workers map the dense tiles shared while the
+            # (small) tid-lists ride along per attachment.
+            pieces = [
+                ("hybrid_dense", hybrid.dense_words),
+                ("hybrid_row_map", hybrid.row_map),
+                ("hybrid_tids", hybrid.sparse_tids),
+                ("hybrid_offsets", hybrid.sparse_offsets),
+            ]
+            refs = []
+            for kind, array in pieces:
+                seg = self._publish(kind, array)
+                if seg is not None:
+                    self._hybrid_segs.append(seg)
+                refs.append(seg.ref if seg is not None else None)
+            meta = (
+                hybrid.n_dense,
+                hybrid.n_words,
+                hybrid.n_items,
+                hybrid.sparse_tids.size,
+                hybrid.n_transactions,
+            )
+            self._hybrid_refs = (*refs, meta)
+            return
         self._matrix_seg = self._publish("bitset_matrix", matrix.words)
 
     def _publish(self, kind: str, array: np.ndarray) -> Optional[_Segment]:
@@ -245,7 +331,7 @@ class ParallelEngine(SupportEngine):
             return None
 
     def _tiles(self, n: int) -> List[Tuple[int, int]]:
-        row_bytes = self.matrix.n_words * 4
+        row_bytes = self.n_words * 4
         return tile_bounds(n, row_bytes, min_tiles=self.n_workers)
 
     def _record_tiles(self, sp, bounds, dispatched: bool) -> None:
@@ -265,28 +351,40 @@ class ParallelEngine(SupportEngine):
         n, k = candidates.shape
         if n == 0:
             return np.zeros(0, dtype=np.int64)
-        if candidates.min() < 0 or candidates.max() >= self.matrix.n_items:
+        if candidates.min() < 0 or candidates.max() >= self.n_items:
             raise BitsetError("candidate contains item id outside the matrix")
         with span(
             "kernel_launch", engine="parallel", kind="complete", k=k, candidates=n, **self.span_attrs
         ) as sp:
             bounds = self._tiles(n)
             results = None
-            if n >= self.min_parallel and self._matrix_seg is not None:
-                results = self._map_tiles(
-                    _complete_tile,
-                    [
-                        (self._matrix_seg.ref, candidates[start:stop])
-                        for start, stop in bounds
-                    ],
-                )
+            if n >= self.min_parallel:
+                if self._hybrid is not None and self._hybrid_refs is not None:
+                    results = self._map_tiles(
+                        _hybrid_complete_tile,
+                        [
+                            (self._hybrid_refs, candidates[start:stop])
+                            for start, stop in bounds
+                        ],
+                    )
+                elif self._hybrid is None and self._matrix_seg is not None:
+                    results = self._map_tiles(
+                        _complete_tile,
+                        [
+                            (self._matrix_seg.ref, candidates[start:stop])
+                            for start, stop in bounds
+                        ],
+                    )
             if results is None:
-                supports = support_words(self.matrix.words, candidates)
+                if self._hybrid is not None:
+                    supports = hybrid_supports(self._hybrid, candidates)
+                else:
+                    supports = support_words(self.matrix.words, candidates)
                 self._record_tiles(sp, bounds, dispatched=False)
             else:
                 supports = np.concatenate(results)
                 self._record_tiles(sp, bounds, dispatched=True)
-            sp.set(**self._charge_complete(n, k))
+            sp.set(**self._charge_complete(n, k, candidates))
         return supports
 
     def count_extend(self, pairs: np.ndarray) -> np.ndarray:
@@ -297,36 +395,53 @@ class ParallelEngine(SupportEngine):
         if n == 0:
             self._pending_pairs = pairs
             return np.zeros(0, dtype=np.int64)
-        base = self._base_rows()
+        gen1 = self._prefix_rows is None
+        n_base = self._prefix_rows.shape[0] if not gen1 else self.n_items
         if pairs.min() < 0:
             raise MiningError("extend pair contains a negative index")
-        if pairs[:, 0].max() >= base.shape[0]:
+        if pairs[:, 0].max() >= n_base:
             raise MiningError("extend pair references a prefix row out of range")
-        if pairs[:, 1].max() >= self.matrix.n_items:
+        if pairs[:, 1].max() >= self.n_items:
             raise BitsetError("candidate contains item id outside the matrix")
         with span(
             "kernel_launch", engine="parallel", kind="extend", k=2, candidates=n, **self.span_attrs
         ) as sp:
             bounds = self._tiles(n)
             results = None
-            if n >= self.min_parallel and self._matrix_seg is not None:
-                prefix_ref = self._publish_prefix()
-                results = self._map_tiles(
-                    _extend_tile,
-                    [
-                        (self._matrix_seg.ref, prefix_ref, pairs[start:stop])
-                        for start, stop in bounds
-                    ],
-                )
+            if n >= self.min_parallel:
+                if self._hybrid is not None and self._hybrid_refs is not None:
+                    prefix_ref = self._publish_prefix()
+                    results = self._map_tiles(
+                        _hybrid_extend_tile,
+                        [
+                            (self._hybrid_refs, prefix_ref, pairs[start:stop])
+                            for start, stop in bounds
+                        ],
+                    )
+                elif self._hybrid is None and self._matrix_seg is not None:
+                    prefix_ref = self._publish_prefix()
+                    results = self._map_tiles(
+                        _extend_tile,
+                        [
+                            (self._matrix_seg.ref, prefix_ref, pairs[start:stop])
+                            for start, stop in bounds
+                        ],
+                    )
             if results is None:
-                rows = base[pairs[:, 0]] & self.matrix.words[pairs[:, 1]]
-                supports = popcount_words(rows).sum(axis=1, dtype=np.int64)
+                if self._hybrid is not None:
+                    _, supports = hybrid_extend_rows(
+                        self._hybrid, self._prefix_rows, pairs
+                    )
+                else:
+                    base = self._base_rows()
+                    rows = base[pairs[:, 0]] & self.matrix.words[pairs[:, 1]]
+                    supports = popcount_words(rows).sum(axis=1, dtype=np.int64)
                 self._record_tiles(sp, bounds, dispatched=False)
             else:
                 supports = np.concatenate(results)
                 self._record_tiles(sp, bounds, dispatched=True)
             self._pending_pairs = pairs
-            sp.set(**self._charge_extend(n))
+            sp.set(**self._charge_extend(n, pairs, gen1_base=gen1))
         return supports
 
     def _base_rows(self) -> np.ndarray:
@@ -355,8 +470,13 @@ class ParallelEngine(SupportEngine):
             raise MiningError("retain() without a preceding count_extend()")
         indices = _check_retain_indices(indices, self._pending_pairs.shape[0])
         kept = self._pending_pairs[indices]
-        base = self._base_rows()
-        self._prefix_rows = base[kept[:, 0]] & self.matrix.words[kept[:, 1]]
+        if self._hybrid is not None:
+            self._prefix_rows, _ = hybrid_extend_rows(
+                self._hybrid, self._prefix_rows, kept
+            )
+        else:
+            base = self._base_rows()
+            self._prefix_rows = base[kept[:, 0]] & self.matrix.words[kept[:, 1]]
         self._prefix_dirty = True
         self._pending_pairs = None
         self.metrics.add_counter(
@@ -376,6 +496,10 @@ class ParallelEngine(SupportEngine):
             if seg is not None:
                 seg.destroy()
                 setattr(self, seg_attr, None)
+        for seg in self._hybrid_segs:
+            seg.destroy()
+        self._hybrid_segs = []
+        self._hybrid_refs = None
 
     def finalize(self) -> None:
         super().finalize()

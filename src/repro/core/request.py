@@ -1,0 +1,193 @@
+"""The one validated request object every mining entry point shares.
+
+``mine()`` keyword arguments, ``MiningService.query()`` calls, and the
+HTTP ``POST /v1/mine`` JSON body all describe the same thing: a
+dataset, a threshold, an algorithm, and that algorithm's options.
+Before this module each surface re-implemented the validation
+(algorithm membership, option-vs-``accepts`` checking, the universal
+``faults=`` plan) with subtly drifting error text. :class:`MiningRequest`
+is the single canonical form: build it from any surface's raw inputs
+with :meth:`MiningRequest.build`, and every surface raises the exact
+same :class:`~repro.errors.MiningError` messages because they are all
+this module's messages.
+
+The JSON body of ``POST /v1/mine`` maps 1:1 onto the constructor
+fields: ``dataset``, ``min_support``, ``algorithm``, ``max_k``, and
+every remaining key an entry of ``options``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..errors import MiningError
+from ..faults.injection import inject
+from ..faults.plan import FaultPlan
+
+__all__ = ["MiningRequest"]
+
+
+@dataclass(frozen=True)
+class MiningRequest:
+    """One mining request in canonical, hashable form.
+
+    Attributes
+    ----------
+    min_support:
+        Fractional support ratio in (0, 1] or absolute count >= 1
+        (normalized against the database at execution time).
+    algorithm:
+        Lower-cased registry key (or ``"auto"`` for service queries,
+        resolved against the dataset profile before execution).
+    dataset:
+        Registered dataset name for service/HTTP queries; ``None`` for
+        direct :func:`~repro.core.api.mine` calls, which carry the
+        database itself.
+    max_k:
+        Optional cap on itemset length.
+    options:
+        Canonical option mapping: ``(name, value)`` pairs sorted by
+        name, validated against the algorithm's
+        :class:`~repro.core.api.AlgorithmInfo` ``accepts`` tuple.
+    faults:
+        Optional seeded :class:`~repro.faults.FaultPlan` activated
+        around the run (refused by the service, where chaos plans come
+        from the operator).
+    """
+
+    min_support: Any
+    algorithm: str = "gpapriori"
+    dataset: Optional[str] = None
+    max_k: Optional[int] = None
+    options: Tuple[Tuple[str, Any], ...] = ()
+    faults: Optional[FaultPlan] = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        min_support,
+        algorithm: str = "gpapriori",
+        dataset: Optional[str] = None,
+        max_k: Optional[int] = None,
+        options: Optional[Mapping[str, Any]] = None,
+        allow_auto: bool = False,
+        reserved: Tuple[str, ...] = (),
+    ) -> "MiningRequest":
+        """Validate raw inputs into a canonical request.
+
+        ``options`` is the surface's raw keyword mapping; ``max_k`` and
+        ``faults`` found inside it are normalized into their fields
+        (unless ``"faults"`` is reserved, in which case it stays an
+        option so :meth:`check_options` rejects it with the service's
+        message). ``allow_auto`` admits the service's ``"auto"``
+        algorithm, whose option check is deferred to resolution time.
+        """
+        from .api import ALGORITHMS
+
+        key = algorithm.lower()
+        if key not in ALGORITHMS and not (allow_auto and key == "auto"):
+            choices = sorted(ALGORITHMS) + (["auto"] if allow_auto else [])
+            raise MiningError(
+                f"unknown algorithm {algorithm!r}; choose from {choices}"
+            )
+        opts = dict(options or {})
+        faults = None
+        if "faults" not in reserved:
+            faults = opts.pop("faults", None)
+            if faults is not None and not isinstance(faults, FaultPlan):
+                raise MiningError(
+                    f"faults must be a repro.faults.FaultPlan or None, "
+                    f"got {faults!r}"
+                )
+        if max_k is None:
+            max_k = opts.pop("max_k", None)
+        request = cls(
+            min_support=min_support,
+            algorithm=key,
+            dataset=dataset,
+            max_k=max_k,
+            options=tuple(sorted(opts.items())),
+            faults=faults,
+        )
+        if key != "auto":
+            request.check_options(reserved=reserved)
+        return request
+
+    # -- validation ----------------------------------------------------------
+
+    def check_options(
+        self,
+        algorithm: Optional[str] = None,
+        reserved: Tuple[str, ...] = (),
+    ) -> None:
+        """Validate the option names against the algorithm's ``accepts``.
+
+        ``algorithm`` overrides the request's own (the service passes
+        the profile-resolved key for ``"auto"`` requests). ``reserved``
+        names options the caller manages itself: their presence is an
+        error, and they are omitted from the accepted-options listing.
+        """
+        from .api import ALGORITHMS
+
+        key = (algorithm or self.algorithm).lower()
+        info = ALGORITHMS[key]
+        for name, _ in self.options:
+            if name in reserved:
+                raise MiningError(
+                    f"option {name!r} is managed by the service and cannot "
+                    "be set per query"
+                )
+            if name not in info.accepts:
+                raise MiningError(
+                    f"unknown option {name!r} for algorithm {key!r}; "
+                    f"it accepts: "
+                    f"{', '.join(a for a in info.accepts if a not in reserved)}"
+                )
+
+    # -- execution -----------------------------------------------------------
+
+    def runner_kwargs(self) -> Dict[str, Any]:
+        """The keyword arguments this request hands the runner."""
+        kwargs = dict(self.options)
+        if self.max_k is not None:
+            kwargs["max_k"] = self.max_k
+        return kwargs
+
+    def execute(self, db):
+        """Run the request against ``db`` under its fault plan."""
+        from .api import ALGORITHMS
+
+        info = ALGORITHMS[self.algorithm]
+        with inject(self.faults):
+            return info.runner(db, self.min_support, **self.runner_kwargs())
+
+    # -- identity ------------------------------------------------------------
+
+    def resolve(self, algorithm: str) -> "MiningRequest":
+        """A copy with ``"auto"`` replaced by the resolved key."""
+        return replace(self, algorithm=algorithm.lower())
+
+    def signature(self) -> tuple:
+        """Canonical hashable identity (cache-key building block)."""
+        return (
+            self.dataset,
+            self.algorithm,
+            self.max_k,
+            self.options,
+            self.faults,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The 1:1 JSON form (the ``POST /v1/mine`` body layout)."""
+        doc: Dict[str, Any] = {
+            "dataset": self.dataset,
+            "min_support": self.min_support,
+            "algorithm": self.algorithm,
+        }
+        if self.max_k is not None:
+            doc["max_k"] = self.max_k
+        doc.update(self.options)
+        return doc

@@ -39,6 +39,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..bitset.bitset import WORD_BITS, WORDS_PER_ALIGN, BitsetMatrix, words_for
+from ..bitset.hybrid import HybridLayout, count_cost_stats
 from ..errors import ConfigError, DeviceMemoryError
 from ..gpusim.device import TESLA_T10, DeviceProperties
 from ..obs import span
@@ -258,6 +259,40 @@ class ShardPlan:
             memory_budget_bytes=memory_budget_bytes,
         )
 
+    @classmethod
+    def for_layout(
+        cls,
+        layout: HybridLayout,
+        shards: int = 0,
+        memory_budget_bytes: int | None = None,
+    ) -> "ShardPlan":
+        """Plan against a hybrid layout: only the dense block streams.
+
+        Sparse tid-lists (and the row map) ride along whole — they stay
+        resident for the entire run, so their bytes come off the budget
+        before the dense slab widths are sized. The dense block's word
+        columns are then sliced exactly as :meth:`for_matrix` slices a
+        matrix, with ``n_items`` equal to the dense row count only.
+        """
+        budget = memory_budget_bytes
+        if budget is not None:
+            budget = budget - layout.riding_bytes
+            if budget <= 0:
+                raise DeviceMemoryError(
+                    f"memory budget {memory_budget_bytes} bytes cannot hold "
+                    f"the hybrid layout's {layout.riding_bytes} resident "
+                    "bytes of tid-lists and row map, let alone a dense "
+                    "shard slab"
+                )
+        return cls.build(
+            layout.n_transactions,
+            layout.n_dense,
+            n_words=layout.n_words,
+            aligned=layout.n_words % WORDS_PER_ALIGN == 0,
+            shards=shards,
+            memory_budget_bytes=budget,
+        )
+
 
 def slice_matrix(matrix: BitsetMatrix, shard: Shard) -> BitsetMatrix:
     """One shard's column slice as a standalone (valid) bitset matrix.
@@ -310,23 +345,41 @@ class ShardedEngine(SupportEngine):
         )
         self.plan: Optional[ShardPlan] = None
         self.engines: List[SupportEngine] = []
+        self._shard_layouts: List[HybridLayout] = []
         self._rounds = 0
 
     # -- lifecycle ---------------------------------------------------------------
 
-    def setup(self, matrix: BitsetMatrix) -> None:
-        """Plan the shards and install one sliced matrix per shard.
+    def setup(
+        self,
+        matrix: Optional[BitsetMatrix],
+        hybrid: Optional[HybridLayout] = None,
+    ) -> None:
+        """Plan the shards and install one sliced matrix/layout per shard.
 
         Each inner ``setup`` charges its own slab's host→device copy,
         so the summed ``htod_bitsets`` charge equals the unsharded
-        full-matrix upload.
+        full-table upload. Under a hybrid layout only the dense block
+        is shard-planned; every shard's slice carries the tid-lists
+        that fall inside its tid range, rebased so per-shard supports
+        stay additive.
         """
         from .support import _make_base_engine
 
         self._matrix = matrix
-        self.plan = ShardPlan.for_matrix(
-            matrix, shards=self.config.shards, memory_budget_bytes=self.budget
-        )
+        self._hybrid = hybrid
+        if hybrid is not None:
+            self.plan = ShardPlan.for_layout(
+                hybrid, shards=self.config.shards, memory_budget_bytes=self.budget
+            )
+        else:
+            if matrix is None:
+                from ..errors import MiningError
+
+                raise MiningError("engine.setup() needs a matrix or a hybrid layout")
+            self.plan = ShardPlan.for_matrix(
+                matrix, shards=self.config.shards, memory_budget_bytes=self.budget
+            )
         n = self.plan.n_shards
         with span(
             "transfer",
@@ -340,16 +393,29 @@ class ShardedEngine(SupportEngine):
                     self._inner_config, self.metrics, self._inner_device
                 )
                 engine.span_attrs = {"shard": shard.index, "shards": n}
-                sub = slice_matrix(matrix, shard)
-                with span(
-                    "transfer",
-                    kind="shard_slab",
-                    shard=shard.index,
-                    tid_start=shard.tid_start,
-                    tid_stop=shard.tid_stop,
-                    bytes=sub.nbytes,
-                ):
-                    engine.setup(sub)
+                if hybrid is not None:
+                    sub_layout = hybrid.slice_shard(shard)
+                    with span(
+                        "transfer",
+                        kind="shard_slab",
+                        shard=shard.index,
+                        tid_start=shard.tid_start,
+                        tid_stop=shard.tid_stop,
+                        bytes=sub_layout.device_bytes,
+                    ):
+                        engine.setup(None, hybrid=sub_layout)
+                    self._shard_layouts.append(sub_layout)
+                else:
+                    sub = slice_matrix(matrix, shard)
+                    with span(
+                        "transfer",
+                        kind="shard_slab",
+                        shard=shard.index,
+                        tid_start=shard.tid_start,
+                        tid_stop=shard.tid_stop,
+                        bytes=sub.nbytes,
+                    ):
+                        engine.setup(sub)
                 self.engines.append(engine)
         reg = self.metrics.registry
         reg.set_gauge("shard.count", n)
@@ -363,11 +429,50 @@ class ShardedEngine(SupportEngine):
 
     # -- double-buffered slab streaming ------------------------------------------
 
-    def _kernel_estimate(self, kind: str, n: int, k: int, n_words: int) -> float:
-        """Modeled kernel seconds for one shard of this generation."""
+    def _kernel_estimate(
+        self,
+        kind: str,
+        n: int,
+        k: int,
+        shard_idx: int,
+        items: Optional[np.ndarray],
+    ) -> float:
+        """Modeled kernel seconds for one shard of this generation.
+
+        Deterministic in (candidates, plan, layout): the hybrid branch
+        prices the mixed intersection from :func:`count_cost_stats` of
+        the shard's sliced layout, never from the execution path, so
+        every engine choice models the same stream overlap.
+        """
         cfg = self.config
+        assert self.plan is not None
+        n_words = self.plan.shards[shard_idx].n_words
         coalescing = 1.0 if cfg.aligned else 2.0
-        if kind == "extend":
+        if self._shard_layouts:
+            lay = self._shard_layouts[shard_idx]
+            d_ent, s_tids = count_cost_stats(lay, items)
+            if kind == "extend":
+                kc = self.cost.hybrid_extend_kernel_time(
+                    n_candidates=n,
+                    n_words=n_words,
+                    dense_entries=n + d_ent,
+                    sparse_tids=s_tids,
+                    block_size=cfg.block_size,
+                    coalescing_factor=coalescing,
+                )
+            else:
+                kc = self.cost.hybrid_support_kernel_time(
+                    n_candidates=n,
+                    k=k,
+                    n_words=n_words,
+                    dense_entries=d_ent,
+                    sparse_tids=s_tids,
+                    block_size=cfg.block_size,
+                    preload_candidates=cfg.preload_candidates,
+                    unroll=cfg.unroll,
+                    coalescing_factor=coalescing,
+                )
+        elif kind == "extend":
             kc = self.cost.extend_kernel_time(
                 n_candidates=n,
                 n_words=n_words,
@@ -386,7 +491,9 @@ class ShardedEngine(SupportEngine):
             )
         return kc.seconds
 
-    def _charge_stream(self, kind: str, n: int, k: int) -> None:
+    def _charge_stream(
+        self, kind: str, n: int, k: int, items: Optional[np.ndarray] = None
+    ) -> None:
         """Price this round's slab re-streaming, double-buffered.
 
         The first counting round reuses the slabs :meth:`setup` just
@@ -406,7 +513,8 @@ class ShardedEngine(SupportEngine):
         ]
         if self.plan.double_buffered:
             kernels = [
-                self._kernel_estimate(kind, n, k, s.n_words) for s in shards
+                self._kernel_estimate(kind, n, k, i, items)
+                for i in range(len(shards))
             ]
             exposed = transfers[0] + sum(
                 max(0.0, t - kern) for t, kern in zip(transfers[1:], kernels[:-1])
@@ -446,7 +554,7 @@ class ShardedEngine(SupportEngine):
         n, k = candidates.shape
         if n == 0:
             return np.zeros(0, dtype=np.int64)
-        self._charge_stream("complete", n, k)
+        self._charge_stream("complete", n, k, candidates)
         total = np.zeros(n, dtype=np.int64)
         for engine in engines:
             total += engine.count_complete(candidates)
@@ -456,7 +564,7 @@ class ShardedEngine(SupportEngine):
         engines = self._require_engines()
         pairs = np.asarray(pairs)
         n = pairs.shape[0]
-        self._charge_stream("extend", n, 2)
+        self._charge_stream("extend", n, 2, pairs[:, 1] if n else pairs)
         total = np.zeros(n, dtype=np.int64)
         for engine in engines:
             total += engine.count_extend(pairs)

@@ -27,6 +27,12 @@ from typing import Optional
 import numpy as np
 
 from ..bitset.bitset import BitsetMatrix
+from ..bitset.hybrid import (
+    HybridLayout,
+    count_cost_stats,
+    hybrid_extend_rows,
+    hybrid_supports,
+)
 from ..bitset.ops import popcount_words, support_many
 from ..errors import ConfigError, DeviceMemoryError, MiningError
 from ..gpusim.coalescing import analyze_trace
@@ -38,7 +44,12 @@ from ..gpusim.stats import CoalescingStats, KernelStats
 from ..obs import span
 from .config import GPAprioriConfig
 from .itemset import RunMetrics
-from .kernels import extend_kernel, support_count_kernel
+from .kernels import (
+    extend_kernel,
+    hybrid_extend_kernel,
+    hybrid_support_count_kernel,
+    support_count_kernel,
+)
 
 __all__ = ["SupportEngine", "VectorizedEngine", "SimulatedEngine", "make_engine"]
 
@@ -82,6 +93,7 @@ class SupportEngine:
         # per-generation candidate counts; the stats share the list.
         self.kernel_stats.bind_generations(metrics.generations)
         self._matrix: Optional[BitsetMatrix] = None
+        self._hybrid: Optional[HybridLayout] = None
         # Extra attributes merged into every kernel_launch span. The
         # sharding layer uses this to tag each inner engine's launches
         # with its tid-range shard.
@@ -95,41 +107,96 @@ class SupportEngine:
             raise MiningError("engine.setup(matrix) must be called before counting")
         return self._matrix
 
-    def setup(self, matrix: BitsetMatrix) -> None:
-        """Install the generation-1 bitsets (modeled as one H2D copy)."""
+    @property
+    def hybrid(self) -> Optional[HybridLayout]:
+        """The hybrid layout installed by setup(), or None when all-dense."""
+        return self._hybrid
+
+    @property
+    def n_words(self) -> int:
+        """Words per generation-1 row, whichever layout is installed."""
+        if self._hybrid is not None:
+            return self._hybrid.n_words
+        return self.matrix.n_words
+
+    @property
+    def n_items(self) -> int:
+        if self._hybrid is not None:
+            return self._hybrid.n_items
+        return self.matrix.n_items
+
+    def setup(
+        self,
+        matrix: Optional[BitsetMatrix],
+        hybrid: Optional[HybridLayout] = None,
+    ) -> None:
+        """Install the generation-1 table (modeled as one H2D copy).
+
+        With ``hybrid`` given, the dense matrix is *not* shipped — the
+        transfer charge and the resident-byte counter reflect the
+        layout's actual ``device_bytes``, which is the whole point of
+        hybridizing.
+        """
+        if matrix is None and hybrid is None:
+            raise MiningError("engine.setup() needs a matrix or a hybrid layout")
         self._matrix = matrix
+        self._hybrid = hybrid
+        nbytes = hybrid.device_bytes if hybrid is not None else matrix.nbytes
         self.metrics.add_modeled(
-            "htod_bitsets", self.cost.transfer_time(matrix.nbytes).seconds
+            "htod_bitsets", self.cost.transfer_time(nbytes).seconds
         )
-        self.metrics.add_counter("bitset_bytes_device", matrix.nbytes)
+        self.metrics.add_counter("bitset_bytes_device", nbytes)
 
     def finalize(self) -> None:
         """Publish accumulated kernel stats into the metric registry."""
         self.kernel_stats.publish(self.metrics.registry)
 
-    def _charge_complete(self, n: int, k: int) -> dict:
+    def _charge_complete(
+        self, n: int, k: int, candidates: Optional[np.ndarray] = None
+    ) -> dict:
         """Account modeled costs for one complete-intersection batch.
 
-        Returns the per-phase modeled seconds so callers can attach
-        them as span attributes.
+        Under the hybrid layout the kernel traffic comes from
+        :func:`~repro.bitset.hybrid.count_cost_stats` — a pure function
+        of (layout, candidates) — so all three engines charge identical
+        modeled costs for the same batch. Returns the per-phase modeled
+        seconds so callers can attach them as span attributes.
         """
-        n_words = self.matrix.n_words
+        n_words = self.n_words
         cfg = self.config
         htod = self.cost.transfer_time(n * k * 4).seconds
         self.metrics.add_modeled("htod_candidates", htod)
-        kc = self.cost.support_kernel_time(
-            n_candidates=n,
-            k=k,
-            n_words=n_words,
-            block_size=cfg.block_size,
-            preload_candidates=cfg.preload_candidates,
-            unroll=cfg.unroll,
-            coalescing_factor=1.0 if cfg.aligned else 2.0,
-        )
+        if self._hybrid is not None:
+            dense_entries, sparse_tids = count_cost_stats(
+                self._hybrid, candidates
+            )
+            kc = self.cost.hybrid_support_kernel_time(
+                n_candidates=n,
+                k=k,
+                n_words=n_words,
+                dense_entries=dense_entries,
+                sparse_tids=sparse_tids,
+                block_size=cfg.block_size,
+                preload_candidates=cfg.preload_candidates,
+                unroll=cfg.unroll,
+                coalescing_factor=1.0 if cfg.aligned else 2.0,
+            )
+            self.metrics.add_counter("bitset_words_anded", dense_entries * n_words)
+            self.metrics.add_counter("sparse_tids_probed", sparse_tids)
+        else:
+            kc = self.cost.support_kernel_time(
+                n_candidates=n,
+                k=k,
+                n_words=n_words,
+                block_size=cfg.block_size,
+                preload_candidates=cfg.preload_candidates,
+                unroll=cfg.unroll,
+                coalescing_factor=1.0 if cfg.aligned else 2.0,
+            )
+            self.metrics.add_counter("bitset_words_anded", n * k * n_words)
         self.metrics.add_modeled("kernel", kc.seconds)
         dtoh = self.cost.transfer_time(n * 8).seconds
         self.metrics.add_modeled("dtoh_supports", dtoh)
-        self.metrics.add_counter("bitset_words_anded", n * k * n_words)
         self.metrics.add_counter("popcounts", n * n_words)
         self.metrics.add_counter("candidates_counted", n)
         return {
@@ -138,21 +205,50 @@ class SupportEngine:
             "modeled_dtoh_seconds": dtoh,
         }
 
-    def _charge_extend(self, n: int) -> dict:
-        """Account modeled costs for one extend batch (see above)."""
-        n_words = self.matrix.n_words
+    def _charge_extend(
+        self,
+        n: int,
+        pairs: Optional[np.ndarray] = None,
+        gen1_base: bool = False,
+    ) -> dict:
+        """Account modeled costs for one extend batch (see above).
+
+        ``gen1_base`` marks the first extend generation, where the base
+        side indexes raw item ids that resolve through the hybrid
+        layout; afterwards the base is always the dense prefix cache.
+        """
+        n_words = self.n_words
         htod = self.cost.transfer_time(n * 2 * 4).seconds
         self.metrics.add_modeled("htod_candidates", htod)
-        kc = self.cost.extend_kernel_time(
-            n_candidates=n,
-            n_words=n_words,
-            block_size=self.config.block_size,
-            coalescing_factor=1.0 if self.config.aligned else 2.0,
-        )
+        if self._hybrid is not None:
+            d_item, s_item = count_cost_stats(self._hybrid, pairs[:, 1])
+            if gen1_base:
+                d_base, s_base = count_cost_stats(self._hybrid, pairs[:, 0])
+            else:
+                d_base, s_base = n, 0
+            dense_entries = d_item + d_base
+            sparse_tids = s_item + s_base
+            kc = self.cost.hybrid_extend_kernel_time(
+                n_candidates=n,
+                n_words=n_words,
+                dense_entries=dense_entries,
+                sparse_tids=sparse_tids,
+                block_size=self.config.block_size,
+                coalescing_factor=1.0 if self.config.aligned else 2.0,
+            )
+            self.metrics.add_counter("bitset_words_anded", dense_entries * n_words)
+            self.metrics.add_counter("sparse_tids_probed", sparse_tids)
+        else:
+            kc = self.cost.extend_kernel_time(
+                n_candidates=n,
+                n_words=n_words,
+                block_size=self.config.block_size,
+                coalescing_factor=1.0 if self.config.aligned else 2.0,
+            )
+            self.metrics.add_counter("bitset_words_anded", n * 2 * n_words)
         self.metrics.add_modeled("kernel", kc.seconds)
         dtoh = self.cost.transfer_time(n * 8).seconds
         self.metrics.add_modeled("dtoh_supports", dtoh)
-        self.metrics.add_counter("bitset_words_anded", n * 2 * n_words)
         self.metrics.add_counter("popcounts", n * n_words)
         self.metrics.add_counter("candidates_counted", n)
         self.metrics.add_counter("prefix_row_bytes_written", n * n_words * 4)
@@ -190,8 +286,11 @@ class VectorizedEngine(SupportEngine):
         with span(
             "kernel_launch", engine="vectorized", kind="complete", k=k, candidates=n, **self.span_attrs
         ) as sp:
-            supports = support_many(self.matrix, candidates)
-            sp.set(**self._charge_complete(n, k))
+            if self._hybrid is not None:
+                supports = hybrid_supports(self._hybrid, candidates)
+            else:
+                supports = support_many(self.matrix, candidates)
+            sp.set(**self._charge_complete(n, k, candidates))
         return supports
 
     def count_extend(self, pairs: np.ndarray) -> np.ndarray:
@@ -200,18 +299,26 @@ class VectorizedEngine(SupportEngine):
             raise MiningError("pairs must be (n, 2) of (prefix_row, item_id)")
         n = pairs.shape[0]
         if n == 0:
-            self._pending_rows = np.empty((0, self.matrix.n_words), dtype=np.uint32)
+            self._pending_rows = np.empty((0, self.n_words), dtype=np.uint32)
             return np.zeros(0, dtype=np.int64)
         with span(
             "kernel_launch", engine="vectorized", kind="extend", k=2, candidates=n, **self.span_attrs
         ) as sp:
-            base = (
-                self._prefix_rows if self._prefix_rows is not None else self.matrix.words
-            )
-            rows = base[pairs[:, 0]] & self.matrix.words[pairs[:, 1]]
-            self._pending_rows = rows
-            sp.set(**self._charge_extend(n))
-            supports = popcount_words(rows).sum(axis=1, dtype=np.int64)
+            gen1 = self._prefix_rows is None
+            if self._hybrid is not None:
+                rows, supports = hybrid_extend_rows(
+                    self._hybrid, self._prefix_rows, pairs
+                )
+                self._pending_rows = rows
+                sp.set(**self._charge_extend(n, pairs, gen1_base=gen1))
+            else:
+                base = (
+                    self._prefix_rows if not gen1 else self.matrix.words
+                )
+                rows = base[pairs[:, 0]] & self.matrix.words[pairs[:, 1]]
+                self._pending_rows = rows
+                sp.set(**self._charge_extend(n, pairs, gen1_base=gen1))
+                supports = popcount_words(rows).sum(axis=1, dtype=np.int64)
         return supports
 
     def retain(self, indices: np.ndarray) -> None:
@@ -239,13 +346,43 @@ class SimulatedEngine(SupportEngine):
         super().__init__(config, metrics, device)
         self.memory = GlobalMemory(device.global_mem_bytes)
         self._bitset_buf = None
+        self._dense_buf = None  # hybrid layout's device arrays
+        self._map_buf = None
+        self._tids_buf = None
+        self._offs_buf = None
         self._prefix_buf = None  # None = use gen-1 bitsets
         self._pending_buf = None
         self.last_trace = None
         self.coalescing_stats = CoalescingStats()
 
-    def setup(self, matrix: BitsetMatrix) -> None:
-        super().setup(matrix)
+    def setup(
+        self,
+        matrix: Optional[BitsetMatrix],
+        hybrid: Optional[HybridLayout] = None,
+    ) -> None:
+        super().setup(matrix, hybrid)
+        if hybrid is not None:
+            # Per-layout htod accounting: each array of the hybrid
+            # layout is allocated and shipped separately, so the
+            # simulator's TransferStats records the bytes actually
+            # moved — a fraction of the all-dense matrix on sparse data.
+            self._dense_buf = self.memory.alloc(
+                "hybrid_dense", (hybrid.n_dense, hybrid.n_words), np.uint32
+            )
+            self._map_buf = self.memory.alloc(
+                "hybrid_row_map", (hybrid.n_items,), np.int32
+            )
+            self._tids_buf = self.memory.alloc(
+                "hybrid_tids", (hybrid.sparse_tids.size,), np.int32
+            )
+            self._offs_buf = self.memory.alloc(
+                "hybrid_offsets", (hybrid.sparse_offsets.size,), np.int64
+            )
+            self.memory.htod(self._dense_buf, hybrid.dense_words)
+            self.memory.htod(self._map_buf, hybrid.row_map)
+            self.memory.htod(self._tids_buf, hybrid.sparse_tids)
+            self.memory.htod(self._offs_buf, hybrid.sparse_offsets)
+            return
         self._bitset_buf = self.memory.alloc(
             "bitsets", (matrix.n_items, matrix.n_words), np.uint32
         )
@@ -256,7 +393,7 @@ class SimulatedEngine(SupportEngine):
         # next power of two — simulating 256 idle lanes per word adds
         # nothing but wall-clock. The *model* still prices config.block_size.
         want = self.config.block_size
-        words = self.matrix.n_words
+        words = self.n_words
         dim = 1
         while dim < min(want, words):
             dim *= 2
@@ -310,17 +447,34 @@ class SimulatedEngine(SupportEngine):
                 try:
                     self.memory.htod(cand_buf, candidates[start:stop])
                     sup_buf = self.memory.alloc("supports", (m,), np.int64)
-                    result = launch_kernel(
-                        support_count_kernel,
-                        LaunchConfig(grid_dim=m, block_dim=self._block_dim()),
-                        args=(
+                    if self._hybrid is not None:
+                        kernel = hybrid_support_count_kernel
+                        args = (
+                            self._dense_buf,
+                            self._map_buf,
+                            self._tids_buf,
+                            self._offs_buf,
+                            cand_buf,
+                            k,
+                            self.n_words,
+                            self._hybrid.n_transactions,
+                            sup_buf,
+                            self.config.preload_candidates,
+                        )
+                    else:
+                        kernel = support_count_kernel
+                        args = (
                             self._bitset_buf,
                             cand_buf,
                             k,
-                            self.matrix.n_words,
+                            self.n_words,
                             sup_buf,
                             self.config.preload_candidates,
-                        ),
+                        )
+                    result = launch_kernel(
+                        kernel,
+                        LaunchConfig(grid_dim=m, block_dim=self._block_dim()),
+                        args=args,
                         device=self.device,
                         trace=self.config.trace_accesses,
                     )
@@ -331,21 +485,21 @@ class SimulatedEngine(SupportEngine):
                         blocks=m,
                         threads_per_block=result.config.block_dim,
                         barriers=result.barriers,
-                        candidate_words=m * k * self.matrix.n_words,
-                        popcounts=m * self.matrix.n_words,
+                        candidate_words=m * k * self.n_words,
+                        popcounts=m * self.n_words,
                     )
                     out[start:stop] = self.memory.dtoh(sup_buf)
                 finally:
                     if sup_buf is not None:
                         self.memory.free(sup_buf)
                     self.memory.free(cand_buf)
-            sp.set(chunks=-(-n // chunk), **self._charge_complete(n, k))
+            sp.set(chunks=-(-n // chunk), **self._charge_complete(n, k, candidates))
         return out
 
     def count_extend(self, pairs: np.ndarray) -> np.ndarray:
         pairs = np.ascontiguousarray(pairs, dtype=np.int32)
         n = pairs.shape[0]
-        n_words = self.matrix.n_words
+        n_words = self.n_words
         if n == 0:
             if self._pending_buf is not None:
                 self.memory.free(self._pending_buf)
@@ -353,9 +507,14 @@ class SimulatedEngine(SupportEngine):
                 "prefix_rows_next", (0, n_words), np.uint32
             )
             return np.zeros(0, dtype=np.int64)
-        prefix_buf = (
-            self._prefix_buf if self._prefix_buf is not None else self._bitset_buf
-        )
+        gen1 = self._prefix_buf is None
+        if self._hybrid is not None:
+            # at generation 2 the base ids resolve through the layout
+            # inside the kernel; the prefix arg is unused but must be a
+            # real buffer, so hand it the dense block.
+            prefix_buf = self._prefix_buf if not gen1 else self._dense_buf
+        else:
+            prefix_buf = self._prefix_buf if not gen1 else self._bitset_buf
         with span(
             "kernel_launch", engine="simulated", kind="extend", k=2, candidates=n, **self.span_attrs
         ) as sp:
@@ -388,17 +547,34 @@ class SimulatedEngine(SupportEngine):
                                 "prefix_rows_stage", (m, n_words), np.uint32
                             )
                         row_buf = out_rows if single else stage_buf
-                        result = launch_kernel(
-                            extend_kernel,
-                            LaunchConfig(grid_dim=m, block_dim=self._block_dim()),
-                            args=(
+                        if self._hybrid is not None:
+                            kernel = hybrid_extend_kernel
+                            args = (
+                                prefix_buf,
+                                self._dense_buf,
+                                self._map_buf,
+                                self._tids_buf,
+                                self._offs_buf,
+                                pair_buf,
+                                n_words,
+                                gen1,
+                                row_buf,
+                                sup_buf,
+                            )
+                        else:
+                            kernel = extend_kernel
+                            args = (
                                 prefix_buf,
                                 self._bitset_buf,
                                 pair_buf,
                                 n_words,
                                 row_buf,
                                 sup_buf,
-                            ),
+                            )
+                        result = launch_kernel(
+                            kernel,
+                            LaunchConfig(grid_dim=m, block_dim=self._block_dim()),
+                            args=args,
                             device=self.device,
                             trace=self.config.trace_accesses,
                         )
@@ -428,7 +604,10 @@ class SimulatedEngine(SupportEngine):
             if self._pending_buf is not None:
                 self.memory.free(self._pending_buf)
             self._pending_buf = out_rows
-            sp.set(chunks=-(-n // chunk), **self._charge_extend(n))
+            sp.set(
+                chunks=-(-n // chunk),
+                **self._charge_extend(n, pairs, gen1_base=gen1),
+            )
         return supports
 
     def retain(self, indices: np.ndarray) -> None:

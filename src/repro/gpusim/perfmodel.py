@@ -158,6 +158,137 @@ class GpuCostModel:
             blocks=n_candidates,
         )
 
+    #: Bytes actually moved per sparse tid-list probe into the dense
+    #: partial-intersection row: the bit test lands on an effectively
+    #: random word, so each 4-byte request drags a full 32-byte memory
+    #: segment (the same 8x inflation the coalescing analyzer measures
+    #: for scattered gathers on compute-1.x).
+    SPARSE_PROBE_BYTES = 32
+
+    #: Scalar instructions per tid-list entry on the sparse path: the
+    #: streaming read, the word/bit address split, the shift+mask test,
+    #: and the amortized share of the per-word binary search that
+    #: locates each word's tid range.
+    SPARSE_TID_OPS = 8.0
+
+    def hybrid_support_kernel_time(
+        self,
+        n_candidates: int,
+        k: int,
+        n_words: int,
+        dense_entries: int,
+        sparse_tids: int,
+        block_size: int,
+        preload_candidates: bool = True,
+        unroll: int = 4,
+        coalescing_factor: float = 1.0,
+        divergence: float = 1.0,
+    ) -> KernelCost:
+        """Model a support launch over the hybrid dense+tid-list layout.
+
+        Differs from :meth:`support_kernel_time` only in the traffic
+        actually shipped: instead of ``n*k`` full bitset rows, the
+        dense side moves ``dense_entries`` rows (perfectly coalesced
+        when aligned) and the sparse side moves ``sparse_tids``
+        sequential 4-byte tid reads plus one uncoalesced
+        ``SPARSE_PROBE_BYTES`` probe each. The block still popcounts
+        its ``n_words`` partial-intersection row and runs the same tree
+        reduction, so all-dense inputs reduce to the static model's
+        arithmetic shape.
+
+        ``dense_entries`` / ``sparse_tids`` come from
+        :func:`repro.bitset.hybrid.count_cost_stats` — a pure function
+        of (layout, candidates), which is what keeps modeled costs
+        identical across the vectorized, simulated, and parallel
+        engines.
+        """
+        if n_candidates < 0 or k < 1 or n_words < 1 or block_size < 1:
+            raise GpuSimError("invalid kernel shape")
+        if dense_entries < 0 or sparse_tids < 0:
+            raise GpuSimError("dense_entries and sparse_tids must be >= 0")
+        if coalescing_factor < 1.0 or divergence < 1.0:
+            raise GpuSimError("coalescing and divergence factors are >= 1")
+        d = self.device
+        if n_candidates == 0:
+            return KernelCost(0.0, 0.0, 0.0, 1.0, 0)
+
+        dense_bytes = dense_entries * n_words * 4 * coalescing_factor
+        sparse_bytes = sparse_tids * (4 + self.SPARSE_PROBE_BYTES)
+        candidate_reads = n_candidates * k * 4 * 2  # item ids + row_map entries
+        if not preload_candidates:
+            candidate_reads *= block_size
+        mem_bytes = dense_bytes + sparse_bytes + candidate_reads
+        mem_seconds = mem_bytes / d.mem_bandwidth_bytes
+
+        # per dense entry: one AND per word; per block: popcount +
+        # accumulate over its row, loop control, and the reduction.
+        dense_ops = dense_entries * n_words
+        sparse_ops = sparse_tids * self.SPARSE_TID_OPS
+        per_block = n_words * 2 + (2 * n_words) / unroll + 2.0 * block_size
+        ops = dense_ops + sparse_ops + n_candidates * per_block
+        eff_ips = d.peak_flops() * self.INSTR_EFFICIENCY
+        compute_seconds = ops * divergence / eff_ips
+
+        occupancy = min(1.0, n_candidates / d.sm_count)
+        scale = 1.0 / occupancy
+        seconds = max(mem_seconds, compute_seconds) * scale + d.kernel_launch_overhead_s
+        return KernelCost(
+            seconds=seconds,
+            mem_seconds=mem_seconds * scale,
+            compute_seconds=compute_seconds * scale,
+            occupancy=occupancy,
+            blocks=n_candidates,
+        )
+
+    def hybrid_extend_kernel_time(
+        self,
+        n_candidates: int,
+        n_words: int,
+        dense_entries: int,
+        sparse_tids: int,
+        block_size: int,
+        coalescing_factor: float = 1.0,
+    ) -> KernelCost:
+        """Model an equivalence-class extend launch under the hybrid layout.
+
+        ``dense_entries`` counts every operand row resolved from dense
+        storage (cached prefix rows *and* dense gen-1 items);
+        ``sparse_tids`` counts tid-list entries walked for sparse
+        operands. Result rows are always written back dense.
+        """
+        if n_candidates < 0 or n_words < 1 or block_size < 1:
+            raise GpuSimError("invalid kernel shape")
+        if dense_entries < 0 or sparse_tids < 0:
+            raise GpuSimError("dense_entries and sparse_tids must be >= 0")
+        d = self.device
+        if n_candidates == 0:
+            return KernelCost(0.0, 0.0, 0.0, 1.0, 0)
+        read_bytes = dense_entries * n_words * 4
+        sparse_bytes = sparse_tids * (4 + self.SPARSE_PROBE_BYTES)
+        write_bytes = n_candidates * n_words * 4
+        pair_bytes = n_candidates * 8 * 2  # pair ids + row_map entries
+        mem_seconds = (
+            (read_bytes + write_bytes) * coalescing_factor
+            + sparse_bytes
+            + pair_bytes
+        ) / d.mem_bandwidth_bytes
+        ops = (
+            dense_entries * n_words
+            + sparse_tids * self.SPARSE_TID_OPS
+            + n_candidates * (3.0 * n_words + 2.0 * block_size)
+        )
+        compute_seconds = ops / (d.peak_flops() * self.INSTR_EFFICIENCY)
+        occupancy = min(1.0, n_candidates / d.sm_count)
+        scale = 1.0 / occupancy
+        seconds = max(mem_seconds, compute_seconds) * scale + d.kernel_launch_overhead_s
+        return KernelCost(
+            seconds=seconds,
+            mem_seconds=mem_seconds * scale,
+            compute_seconds=compute_seconds * scale,
+            occupancy=occupancy,
+            blocks=n_candidates,
+        )
+
     def thread_per_candidate_time(
         self,
         n_candidates: int,

@@ -7,34 +7,42 @@ handler thread blocks in ``service.query`` while the scheduler's
 worker pool does the mining, so admission control, coalescing, and
 cache behaviour are identical to the Python API's.
 
-Endpoints
----------
-``GET /healthz``
+Endpoints (version 1, under ``/v1``)
+------------------------------------
+``GET /v1/healthz``
     ``{"status": "ok"}`` — liveness probe.
-``GET /readyz``
+``GET /v1/readyz``
     Readiness probe: 200 when datasets are preloaded and the worker
     pool is healthy, 503 otherwise (body says why).
-``GET /metrics``
+``GET /v1/metrics``
     The whole metrics registry in Prometheus text exposition format
     (version 0.0.4), including p50/p90/p99 gauges for histograms.
-``GET /datasets``
-    Registered dataset names; resident entries include their profile
-    and shard plan.
-``GET /stats``
+``GET /v1/datasets``
+    Registered dataset names; resident entries include their profile,
+    shard plan, and pinned hybrid layout.
+``GET /v1/stats``
     Registry / cache / scheduler / flight-recorder stats plus the
     full ``service.*`` metrics snapshot.
-``GET /debug/queries``
+``GET /v1/debug/queries``
     The flight recorder's ring: most recent queries first (summaries,
-    no span trees). ``GET /debug/queries/<id>`` returns one record
+    no span trees). ``GET /v1/debug/queries/<id>`` returns one record
     with options, metrics delta, and the full nested span tree.
-``POST /mine``
+``POST /v1/mine``
     Body: ``{"dataset": str, "min_support": float|int,
     "algorithm"?: str, "max_k"?: int, "timeout"?: float,
-    ...per-algorithm options}``. Response:
-    ``{"dataset", "algorithm", "source", "abs_support",
-    "elapsed_seconds", "result"}`` where ``result`` is the shared
+    ...per-algorithm options}`` — a 1:1 JSON image of
+    :class:`~repro.core.request.MiningRequest`, which is exactly how
+    the body is parsed and validated. Response: ``{"dataset",
+    "algorithm", "source", "abs_support", "elapsed_seconds",
+    "result"}`` where ``result`` is the shared
     :meth:`MiningResult.to_dict` document — byte-comparable with
     ``gpapriori mine --json``.
+
+Every legacy unversioned path (``/healthz``, ``/mine``, ...) keeps
+answering as an alias of its ``/v1`` form, with a ``Deprecation:
+true`` response header so clients can find and migrate stragglers.
+The ``http.requests`` metric labels routes by their canonical ``/v1``
+form regardless of which spelling was requested.
 
 Error mapping: malformed request → 400, unknown dataset → 404,
 admission queue full → 429, missed deadline → 504, anything else the
@@ -56,38 +64,62 @@ from ..errors import (
     ReproError,
     ServiceOverloadError,
 )
+from ..core.request import MiningRequest
 from ..obs.logging import get_logger, log_event
 from ..obs.promexpo import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 from ..obs.promexpo import render_prometheus
 from .service import MiningService
 
-__all__ = ["MiningHTTPServer", "MiningRequestHandler", "make_server"]
+__all__ = ["API_VERSION", "MiningHTTPServer", "MiningRequestHandler", "make_server"]
 
 logger = get_logger("httpd")
 
-_KNOWN_ROUTES = (
-    "/",
-    "/healthz",
-    "/readyz",
-    "/metrics",
-    "/datasets",
-    "/stats",
-    "/mine",
-    "/debug/queries",
+API_VERSION = "v1"
+"""The current (and only) HTTP API version prefix."""
+
+_V1_ROUTES = (
+    "/v1/healthz",
+    "/v1/readyz",
+    "/v1/metrics",
+    "/v1/datasets",
+    "/v1/stats",
+    "/v1/mine",
+    "/v1/debug/queries",
 )
+
+
+def _canonical_path(path: str) -> str:
+    """Map any accepted spelling of a route onto its ``/v1`` form.
+
+    ``/`` aliases the liveness probe; a bare legacy path gains the
+    version prefix. Unknown paths come back prefixed too — the 404
+    branch reports the path the client actually sent.
+    """
+    if path in ("", "/", "/v1", "/v1/"):
+        return "/v1/healthz"
+    if path.startswith("/v1/"):
+        return path
+    return "/v1" + path
+
+
+def _is_legacy(path: str) -> bool:
+    """Whether the request used a deprecated unversioned spelling."""
+    return not (path == "/v1" or path.startswith("/v1/"))
 
 
 def _route_label(path: str) -> str:
     """Collapse a request path onto a bounded label set.
 
-    Metrics labels must not have unbounded cardinality, so ids are
-    normalized (``/debug/queries/q000123`` → ``/debug/queries/:id``)
-    and anything unrecognized becomes ``other``.
+    Metrics labels must not have unbounded cardinality, so paths are
+    canonicalized to their ``/v1`` form first, ids are normalized
+    (``/v1/debug/queries/q000123`` → ``/v1/debug/queries/:id``) and
+    anything unrecognized becomes ``other``.
     """
-    if path.startswith("/debug/queries/"):
-        return "/debug/queries/:id"
-    if path in _KNOWN_ROUTES:
-        return path
+    canonical = _canonical_path(path)
+    if canonical.startswith("/v1/debug/queries/"):
+        return "/v1/debug/queries/:id"
+    if canonical in _V1_ROUTES:
+        return canonical
     return "other"
 
 MAX_BODY_BYTES = 1 << 20
@@ -113,6 +145,9 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if _is_legacy(self.path):
+            # legacy unversioned alias: answer, but tell clients to move
+            self.send_header("Deprecation", "true")
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -168,16 +203,17 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._t_request = time.perf_counter()
         service = self.server.service
-        if self.path in ("/", "/healthz"):
+        path = _canonical_path(self.path)
+        if path == "/v1/healthz":
             self._send_json(200, {"status": "ok"})
-        elif self.path == "/readyz":
+        elif path == "/v1/readyz":
             readiness = service.ready()
             self._send_json(200 if readiness["ready"] else 503, readiness)
-        elif self.path == "/metrics":
+        elif path == "/v1/metrics":
             self._send_text(
                 200, render_prometheus(service.metrics), PROMETHEUS_CONTENT_TYPE
             )
-        elif self.path == "/datasets":
+        elif path == "/v1/datasets":
             resident = {
                 e.name: e.as_dict()
                 for e in (
@@ -188,9 +224,9 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
                 200,
                 {"registered": service.registry.names(), "resident": resident},
             )
-        elif self.path == "/stats":
+        elif path == "/v1/stats":
             self._send_json(200, service.stats())
-        elif self.path == "/debug/queries":
+        elif path == "/v1/debug/queries":
             self._send_json(
                 200,
                 {
@@ -198,8 +234,8 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
                     **service.flight.stats(),
                 },
             )
-        elif self.path.startswith("/debug/queries/"):
-            query_id = self.path[len("/debug/queries/"):]
+        elif path.startswith("/v1/debug/queries/"):
+            query_id = path[len("/v1/debug/queries/"):]
             record = service.flight.get(query_id)
             if record is None:
                 self._send_json(404, {"error": f"no such query: {query_id}"})
@@ -212,7 +248,7 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self._t_request = time.perf_counter()
-        if self.path != "/mine":
+        if _canonical_path(self.path) != "/v1/mine":
             self._send_json(404, {"error": f"no such endpoint: {self.path}"})
             return
         try:
@@ -243,9 +279,26 @@ class MiningRequestHandler(BaseHTTPRequestHandler):
         min_support = kwargs.pop("min_support")
         if not isinstance(dataset, str):
             return 400, {"error": "'dataset' must be a string"}, None
+        # The body is the 1:1 JSON image of a MiningRequest: known
+        # fields map onto the dataclass, everything else is an option.
+        # The request is built raw (not via ``build``) so validation
+        # runs inside the service's traced span, where the flight
+        # recorder sees it.
+        algorithm = kwargs.pop("algorithm", "gpapriori")
+        max_k = kwargs.pop("max_k", None)
+        timeout = kwargs.pop("timeout", None)
+        if not isinstance(algorithm, str):
+            return 400, {"error": "'algorithm' must be a string"}, None
+        request = MiningRequest(
+            min_support=min_support,
+            algorithm=algorithm,
+            dataset=dataset,
+            max_k=max_k,
+            options=tuple(sorted(kwargs.items())),
+        )
         service = self.server.service
         try:
-            response = service.query(dataset, min_support, **kwargs)
+            response = service.query(request, timeout=timeout)
         except TypeError as exc:
             # e.g. a non-keywordable option smuggled in the JSON body
             return 400, {"error": str(exc), "type": "TypeError"}, None

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Union
 
 from ..bitset.bitset import BitsetMatrix
+from ..bitset.hybrid import VALID_LAYOUTS, HybridLayout, auto_dense_threshold
 from ..core.sharding import ShardPlan
 from ..datasets.characterize import DatasetProfile, profile_database
 from ..datasets.transaction_db import TransactionDatabase
@@ -49,14 +50,17 @@ class DatasetEntry:
     matrix: BitsetMatrix
     profile: DatasetProfile
     shard_plan: Optional[ShardPlan] = None
+    hybrid: Optional[HybridLayout] = None
     resident_bytes: int = field(default=0)
 
     def __post_init__(self) -> None:
         if not self.resident_bytes:
             self.resident_bytes = self.db.nbytes + self.matrix.nbytes
+            if self.hybrid is not None:
+                self.resident_bytes += self.hybrid.device_bytes
 
     def as_dict(self) -> Dict:
-        """JSON-ready summary for the HTTP ``/datasets`` view."""
+        """JSON-ready summary for the HTTP ``/v1/datasets`` view."""
         return {
             "name": self.name,
             "n_transactions": self.db.n_transactions,
@@ -64,6 +68,7 @@ class DatasetEntry:
             "resident_bytes": self.resident_bytes,
             "matrix_bytes": self.matrix.nbytes,
             "shard_plan": self.shard_plan.as_dict() if self.shard_plan else None,
+            "layout": self.hybrid.as_dict() if self.hybrid else None,
             "profile": self.profile.as_dict(),
         }
 
@@ -86,6 +91,16 @@ class DatasetRegistry:
     metrics:
         Shared :class:`~repro.obs.MetricsRegistry` receiving the
         ``service.registry.*`` counters and gauges.
+    layout:
+        Vertical layout pinned at load time. ``"dense"`` (the default)
+        pins only the bitset matrix. ``"hybrid"``/``"auto"`` also pin
+        a :class:`~repro.bitset.hybrid.HybridLayout` classification
+        (``"auto"`` only when hybridizing actually saves device bytes)
+        that queries with a matching layout reuse instead of
+        re-classifying per query.
+    dense_threshold:
+        Support-density cutoff for the pinned hybrid classification;
+        ``None`` uses the storage break-even threshold.
     """
 
     def __init__(
@@ -93,6 +108,8 @@ class DatasetRegistry:
         budget_bytes: Optional[int] = None,
         device_budget_bytes: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
+        layout: str = "dense",
+        dense_threshold: Optional[float] = None,
     ) -> None:
         if budget_bytes is not None and budget_bytes < 1:
             raise DatasetError(
@@ -103,8 +120,18 @@ class DatasetRegistry:
                 "device_budget_bytes must be a positive int or None, "
                 f"got {device_budget_bytes!r}"
             )
+        if layout not in VALID_LAYOUTS:
+            raise DatasetError(
+                f"layout must be one of {VALID_LAYOUTS}, got {layout!r}"
+            )
+        if dense_threshold is not None and not 0.0 <= dense_threshold <= 1.0:
+            raise DatasetError(
+                f"dense_threshold must be in [0, 1] or None, got {dense_threshold!r}"
+            )
         self.budget_bytes = budget_bytes
         self.device_budget_bytes = device_budget_bytes
+        self.layout = layout
+        self.dense_threshold = dense_threshold
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._lock = threading.Lock()
         self._sources: Dict[str, Callable[[], TransactionDatabase]] = {}
@@ -204,18 +231,37 @@ class DatasetRegistry:
                 matrix = BitsetMatrix.from_database(db, aligned=True)
             with span("service.dataset_profile", dataset=name):
                 profile = profile_database(db)
+            hybrid = None
+            if self.layout != "dense":
+                threshold = (
+                    self.dense_threshold
+                    if self.dense_threshold is not None
+                    else auto_dense_threshold(matrix.n_transactions, matrix.n_words)
+                )
+                built = HybridLayout.from_matrix(matrix, threshold)
+                if self.layout == "hybrid" or built.bytes_saved > 0:
+                    hybrid = built
             plan = None
             budget = self.device_budget_bytes
-            if budget is not None and matrix.nbytes > budget:
-                plan = ShardPlan.for_matrix(matrix, memory_budget_bytes=budget)
+            if budget is not None:
+                if hybrid is not None and hybrid.device_bytes > budget:
+                    plan = ShardPlan.for_layout(hybrid, memory_budget_bytes=budget)
+                elif hybrid is None and matrix.nbytes > budget:
+                    plan = ShardPlan.for_matrix(matrix, memory_budget_bytes=budget)
             entry = DatasetEntry(
-                name=name, db=db, matrix=matrix, profile=profile, shard_plan=plan
+                name=name,
+                db=db,
+                matrix=matrix,
+                profile=profile,
+                shard_plan=plan,
+                hybrid=hybrid,
             )
             sp.set(
                 n_transactions=db.n_transactions,
                 n_items=db.n_items,
                 resident_bytes=entry.resident_bytes,
                 sharded=plan is not None,
+                layout="hybrid" if hybrid is not None else "dense",
             )
         return entry
 
@@ -261,6 +307,8 @@ class DatasetRegistry:
                 ),
                 "budget_bytes": self.budget_bytes,
                 "device_budget_bytes": self.device_budget_bytes,
+                "layout": self.layout,
+                "dense_threshold": self.dense_threshold,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

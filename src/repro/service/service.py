@@ -36,6 +36,7 @@ from typing import Dict, Hashable, Optional, Tuple
 from .._validation import check_support
 from ..core.api import ALGORITHMS, mine
 from ..core.config import GPAprioriConfig
+from ..core.request import MiningRequest
 from ..datasets.characterize import DatasetProfile
 from ..errors import (
     DeviceMemoryError,
@@ -101,8 +102,9 @@ class QueryResponse:
 
 # options the service controls itself and refuses from callers
 # ("faults" included: chaos plans come from the operator's env knob,
-# never from a client of a shared service)
-_RESERVED_OPTIONS = ("config", "device", "matrix", "faults")
+# never from a client of a shared service; "hybrid" because the pinned
+# layout object belongs to the registry, clients pick layout= instead)
+_RESERVED_OPTIONS = ("config", "device", "matrix", "faults", "hybrid")
 
 
 class MiningService:
@@ -135,6 +137,11 @@ class MiningService:
         ``max_attempts``, device OOM retries once and then degrades to
         a sharded mine under a halved memory budget. Defaults to a
         policy with 3 attempts and 50 ms base backoff.
+    layout / dense_threshold:
+        Default vertical layout for GPApriori queries, forwarded to
+        the :class:`DatasetRegistry` (which pins the hybrid
+        classification at load time) and folded into each query's
+        config unless the query sets ``layout=`` itself.
     """
 
     def __init__(
@@ -149,12 +156,16 @@ class MiningService:
         slow_query_ms: Optional[float] = None,
         flight_capacity: int = 64,
         retry_policy: Optional[RetryPolicy] = None,
+        layout: str = "dense",
+        dense_threshold: Optional[float] = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.registry = DatasetRegistry(
             budget_bytes=registry_bytes,
             device_budget_bytes=device_budget_bytes,
             metrics=self.metrics,
+            layout=layout,
+            dense_threshold=dense_threshold,
         )
         self.cache = ResultCache(
             budget_bytes=cache_bytes, ttl_seconds=cache_ttl, metrics=self.metrics
@@ -188,8 +199,8 @@ class MiningService:
 
     def query(
         self,
-        dataset: str,
-        min_support,
+        dataset,
+        min_support=None,
         algorithm: str = "gpapriori",
         max_k: Optional[int] = None,
         timeout: Optional[float] = None,
@@ -198,8 +209,11 @@ class MiningService:
         """Answer one mining query (cache-first, scheduled when cold).
 
         Parameters mirror :func:`repro.core.api.mine` except the first
-        argument is a registered dataset *name* and ``timeout`` bounds
-        this caller's wait in seconds. Raises
+        argument is a registered dataset *name* — or a ready
+        :class:`~repro.core.request.MiningRequest` carrying the whole
+        query, in which case ``min_support``/``algorithm``/``max_k``/
+        ``**options`` must be omitted — and ``timeout`` bounds this
+        caller's wait in seconds. Raises
         :class:`~repro.errors.DatasetError` for unknown datasets,
         :class:`~repro.errors.ServiceOverloadError` when the admission
         queue is full, and :class:`~repro.errors.QueryTimeoutError` on
@@ -208,6 +222,21 @@ class MiningService:
         if self._closed:
             raise ServiceError("service is closed")
         t0 = time.perf_counter()
+        request: Optional[MiningRequest] = None
+        if isinstance(dataset, MiningRequest):
+            if min_support is not None or options:
+                raise MiningError(
+                    "pass either a MiningRequest or keyword fields, not both"
+                )
+            request = dataset
+            if request.dataset is None:
+                raise MiningError("request.dataset names the registered dataset")
+            if max_k is None:
+                max_k = request.max_k
+            dataset = request.dataset
+            algorithm = request.algorithm
+            min_support = request.min_support
+            options = dict(request.options)
         query_id = f"q{next(self._query_ids):06d}"
         started_at = now_epoch()
         # Each query runs under its own tracer so the flight recorder
@@ -236,9 +265,28 @@ class MiningService:
                     algorithm=algorithm,
                 ) as query_span:
                     entry = self.registry.get(dataset)
-                    algorithm = self._resolve_algorithm(algorithm, entry)
+                    if request is None:
+                        request = MiningRequest.build(
+                            min_support,
+                            algorithm=algorithm,
+                            dataset=dataset,
+                            max_k=max_k,
+                            options=options,
+                            allow_auto=True,
+                            reserved=_RESERVED_OPTIONS,
+                        )
+                    if request.faults is not None:
+                        raise MiningError(
+                            "option 'faults' is managed by the service and "
+                            "cannot be set per query"
+                        )
+                    algorithm = self._resolve_algorithm(request.algorithm, entry)
                     state["algorithm"] = algorithm
-                    options = self._check_options(algorithm, options)
+                    request = request.resolve(algorithm)
+                    request.check_options(reserved=_RESERVED_OPTIONS)
+                    options = dict(request.options)
+                    max_k = request.max_k if max_k is None else max_k
+                    state["max_k"] = max_k
                     if max_k is not None and max_k < 1:
                         raise MiningError(f"max_k must be >= 1, got {max_k}")
                     abs_support = check_support(
@@ -383,21 +431,6 @@ class MiningService:
             )
         return key
 
-    def _check_options(self, algorithm: str, options: Dict) -> Dict:
-        accepts = ALGORITHMS[algorithm].accepts
-        for name in options:
-            if name in _RESERVED_OPTIONS:
-                raise MiningError(
-                    f"option {name!r} is managed by the service and cannot "
-                    "be set per query"
-                )
-            if name not in accepts:
-                raise MiningError(
-                    f"unknown option {name!r} for algorithm {algorithm!r}; "
-                    f"it accepts: {', '.join(a for a in accepts if a not in _RESERVED_OPTIONS)}"
-                )
-        return dict(options)
-
     def _gpapriori_config(
         self, options: Dict, entry: DatasetEntry
     ) -> Tuple[GPAprioriConfig, Dict]:
@@ -417,6 +450,13 @@ class MiningService:
             and "memory_budget_bytes" not in cfg_fields
         ):
             cfg_fields["memory_budget_bytes"] = self.registry.device_budget_bytes
+        if "layout" not in cfg_fields and self.registry.layout != "dense":
+            cfg_fields["layout"] = self.registry.layout
+            if (
+                "dense_threshold" not in cfg_fields
+                and self.registry.dense_threshold is not None
+            ):
+                cfg_fields["dense_threshold"] = self.registry.dense_threshold
         return GPAprioriConfig(**cfg_fields), rest
 
     def _cache_key(
@@ -489,6 +529,15 @@ class MiningService:
             kwargs = dict(rest, config=config)
             if config.aligned:
                 kwargs["matrix"] = entry.matrix
+            if (
+                config.layout != "dense"
+                and entry.hybrid is not None
+                and (
+                    config.dense_threshold is None
+                    or config.dense_threshold == entry.hybrid.dense_threshold
+                )
+            ):
+                kwargs["hybrid"] = entry.hybrid
         else:
             kwargs = dict(options)
         return mine(

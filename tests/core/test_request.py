@@ -1,0 +1,120 @@
+"""Unit tests for the canonical MiningRequest object."""
+
+import pytest
+
+from repro.core.request import MiningRequest
+from repro.datasets import TransactionDatabase
+from repro.errors import MiningError
+from repro.faults import FaultPlan
+
+
+@pytest.fixture
+def db():
+    return TransactionDatabase([[0, 1, 2], [0, 1], [0, 2], [1, 2]])
+
+
+class TestBuild:
+    def test_canonical_form(self):
+        request = MiningRequest.build(
+            0.5,
+            algorithm="GPApriori",
+            options={"engine": "vectorized", "max_k": 2, "shards": 3},
+        )
+        assert request.algorithm == "gpapriori"
+        assert request.max_k == 2
+        # options are sorted pairs, max_k hoisted out
+        assert request.options == (("engine", "vectorized"), ("shards", 3))
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(MiningError, match="unknown algorithm 'nope'"):
+            MiningRequest.build(0.5, algorithm="nope")
+
+    def test_auto_needs_allow_auto(self):
+        with pytest.raises(MiningError) as err:
+            MiningRequest.build(0.5, algorithm="auto")
+        assert "'auto'" not in str(err.value).split("choose from")[1]
+        request = MiningRequest.build(0.5, algorithm="auto", allow_auto=True)
+        assert request.algorithm == "auto"
+
+    def test_unknown_option(self):
+        with pytest.raises(
+            MiningError,
+            match="unknown option 'diffsets' for algorithm 'borgelt'",
+        ):
+            MiningRequest.build(
+                0.5, algorithm="borgelt", options={"diffsets": True}
+            )
+
+    def test_faults_normalized_into_field(self):
+        plan = FaultPlan(seed=1)
+        request = MiningRequest.build(0.5, options={"faults": plan})
+        assert request.faults is plan
+        assert request.options == ()
+        with pytest.raises(MiningError, match="faults must be a"):
+            MiningRequest.build(0.5, options={"faults": "chaos"})
+
+    def test_reserved_faults_stays_an_option(self):
+        # a service-style build leaves faults in options so the
+        # reserved-option check owns the rejection
+        with pytest.raises(MiningError, match="managed by the service"):
+            MiningRequest.build(
+                0.5,
+                options={"faults": FaultPlan(seed=1)},
+                reserved=("faults",),
+            )
+
+    def test_reserved_option_rejected_and_hidden_from_listing(self):
+        with pytest.raises(MiningError, match="managed by the service"):
+            MiningRequest.build(
+                0.5, options={"matrix": object()}, reserved=("matrix",)
+            )
+        with pytest.raises(MiningError) as err:
+            MiningRequest.build(
+                0.5, options={"typo": 1}, reserved=("matrix", "device")
+            )
+        assert "matrix" not in str(err.value)
+        assert "device" not in str(err.value)
+
+
+class TestExecution:
+    def test_execute_runs_the_algorithm(self, db):
+        request = MiningRequest.build(0.5, algorithm="eclat")
+        result = request.execute(db)
+        assert result.support_of((0, 1)) == 2
+        assert result.metrics.algorithm == "eclat"
+
+    def test_runner_kwargs_merge_max_k(self):
+        request = MiningRequest.build(
+            0.5, max_k=2, options={"engine": "parallel"}
+        )
+        assert request.runner_kwargs() == {"engine": "parallel", "max_k": 2}
+
+    def test_resolve_returns_lowercased_copy(self):
+        request = MiningRequest.build(0.5, algorithm="auto", allow_auto=True)
+        resolved = request.resolve("Eclat")
+        assert resolved.algorithm == "eclat"
+        assert request.algorithm == "auto"  # frozen original untouched
+
+
+class TestIdentity:
+    def test_signature_is_hashable_and_stable(self):
+        a = MiningRequest.build(0.5, options={"engine": "vectorized"})
+        b = MiningRequest.build(0.5, options={"engine": "vectorized"})
+        assert a.signature() == b.signature()
+        hash(a.signature())
+
+    def test_as_dict_is_the_http_body_layout(self):
+        request = MiningRequest.build(
+            2,
+            algorithm="gpapriori",
+            dataset="toy",
+            max_k=3,
+            options={"engine": "simulated"},
+        )
+        assert request.as_dict() == {
+            "dataset": "toy",
+            "min_support": 2,
+            "algorithm": "gpapriori",
+            "max_k": 3,
+            "engine": "simulated",
+        }

@@ -1,0 +1,118 @@
+"""Property-based tests: the hybrid layout never changes the answer.
+
+The adaptive layout is a storage decision, not an algorithmic one —
+whatever mix of dense bitset rows and sparse tid-lists the threshold
+produces, every engine must mine bit-identical itemsets and the
+modeled hardware costs must stay engine-invariant. Hypothesis drives
+random databases and random thresholds, including the degenerate
+all-dense (0.0) and all-sparse (1.0) splits.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import GPAprioriConfig, gpapriori_mine
+from repro.bitset import BitsetMatrix
+from repro.bitset.hybrid import HybridLayout, hybrid_supports
+from tests.property.strategies import transaction_databases
+
+SLOW = settings(max_examples=20, deadline=None)
+
+# 0.0 pins every item dense, 1.0 pins (almost) every item sparse; the
+# middle values exercise genuinely mixed layouts.
+thresholds = st.sampled_from([0.0, 0.1, 0.3, 0.5, 0.8, 1.0])
+
+hybrid_configs = st.builds(
+    GPAprioriConfig,
+    layout=st.sampled_from(["hybrid", "auto"]),
+    dense_threshold=thresholds,
+    plan=st.sampled_from(["complete", "equivalence"]),
+    engine=st.sampled_from(["vectorized", "simulated", "parallel"]),
+)
+
+
+class TestHybridEquivalence:
+    @SLOW
+    @given(
+        transaction_databases(max_items=7, max_transactions=18),
+        hybrid_configs,
+        st.data(),
+    )
+    def test_hybrid_matches_dense(self, db, config, data):
+        min_count = data.draw(
+            st.integers(min_value=1, max_value=max(1, len(db)))
+        )
+        reference = gpapriori_mine(db, min_count)
+        got = gpapriori_mine(db, min_count, config=config)
+        assert got.as_dict() == reference.as_dict(), config
+
+    @SLOW
+    @given(
+        transaction_databases(max_items=7, max_transactions=18),
+        thresholds,
+        st.sampled_from(["vectorized", "simulated", "parallel"]),
+        st.data(),
+    )
+    def test_sharded_hybrid_matches_dense(self, db, threshold, engine, data):
+        min_count = data.draw(
+            st.integers(min_value=1, max_value=max(1, len(db)))
+        )
+        reference = gpapriori_mine(db, min_count)
+        config = GPAprioriConfig(
+            layout="hybrid",
+            dense_threshold=threshold,
+            engine=engine,
+            shards=3,
+        )
+        got = gpapriori_mine(db, min_count, config=config)
+        assert got.as_dict() == reference.as_dict(), config
+
+    @SLOW
+    @given(
+        transaction_databases(max_items=7, max_transactions=18),
+        thresholds,
+        st.data(),
+    )
+    def test_modeled_costs_engine_invariant_under_hybrid(
+        self, db, threshold, data
+    ):
+        """The cost model prices the layout's work, not the engine's
+        execution strategy: all three engines charge identically."""
+        min_count = data.draw(
+            st.integers(min_value=1, max_value=max(1, len(db)))
+        )
+        breakdowns = []
+        for engine in ("vectorized", "simulated", "parallel"):
+            config = GPAprioriConfig(
+                layout="hybrid", dense_threshold=threshold, engine=engine
+            )
+            result = gpapriori_mine(db, min_count, config=config)
+            breakdowns.append(result.metrics.modeled_breakdown)
+        assert breakdowns[0] == breakdowns[1] == breakdowns[2]
+
+
+class TestLayoutStructure:
+    @SLOW
+    @given(transaction_databases(max_items=7, max_transactions=18), thresholds)
+    def test_hybrid_supports_match_matrix_supports(self, db, threshold):
+        import numpy as np
+
+        matrix = BitsetMatrix.from_database(db)
+        layout = HybridLayout.from_matrix(matrix, threshold)
+        assert layout.n_dense + layout.n_sparse == matrix.n_items
+        singletons = np.arange(matrix.n_items, dtype=np.int32).reshape(-1, 1)
+        assert (
+            hybrid_supports(layout, singletons) == matrix.supports()
+        ).all()
+
+    @SLOW
+    @given(transaction_databases(max_items=7, max_transactions=18))
+    def test_degenerate_splits(self, db):
+        matrix = BitsetMatrix.from_database(db)
+        all_dense = HybridLayout.from_matrix(matrix, 0.0)
+        assert all_dense.n_sparse == 0
+        # support >= n_tx keeps an item dense at threshold 1.0, so
+        # only items in every transaction survive the dense side
+        nearly_sparse = HybridLayout.from_matrix(matrix, 1.0)
+        full = (matrix.supports() == matrix.n_transactions).sum()
+        assert nearly_sparse.n_dense == int(full)

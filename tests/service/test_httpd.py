@@ -297,17 +297,20 @@ class TestMetricsEndpoint:
     def test_http_request_counters_labeled_by_route(self, server):
         from repro.obs import parse_prometheus
 
+        # legacy and versioned spellings collapse onto one /v1 label
         _get(server, "/healthz")
+        _get(server, "/v1/healthz")
         _get_raw(server, "/metrics")
-        _, _, text = _get_raw(server, "/metrics")
+        _, _, text = _get_raw(server, "/v1/metrics")
         http = [
             s for s in parse_prometheus(text) if s["name"] == "http_requests"
         ]
         routes = {s["labels"]["route"] for s in http}
-        assert {"/healthz", "/metrics"} <= routes
-        healthz = next(s for s in http if s["labels"]["route"] == "/healthz")
+        assert {"/v1/healthz", "/v1/metrics"} <= routes
+        assert not any(r in routes for r in ("/healthz", "/metrics"))
+        healthz = next(s for s in http if s["labels"]["route"] == "/v1/healthz")
         assert healthz["labels"]["status"] == "200"
-        assert healthz["value"] >= 1
+        assert healthz["value"] >= 2
 
 
 class TestDebugQueries:
@@ -356,3 +359,74 @@ class TestDebugQueries:
         assert rec["status"] == "error"
         assert rec["error_type"] == "MiningError"
         assert rec["source"] is None
+
+
+def _get_with_headers(server, path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{server.port}{path}") as resp:
+        return resp.status, dict(resp.headers), json.loads(resp.read().decode())
+
+
+class TestVersionedAPI:
+    def test_v1_routes_answer(self, server):
+        for path in ("/v1/healthz", "/v1/readyz", "/v1/datasets", "/v1/stats"):
+            status, doc = _get(server, path)
+            assert status == 200, path
+        status, doc = _post(
+            server, "/v1/mine", {"dataset": "toy", "min_support": 2}
+        )
+        assert status == 200
+        assert doc["dataset"] == "toy"
+        status, doc = _get(server, "/v1/debug/queries")
+        assert status == 200
+        assert len(doc["queries"]) == 1
+
+    def test_v1_and_legacy_mine_agree(self, server):
+        _, legacy = _post(server, "/mine", {"dataset": "toy", "min_support": 2})
+        _, v1 = _post(server, "/v1/mine", {"dataset": "toy", "min_support": 2})
+        assert legacy["result"]["itemsets"] == v1["result"]["itemsets"]
+
+    def test_legacy_routes_carry_deprecation_header(self, server):
+        status, headers, _ = _get_with_headers(server, "/healthz")
+        assert status == 200
+        assert headers.get("Deprecation") == "true"
+        # bare / is the oldest alias of all
+        status, headers, _ = _get_with_headers(server, "/")
+        assert status == 200
+        assert headers.get("Deprecation") == "true"
+
+    def test_v1_routes_are_not_deprecated(self, server):
+        status, headers, _ = _get_with_headers(server, "/v1/healthz")
+        assert status == 200
+        assert "Deprecation" not in headers
+        status, headers, _ = _get_with_headers(server, "/v1/stats")
+        assert "Deprecation" not in headers
+
+    def test_v1_root_is_health_alias(self, server):
+        status, doc = _get(server, "/v1")
+        assert (status, doc) == (200, {"status": "ok"})
+
+    def test_unknown_v1_endpoint_404s_with_original_path(self, server):
+        try:
+            _get(server, "/v1/nope")
+            raise AssertionError("expected HTTPError")
+        except urllib.error.HTTPError as err:
+            assert err.code == 404
+            assert "/v1/nope" in json.loads(err.read().decode())["error"]
+
+    def test_v1_mine_body_is_a_mining_request(self, server):
+        # unknown options are rejected with the shared MiningRequest
+        # message, identical to what mine() raises for the same typo
+        status, doc = _post(
+            server,
+            "/v1/mine",
+            {"dataset": "toy", "min_support": 2, "diffsets": True},
+        )
+        assert status == 400
+        assert "unknown option 'diffsets'" in doc["error"]
+        status, doc = _post(
+            server,
+            "/v1/mine",
+            {"dataset": "toy", "min_support": 2, "algorithm": 7},
+        )
+        assert status == 400
+        assert "'algorithm' must be a string" in doc["error"]
