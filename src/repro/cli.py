@@ -11,6 +11,7 @@ Subcommands
                report (occupancy, bandwidth, coalescing).
 ``trace``      Summarize a trace file written by ``--trace``.
 ``serve``      Run the long-lived mining service (JSON over HTTP).
+``store``      Manage the persistent artifact store (build/ls/verify/gc).
 
 Tracing
 -------
@@ -368,6 +369,69 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit structured JSON log lines (one event per line) to stderr",
     )
+    p_serve.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        default=None,
+        help="artifact-store root: stored datasets pin via mmap (zero "
+        "re-parse), evictions spill to disk, snapshots replay at boot",
+    )
+    p_serve.add_argument(
+        "--snapshot-on-close",
+        action="store_true",
+        help="snapshot the result cache into --store-dir on shutdown "
+        "so the next boot starts warm",
+    )
+
+    p_store = sub.add_parser(
+        "store", help="manage the persistent artifact store"
+    )
+    p_store.add_argument(
+        "--store-dir", metavar="DIR", required=True, help="artifact-store root"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_sbuild = store_sub.add_parser(
+        "build", help="serialize a dataset into the store"
+    )
+    _add_db_args(p_sbuild)
+    p_sbuild.add_argument(
+        "--name",
+        default=None,
+        help="store the artifact under this name (default: file stem "
+        "or analog name)",
+    )
+    p_sbuild.add_argument(
+        "--layout",
+        choices=["dense", "hybrid"],
+        default="dense",
+        help="also persist the hybrid layout's sparse tid-lists",
+    )
+    p_sbuild.add_argument(
+        "--dense-threshold",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="support-density cutoff for --layout hybrid "
+        "(default: storage break-even)",
+    )
+    store_sub.add_parser("ls", help="list stored artifacts")
+    p_sverify = store_sub.add_parser(
+        "verify", help="CRC + structural check of stored artifacts"
+    )
+    p_sverify.add_argument(
+        "names", nargs="*", help="artifact names (default: all)"
+    )
+    p_sgc = store_sub.add_parser(
+        "gc", help="remove stray temp files (and unkept artifacts)"
+    )
+    p_sgc.add_argument(
+        "--keep",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="retain only these artifacts (repeatable); without --keep "
+        "only crashed-build temp files are removed",
+    )
 
     p_trace = sub.add_parser("trace", help="summarize a recorded trace file")
     p_trace.add_argument("trace_file", help="trace written by --trace (chrome or jsonl)")
@@ -588,6 +652,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flight_capacity=args.flight_queries,
         layout=args.layout,
         dense_threshold=args.dense_threshold,
+        store_dir=args.store_dir,
+        snapshot_on_close=args.snapshot_on_close,
     )
     names = args.dataset or sorted(DATASET_REGISTRY)
     for name in names:
@@ -595,14 +661,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service.register_dataset(
             name,
             lambda name=name, scale=args.scale: dataset_analog(name, scale=scale),
+            provenance="synthetic",
         )
     for path in args.file or []:
         import pathlib
 
         stem = pathlib.Path(path).stem
-        service.register_dataset(stem, lambda path=path: _read_fimi(path))
+        service.register_dataset(
+            stem, lambda path=path: _read_fimi(path), provenance="file"
+        )
     if args.preload:
         service.preload()
+    # SIGTERM (the normal kill / orchestrator stop) must run the same
+    # drain + snapshot-on-close path as Ctrl-C, or warm-start snapshots
+    # would only ever exist after interactive shutdowns.
+    import signal
+
+    def _terminate(signum, frame):  # pragma: no cover - exercised via subprocess
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _terminate)
     try:
         server = make_server(
             service, host=args.host, port=args.port, verbose=args.verbose
@@ -628,6 +706,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
         server.server_close()
         service.close()
         if chaos is not None:
@@ -636,6 +715,100 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             uninstall()
         _emit("service stopped", file=sys.stderr)
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .store import ArtifactStore
+
+    store = ArtifactStore(args.store_dir)
+    if args.store_command == "build":
+        from .bitset.bitset import BitsetMatrix
+        from .bitset.hybrid import HybridLayout, auto_dense_threshold
+
+        db, label = _load_db(args)
+        if args.name:
+            name = args.name
+        elif args.file:
+            import pathlib
+
+            name = pathlib.Path(args.file).stem
+        else:
+            name = args.dataset or "chess"
+        hybrid = None
+        matrix = BitsetMatrix.from_database(db, aligned=True)
+        if args.layout == "hybrid":
+            threshold = (
+                args.dense_threshold
+                if args.dense_threshold is not None
+                else auto_dense_threshold(matrix.n_transactions, matrix.n_words)
+            )
+            hybrid = HybridLayout.from_matrix(matrix, threshold)
+        path = store.build(name, db, matrix=matrix, hybrid=hybrid)
+        import os
+
+        _emit(
+            f"built {name!r} from {label}: {os.path.getsize(path)} bytes "
+            f"({'hybrid' if hybrid is not None else 'dense'} layout) -> {path}"
+        )
+        return 0
+    if args.store_command == "ls":
+        names = store.names()
+        if not names:
+            _emit(f"{store.root}: empty store")
+            return 0
+        import os
+
+        for name in names:
+            size = os.path.getsize(store.dataset_path(name))
+            _emit(f"  {name}  {size} bytes")
+        stats = store.stats()
+        _emit(
+            f"{len(names)} artifact(s), {stats['disk_bytes']} bytes"
+            + (", snapshot present" if stats["has_snapshot"] else "")
+        )
+        return 0
+    if args.store_command == "verify":
+        if args.names:
+            reports = {}
+            for name in args.names:
+                try:
+                    reports[name] = {"ok": True, **store.verify(name)}
+                except ReproError as exc:
+                    reports[name] = {
+                        "ok": False,
+                        "error": type(exc).__name__,
+                        "detail": str(exc),
+                    }
+        else:
+            reports = store.verify_all()
+        failed = 0
+        for name, report in sorted(reports.items()):
+            if report["ok"]:
+                _emit(
+                    f"  {name}: OK ({report['layout']}, "
+                    f"{len(report['blocks'])} blocks, {report['nbytes']} bytes)"
+                )
+            else:
+                failed += 1
+                _emit(
+                    f"  {name}: {report['error']}: {report['detail']}",
+                    file=sys.stderr,
+                )
+        _emit(f"{len(reports) - failed}/{len(reports)} artifact(s) verified")
+        return 1 if failed else 0
+    if args.store_command == "gc":
+        report = store.gc(keep=args.keep)
+        for fn in report["removed_temp"]:
+            _emit(f"  removed temp {fn}")
+        for name in report["removed_artifacts"]:
+            _emit(f"  removed artifact {name}")
+        _emit(
+            f"gc: {len(report['removed_temp'])} temp file(s), "
+            f"{len(report['removed_artifacts'])} artifact(s) removed; "
+            f"{len(report['kept'])} kept"
+        )
+        return 0
+    raise AssertionError(f"unknown store command {args.store_command!r}")
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -673,6 +846,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "profile": _cmd_profile,
     "serve": _cmd_serve,
+    "store": _cmd_store,
     "trace": _cmd_trace,
 }
 

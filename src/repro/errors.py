@@ -23,6 +23,9 @@ __all__ = [
     "ServiceOverloadError",
     "QueryTimeoutError",
     "WorkerCrashError",
+    "StoreError",
+    "StoreCorruptError",
+    "StoreVersionError",
 ]
 
 
@@ -97,4 +100,27 @@ class WorkerCrashError(ServiceError):
     Transient by construction: the query itself was well-formed, so the
     service retries it under its :class:`~repro.service.retry.RetryPolicy`
     before surfacing the error to the caller.
+    """
+
+
+class StoreError(ReproError):
+    """Base class for errors raised by the persistent artifact store."""
+
+
+class StoreCorruptError(StoreError):
+    """Raised when a stored artifact fails integrity validation.
+
+    Bad magic, a header or block whose CRC does not match, a truncated
+    file, or geometry that contradicts the header all land here — the
+    store refuses to hand corrupt bytes to a mining engine, so disk rot
+    can never silently change supports.
+    """
+
+
+class StoreVersionError(StoreError):
+    """Raised when a stored artifact's format version is unsupported.
+
+    Distinct from corruption: the file may be perfectly intact but
+    written by a newer (or ancient) writer this reader does not
+    understand.
     """

@@ -145,14 +145,15 @@ class ResultCache:
     def _expired(self, entry: CachedEntry, now: float) -> bool:
         return self.ttl_seconds is not None and now - entry.inserted_at > self.ttl_seconds
 
-    def _sweep_expired(self, now: float) -> None:
-        """Drop expired entries (lock held by caller)."""
+    def _sweep_expired(self, now: float) -> int:
+        """Drop expired entries (lock held by caller); returns count dropped."""
         if self.ttl_seconds is None:
-            return
+            return 0
         dead = [k for k, e in self._entries.items() if self._expired(e, now)]
         for k in dead:
             del self._entries[k]
             self.metrics.inc("service.cache.expired")
+        return len(dead)
 
     def _publish_gauges(self) -> None:
         self.metrics.set_gauge(
@@ -244,7 +245,98 @@ class ResultCache:
                     self.metrics.inc("service.cache.evictions")
             self._publish_gauges()
 
+    def restore(
+        self,
+        key: Hashable,
+        result: MiningResult,
+        abs_support: int,
+        max_k: Optional[int] = None,
+        age_seconds: float = 0.0,
+    ) -> bool:
+        """Re-insert a snapshotted entry, backdated by its age at snapshot.
+
+        Used by :mod:`repro.store.snapshot` on warm start: the entry's
+        remaining TTL carries across the restart instead of resetting,
+        so a snapshot taken moments before expiry does not resurrect a
+        stale result for a full fresh lifetime. Returns ``False`` when
+        the entry is already expired (or over budget) and was skipped.
+        """
+        now = self.clock()
+        inserted_at = now - max(0.0, float(age_seconds))
+        entry = CachedEntry(
+            result=result,
+            abs_support=abs_support,
+            max_k=max_k,
+            inserted_at=inserted_at,
+            nbytes=result_bytes(result),
+        )
+        if self._expired(entry, now):
+            return False
+        if self.budget_bytes is not None and entry.nbytes > self.budget_bytes:
+            self.metrics.inc("service.cache.oversize_skipped")
+            return False
+        with self._lock:
+            full_key = (key, abs_support, max_k)
+            self._entries[full_key] = entry
+            self._entries.move_to_end(full_key)
+            self.metrics.inc("service.cache.restored")
+            if self.budget_bytes is not None:
+                total = sum(e.nbytes for e in self._entries.values())
+                while total > self.budget_bytes and len(self._entries) > 1:
+                    victim_key = next(k for k in self._entries if k != full_key)
+                    victim = self._entries.pop(victim_key)
+                    total -= victim.nbytes
+                    self.metrics.inc("service.cache.evictions")
+            self._publish_gauges()
+        return True
+
     # -- maintenance --------------------------------------------------------
+
+    def sweep(self) -> int:
+        """Drop expired entries now; returns how many were released.
+
+        ``lookup()``/``store()`` sweep lazily, which means a long-idle
+        serve process would pin expired bytes forever. The service's
+        maintenance loop (and ``stats()``) call this periodically so
+        TTL expiry actually releases memory on an idle instance.
+        """
+        with self._lock:
+            dropped = self._sweep_expired(self.clock())
+            if dropped:
+                self._publish_gauges()
+            return dropped
+
+    def invalidate(self, predicate) -> int:
+        """Drop every entry whose cache key satisfies ``predicate``.
+
+        ``predicate`` receives the caller-supplied ``key`` (the first
+        element of the internal ``(key, abs_support, max_k)`` tuple).
+        The registry uses this to couple dataset eviction to cache
+        invalidation. Returns the number of entries dropped.
+        """
+        with self._lock:
+            dead = [k for k in self._entries if predicate(k[0])]
+            for k in dead:
+                del self._entries[k]
+                self.metrics.inc("service.cache.invalidated")
+            if dead:
+                self._publish_gauges()
+            return len(dead)
+
+    def entries_snapshot(self):
+        """A point-in-time list of ``(full_key, entry)`` pairs.
+
+        Entries already expired at snapshot time are excluded; the
+        snapshot writer persists the rest with their age so TTL
+        semantics survive a restart.
+        """
+        now = self.clock()
+        with self._lock:
+            return [
+                (full_key, entry)
+                for full_key, entry in self._entries.items()
+                if not self._expired(entry, now)
+            ]
 
     def clear(self) -> None:
         with self._lock:
@@ -256,6 +348,7 @@ class ResultCache:
             return len(self._entries)
 
     def stats(self) -> Dict:
+        self.sweep()  # periodic hook: polling stats keeps TTL honest
         with self._lock:
             return {
                 "entries": len(self._entries),

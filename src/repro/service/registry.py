@@ -18,6 +18,21 @@ datasets are planned at load time, not per query.
 Entries are LRU-evicted by *resident bytes* (CSR storage plus pinned
 matrix) against ``budget_bytes``; the entry being requested is never
 evicted, so a single over-budget dataset still serves.
+
+With ``store=`` (an :class:`~repro.store.ArtifactStore`), the registry
+becomes persistence-aware: a dataset whose artifact is in the store is
+pinned straight from its memory map — zero FIMI re-parse, zero
+re-transpose — and budget evictions *spill* the victim to the store
+(build once, then the artifact answers every future reload). Entries
+report their provenance (``source``: ``store`` / ``file`` /
+``synthetic``, plus ``mmap``) through ``/v1/datasets``.
+
+Cache-coupling policy: **explicit** ``evict()`` and re-``add()`` fire
+the ``on_invalidate`` hook (the operator is saying the dataset's
+content may have changed), while **budget** LRU evictions do not — the
+source is unchanged, so a reload yields a bit-identical database and
+every cached result remains exact. ``tests/service/test_registry_store``
+documents both halves.
 """
 
 from __future__ import annotations
@@ -52,6 +67,8 @@ class DatasetEntry:
     shard_plan: Optional[ShardPlan] = None
     hybrid: Optional[HybridLayout] = None
     resident_bytes: int = field(default=0)
+    source: str = "file"
+    mmap: bool = False
 
     def __post_init__(self) -> None:
         if not self.resident_bytes:
@@ -67,6 +84,8 @@ class DatasetEntry:
             "n_items": self.db.n_items,
             "resident_bytes": self.resident_bytes,
             "matrix_bytes": self.matrix.nbytes,
+            "source": self.source,
+            "mmap": self.mmap,
             "shard_plan": self.shard_plan.as_dict() if self.shard_plan else None,
             "layout": self.hybrid.as_dict() if self.hybrid else None,
             "profile": self.profile.as_dict(),
@@ -101,6 +120,16 @@ class DatasetRegistry:
     dense_threshold:
         Support-density cutoff for the pinned hybrid classification;
         ``None`` uses the storage break-even threshold.
+    store:
+        Optional :class:`~repro.store.ArtifactStore`. When set, names
+        with a stored artifact pin from its memory map instead of the
+        registered loader, store-only datasets become servable without
+        any ``add()``, and budget evictions spill to the store.
+    on_invalidate:
+        Hook called (outside the registry lock) with a dataset name
+        whenever its content identity may have changed — explicit
+        ``evict()`` or re-``add()``. The service wires this to
+        result-cache invalidation.
     """
 
     def __init__(
@@ -110,6 +139,8 @@ class DatasetRegistry:
         metrics: Optional[MetricsRegistry] = None,
         layout: str = "dense",
         dense_threshold: Optional[float] = None,
+        store=None,
+        on_invalidate: Optional[Callable[[str], None]] = None,
     ) -> None:
         if budget_bytes is not None and budget_bytes < 1:
             raise DatasetError(
@@ -132,9 +163,12 @@ class DatasetRegistry:
         self.device_budget_bytes = device_budget_bytes
         self.layout = layout
         self.dense_threshold = dense_threshold
+        self.store = store
+        self.on_invalidate = on_invalidate
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._lock = threading.Lock()
         self._sources: Dict[str, Callable[[], TransactionDatabase]] = {}
+        self._provenance: Dict[str, str] = {}
         self._entries: "OrderedDict[str, DatasetEntry]" = OrderedDict()
         # One build lock per dataset: two concurrent first queries for
         # the same dataset must load it once, while loads of *different*
@@ -143,14 +177,17 @@ class DatasetRegistry:
 
     # -- registration -------------------------------------------------------
 
-    def add(self, name: str, source: DatasetSource) -> None:
+    def add(self, name: str, source: DatasetSource, provenance: str = "file") -> None:
         """Register a dataset under ``name``.
 
         ``source`` is either a ready :class:`TransactionDatabase` or a
         zero-argument loader called lazily on first access (so a server
         can advertise many datasets and pay only for the ones queried).
-        Re-registering a name replaces its source and drops any
-        resident entry.
+        ``provenance`` labels where the bytes come from (``"file"`` /
+        ``"synthetic"``) for the ``/v1/datasets`` view. Re-registering
+        a name replaces its source, drops any resident entry, and fires
+        ``on_invalidate`` — the new source may produce different data,
+        so cached results for the name are no longer trustworthy.
         """
         if isinstance(source, TransactionDatabase):
             loader: Callable[[], TransactionDatabase] = lambda db=source: db
@@ -162,15 +199,20 @@ class DatasetRegistry:
                 f"got {type(source).__name__}"
             )
         with self._lock:
+            replaced = name in self._sources or name in self._entries
             self._sources[name] = loader
+            self._provenance[name] = provenance
             self._build_locks.setdefault(name, threading.Lock())
             self._entries.pop(name, None)
             self._publish_gauges()
+        if replaced and self.on_invalidate is not None:
+            self.on_invalidate(name)
 
     def names(self) -> list:
-        """All registered dataset names (resident or not), sorted."""
+        """All servable dataset names (registered or store-held), sorted."""
+        stored = set(self.store.names()) if self.store is not None else set()
         with self._lock:
-            return sorted(self._sources)
+            return sorted(set(self._sources) | stored)
 
     def resident(self) -> list:
         """Names of currently loaded entries, LRU-first."""
@@ -197,11 +239,13 @@ class DatasetRegistry:
                 self.metrics.inc("service.registry.hits")
                 return entry
             loader = self._sources.get(name)
-            if loader is None:
+            if loader is None and not (self.store is not None and self.store.has(name)):
+                stored = self.store.names() if self.store is not None else []
                 raise DatasetError(
-                    f"unknown dataset {name!r}; registered: {sorted(self._sources)}"
+                    f"unknown dataset {name!r}; servable: "
+                    f"{sorted(set(self._sources) | set(stored))}"
                 )
-            build_lock = self._build_locks[name]
+            build_lock = self._build_locks.setdefault(name, threading.Lock())
         with build_lock:
             # another thread may have finished the load while we waited
             with self._lock:
@@ -215,24 +259,65 @@ class DatasetRegistry:
                 self._entries[name] = entry
                 self._entries.move_to_end(name)
                 self.metrics.inc("service.registry.loads")
-                self._evict_over_budget(keep=name)
+                victims = self._evict_over_budget(keep=name)
                 self._publish_gauges()
+            # Spilling happens outside the registry lock: a store build
+            # CRCs and fsyncs megabytes, and queries for other datasets
+            # must not stall behind it.
+            for victim in victims:
+                self._spill(victim)
             return entry
 
-    def _load(self, name: str, loader: Callable[[], TransactionDatabase]) -> DatasetEntry:
+    def _spill(self, victim: DatasetEntry) -> None:
+        """Persist a budget-evicted entry so its next load is an mmap."""
+        if self.store is None or victim.mmap:
+            return  # mmap entries came *from* the store; nothing to save
+        try:
+            if not self.store.has(victim.name):
+                with span("store.spill", dataset=victim.name):
+                    self.store.build(
+                        victim.name,
+                        victim.db,
+                        matrix=victim.matrix,
+                        hybrid=victim.hybrid,
+                        profile=victim.profile,
+                    )
+                self.metrics.inc("store.spills")
+        except Exception:
+            # Spilling is an optimization; a full disk must not turn a
+            # routine eviction into a failed query.
+            self.metrics.inc("store.spill_failures")
+
+    def _load(
+        self, name: str, loader: Optional[Callable[[], TransactionDatabase]]
+    ) -> DatasetEntry:
         with span("service.dataset_load", dataset=name) as sp:
-            db = loader()
-            if not isinstance(db, TransactionDatabase):
-                raise DatasetError(
-                    f"loader for dataset {name!r} returned "
-                    f"{type(db).__name__}, not a TransactionDatabase"
-                )
-            with span("transpose", dataset=name, pinned=True):
-                matrix = BitsetMatrix.from_database(db, aligned=True)
-            with span("service.dataset_profile", dataset=name):
-                profile = profile_database(db)
-            hybrid = None
-            if self.layout != "dense":
+            source = self._provenance.get(name, "file")
+            mmap = False
+            db = matrix = profile = hybrid = None
+            if self.store is not None and self.store.has(name):
+                # Store-first: the artifact memory-maps straight into the
+                # pinned layouts — no re-parse, no re-transpose.
+                artifact = self.store.load(name)
+                db, matrix, profile = artifact.db, artifact.matrix, artifact.profile
+                hybrid = artifact.hybrid
+                source, mmap = "store", True
+            if db is None:
+                if loader is None:
+                    raise DatasetError(f"unknown dataset {name!r}")
+                db = loader()
+                if not isinstance(db, TransactionDatabase):
+                    raise DatasetError(
+                        f"loader for dataset {name!r} returned "
+                        f"{type(db).__name__}, not a TransactionDatabase"
+                    )
+            if matrix is None:
+                with span("transpose", dataset=name, pinned=True):
+                    matrix = BitsetMatrix.from_database(db, aligned=True)
+            if profile is None:
+                with span("service.dataset_profile", dataset=name):
+                    profile = profile_database(db)
+            if hybrid is None and self.layout != "dense":
                 threshold = (
                     self.dense_threshold
                     if self.dense_threshold is not None
@@ -255,6 +340,8 @@ class DatasetRegistry:
                 profile=profile,
                 shard_plan=plan,
                 hybrid=hybrid,
+                source=source,
+                mmap=mmap,
             )
             sp.set(
                 n_transactions=db.n_transactions,
@@ -262,31 +349,51 @@ class DatasetRegistry:
                 resident_bytes=entry.resident_bytes,
                 sharded=plan is not None,
                 layout="hybrid" if hybrid is not None else "dense",
+                source=source,
+                mmap=mmap,
             )
         return entry
 
     # -- eviction -----------------------------------------------------------
 
-    def _evict_over_budget(self, keep: str) -> None:
-        """Drop LRU entries until under budget (lock held by caller)."""
+    def _evict_over_budget(self, keep: str) -> list:
+        """Drop LRU entries until under budget (lock held by caller).
+
+        Returns the evicted entries so the caller can spill them to the
+        store *after* releasing the lock. Budget evictions do **not**
+        invalidate cached results: the source is unchanged, a reload
+        yields a bit-identical database, so every cached answer stays
+        exact (anti-monotonicity does the rest).
+        """
+        victims: list = []
         if self.budget_bytes is None:
-            return
+            return victims
         total = sum(e.resident_bytes for e in self._entries.values())
         while total > self.budget_bytes and len(self._entries) > 1:
             victim_name = next(n for n in self._entries if n != keep)
             victim = self._entries.pop(victim_name)
+            victims.append(victim)
             total -= victim.resident_bytes
             self.metrics.inc("service.registry.evictions")
             self.metrics.inc("service.registry.evicted_bytes", victim.resident_bytes)
+        return victims
 
     def evict(self, name: str) -> bool:
-        """Explicitly drop a resident entry; True if it was loaded."""
+        """Explicitly drop a resident entry; True if it was loaded.
+
+        Unlike budget eviction, an explicit evict is an operator saying
+        "this dataset's content may have changed" — so it fires
+        ``on_invalidate`` and the service drops the name's cached
+        results rather than serving answers mined from stale bytes.
+        """
         with self._lock:
             hit = self._entries.pop(name, None) is not None
             if hit:
                 self.metrics.inc("service.registry.evictions")
             self._publish_gauges()
-            return hit
+        if hit and self.on_invalidate is not None:
+            self.on_invalidate(name)
+        return hit
 
     def _publish_gauges(self) -> None:
         self.metrics.set_gauge(
@@ -298,9 +405,11 @@ class DatasetRegistry:
     # -- introspection ------------------------------------------------------
 
     def stats(self) -> Dict:
+        stored = self.store.names() if self.store is not None else []
         with self._lock:
             return {
                 "registered": sorted(self._sources),
+                "stored": stored,
                 "resident": list(self._entries),
                 "resident_bytes": sum(
                     e.resident_bytes for e in self._entries.values()

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import itertools
 import logging
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Tuple
@@ -42,12 +43,14 @@ from ..errors import (
     DeviceMemoryError,
     MiningError,
     ServiceError,
+    StoreError,
     WorkerCrashError,
 )
 from ..obs import span
 from ..obs.logging import get_logger, log_event
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer, current_tracer
+from ..store import ArtifactStore
 from .cache import ResultCache
 from .flightrec import FlightRecorder, QueryRecord, now_epoch
 from .registry import DatasetEntry, DatasetRegistry
@@ -142,6 +145,21 @@ class MiningService:
         the :class:`DatasetRegistry` (which pins the hybrid
         classification at load time) and folded into each query's
         config unless the query sets ``layout=`` itself.
+    store_dir:
+        When set, an :class:`~repro.store.ArtifactStore` rooted there
+        backs the registry: stored artifacts pin via ``numpy.memmap``
+        (zero re-parse), budget evictions spill to disk, and any
+        result-cache snapshot in the store is replayed at startup
+        (warm start). A corrupt snapshot is logged and ignored — the
+        service starts cold rather than trusting damaged state.
+    snapshot_on_close:
+        Snapshot the result cache into the store on ``close()`` so the
+        next boot serves warm answers. Requires ``store_dir``.
+    maintenance_interval:
+        Seconds between background maintenance ticks (TTL sweep of the
+        result cache, so an idle server still releases expired bytes).
+        ``None`` disables the thread; sweeps then only happen inside
+        ``lookup()``/``store()``/``stats()``.
     """
 
     def __init__(
@@ -158,14 +176,26 @@ class MiningService:
         retry_policy: Optional[RetryPolicy] = None,
         layout: str = "dense",
         dense_threshold: Optional[float] = None,
+        store_dir: Optional[str] = None,
+        snapshot_on_close: bool = False,
+        maintenance_interval: Optional[float] = 30.0,
     ) -> None:
+        if snapshot_on_close and store_dir is None:
+            raise ServiceError("snapshot_on_close requires store_dir")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.store = (
+            ArtifactStore(store_dir, metrics=self.metrics)
+            if store_dir is not None
+            else None
+        )
         self.registry = DatasetRegistry(
             budget_bytes=registry_bytes,
             device_budget_bytes=device_budget_bytes,
             metrics=self.metrics,
             layout=layout,
             dense_threshold=dense_threshold,
+            store=self.store,
+            on_invalidate=self._invalidate_dataset,
         )
         self.cache = ResultCache(
             budget_bytes=cache_bytes, ttl_seconds=cache_ttl, metrics=self.metrics
@@ -176,16 +206,29 @@ class MiningService:
         self.flight = FlightRecorder(capacity=flight_capacity)
         self.retry = retry_policy if retry_policy is not None else RetryPolicy()
         self.slow_query_ms = slow_query_ms
+        self.snapshot_on_close = snapshot_on_close
         self._query_ids = itertools.count(1)
         self._preload_requested = False
         self._preload_done = False
         self._closed = False
+        if self.store is not None:
+            self._restore_snapshot()
+        self._maint_stop = threading.Event()
+        self._maint_thread: Optional[threading.Thread] = None
+        if maintenance_interval is not None and maintenance_interval > 0:
+            self._maint_thread = threading.Thread(
+                target=self._maintenance_loop,
+                args=(float(maintenance_interval),),
+                name="service-maintenance",
+                daemon=True,
+            )
+            self._maint_thread.start()
 
     # -- datasets -----------------------------------------------------------
 
-    def register_dataset(self, name: str, source) -> None:
+    def register_dataset(self, name: str, source, provenance: str = "file") -> None:
         """Register a dataset (database or lazy loader) under ``name``."""
-        self.registry.add(name, source)
+        self.registry.add(name, source, provenance=provenance)
 
     def preload(self, *names: str) -> None:
         """Eagerly load datasets (all registered ones when no names)."""
@@ -584,6 +627,66 @@ class MiningService:
             entry.db, abs_support, algorithm="gpapriori", max_k=max_k, **kwargs
         )
 
+    # -- persistence / maintenance ------------------------------------------
+
+    def _invalidate_dataset(self, name: str) -> None:
+        """Drop every cached result keyed to a dataset (registry hook)."""
+        dropped = self.cache.invalidate(
+            lambda key: isinstance(key, tuple) and bool(key) and key[0] == name
+        )
+        if dropped:
+            log_event(
+                logger,
+                logging.INFO,
+                "cache.invalidated",
+                dataset=name,
+                entries=dropped,
+            )
+
+    def _restore_snapshot(self) -> None:
+        """Warm-start the result cache from the store's snapshot."""
+        try:
+            restored = self.store.load_snapshot(self.cache)
+        except StoreError as exc:
+            log_event(
+                logger,
+                logging.WARNING,
+                "store.snapshot_corrupt",
+                error=str(exc),
+                error_type=type(exc).__name__,
+            )
+            return
+        if restored:
+            log_event(
+                logger,
+                logging.INFO,
+                "store.snapshot_restored",
+                entries=restored,
+                path=self.store.snapshot_path,
+            )
+
+    def _maintenance_loop(self, interval: float) -> None:
+        """Periodic idle-time upkeep (daemon thread).
+
+        The TTL sweep here is the fix for the lazy-expiry bug: without
+        it, a serve process that stops receiving queries pins expired
+        cache bytes forever, because expiry was only ever checked
+        inside ``lookup()``/``store()``.
+        """
+        while not self._maint_stop.wait(interval):
+            try:
+                dropped = self.cache.sweep()
+                self.metrics.inc("service.maintenance_ticks")
+                if dropped:
+                    log_event(
+                        logger,
+                        logging.INFO,
+                        "cache.swept",
+                        entries=dropped,
+                    )
+            except Exception:  # pragma: no cover - upkeep must never die
+                logger.exception("maintenance tick failed")
+
     # -- introspection / lifecycle ------------------------------------------
 
     def ready(self) -> Dict:
@@ -612,15 +715,41 @@ class MiningService:
             "cache": self.cache.stats(),
             "scheduler": self.scheduler.stats(),
             "flight": self.flight.stats(),
+            "store": self.store.stats() if self.store is not None else None,
             "metrics": self.metrics.snapshot(),
         }
 
     def close(self) -> None:
-        """Drain the worker pool and stop accepting queries."""
+        """Drain the worker pool and stop accepting queries.
+
+        With ``snapshot_on_close`` the result cache is persisted to the
+        store *after* the drain, so results from queries in flight at
+        shutdown make it into the snapshot the next boot replays.
+        """
         if self._closed:
             return
         self._closed = True
+        self._maint_stop.set()
+        if self._maint_thread is not None:
+            self._maint_thread.join(timeout=5.0)
         self.scheduler.close()
+        if self.snapshot_on_close and self.store is not None:
+            try:
+                saved = self.store.save_snapshot(self.cache)
+                log_event(
+                    logger,
+                    logging.INFO,
+                    "store.snapshot_saved",
+                    entries=saved,
+                    path=self.store.snapshot_path,
+                )
+            except OSError as exc:  # pragma: no cover - disk-full etc.
+                log_event(
+                    logger,
+                    logging.WARNING,
+                    "store.snapshot_failed",
+                    error=str(exc),
+                )
 
     def __enter__(self) -> "MiningService":
         return self

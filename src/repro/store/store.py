@@ -1,0 +1,282 @@
+""":class:`ArtifactStore` — the on-disk directory of mining artifacts.
+
+Layout under one root::
+
+    <root>/
+        datasets/
+            <name>.rvl          one artifact per dataset (format.py)
+            .tmp-*              in-flight writes (gc() removes strays)
+        snapshots/
+            result_cache.json   ResultCache snapshot (snapshot.py)
+
+Every publish is write-to-temp + ``os.replace`` in the same directory,
+so readers only ever see complete artifacts — a crash mid-build leaves
+a ``.tmp-*`` stray for :meth:`ArtifactStore.gc`, never a torn ``.rvl``.
+Dataset names double as file names, so they are restricted to a safe
+character set (no separators, no leading dot).
+
+``store.*`` metrics and spans cover the hot paths: builds, loads (with
+bytes mapped), spills from the registry, verifies, and gc sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tempfile
+from typing import Dict, List, Optional
+
+from ..bitset.bitset import BitsetMatrix
+from ..bitset.hybrid import HybridLayout
+from ..datasets.characterize import DatasetProfile
+from ..datasets.transaction_db import TransactionDatabase
+from ..errors import StoreCorruptError, StoreError
+from ..obs import span
+from ..obs.metrics import MetricsRegistry
+from .format import DatasetArtifact, read_dataset, verify_file, write_dataset
+from .snapshot import restore_result_cache, snapshot_result_cache
+
+__all__ = ["ARTIFACT_SUFFIX", "ArtifactStore"]
+
+ARTIFACT_SUFFIX = ".rvl"
+"""File suffix for dataset artifacts ("repro vertical layout")."""
+
+_SAFE_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+_TMP_PREFIX = ".tmp-"
+
+
+class ArtifactStore:
+    """A directory of persistent mining artifacts.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created (with subdirectories) on first use.
+    metrics:
+        Shared registry receiving ``store.*`` counters and gauges.
+    """
+
+    def __init__(self, root, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.root = os.fspath(root)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.datasets_dir = os.path.join(self.root, "datasets")
+        self.snapshots_dir = os.path.join(self.root, "snapshots")
+        os.makedirs(self.datasets_dir, exist_ok=True)
+        os.makedirs(self.snapshots_dir, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+
+    @staticmethod
+    def check_name(name: str) -> str:
+        """Validate a dataset name as a safe file-name component."""
+        if not isinstance(name, str) or not _SAFE_NAME.match(name):
+            raise StoreError(
+                f"invalid dataset name {name!r}: must match "
+                f"{_SAFE_NAME.pattern} (letters, digits, '.', '_', '-'; "
+                "no leading dot)"
+            )
+        return name
+
+    def dataset_path(self, name: str) -> str:
+        return os.path.join(self.datasets_dir, self.check_name(name) + ARTIFACT_SUFFIX)
+
+    @property
+    def snapshot_path(self) -> str:
+        return os.path.join(self.snapshots_dir, "result_cache.json")
+
+    # -- datasets ------------------------------------------------------------
+
+    def build(
+        self,
+        name: str,
+        db: TransactionDatabase,
+        matrix: Optional[BitsetMatrix] = None,
+        hybrid: Optional[HybridLayout] = None,
+        profile: Optional[DatasetProfile] = None,
+    ) -> str:
+        """Serialize a dataset artifact atomically; returns its path.
+
+        The bytes land in a ``.tmp-*`` file first and are published
+        with ``os.replace``, so a concurrent :meth:`load` sees either
+        the previous artifact or the new one, never a partial write.
+        """
+        final = self.dataset_path(name)
+        fd, tmp = tempfile.mkstemp(prefix=_TMP_PREFIX, dir=self.datasets_dir)
+        os.close(fd)
+        try:
+            with span("store.build", dataset=name):
+                nbytes = write_dataset(
+                    tmp, name, db, matrix=matrix, hybrid=hybrid, profile=profile
+                )
+            os.replace(tmp, final)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.metrics.inc("store.builds")
+        self.metrics.inc("store.build_bytes", nbytes)
+        return final
+
+    def load(self, name: str, verify: bool = True) -> DatasetArtifact:
+        """Memory-map one artifact back as zero-copy views.
+
+        Raises :class:`~repro.errors.StoreError` when the dataset is
+        not in the store, and the usual typed corruption errors when
+        it is present but damaged.
+        """
+        path = self.dataset_path(name)
+        if not os.path.exists(path):
+            raise StoreError(f"dataset {name!r} is not in the store at {self.root}")
+        with span("store.load", dataset=name, verify=verify):
+            artifact = read_dataset(path, verify=verify)
+        self.metrics.inc("store.loads")
+        self.metrics.inc("store.load_bytes", artifact.nbytes)
+        return artifact
+
+    def has(self, name: str) -> bool:
+        try:
+            return os.path.exists(self.dataset_path(name))
+        except StoreError:
+            return False
+
+    def names(self) -> List[str]:
+        """Dataset names currently published in the store, sorted."""
+        out = []
+        for fn in os.listdir(self.datasets_dir):
+            if fn.endswith(ARTIFACT_SUFFIX) and not fn.startswith("."):
+                out.append(fn[: -len(ARTIFACT_SUFFIX)])
+        return sorted(out)
+
+    def remove(self, name: str) -> bool:
+        """Delete one artifact; returns whether it existed."""
+        path = self.dataset_path(name)
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            return False
+        self.metrics.inc("store.removed")
+        return True
+
+    # -- integrity -----------------------------------------------------------
+
+    def verify(self, name: str) -> Dict:
+        """Full CRC + structural check of one artifact (typed errors)."""
+        path = self.dataset_path(name)
+        if not os.path.exists(path):
+            raise StoreError(f"dataset {name!r} is not in the store at {self.root}")
+        with span("store.verify", dataset=name):
+            try:
+                report = verify_file(path)
+            except StoreError:
+                self.metrics.inc("store.verify_failures")
+                raise
+        self.metrics.inc("store.verifies")
+        return report
+
+    def verify_all(self) -> Dict[str, Dict]:
+        """Verify every artifact; failures become ``{"error": ...}`` rows.
+
+        Unlike :meth:`verify` this never raises for a damaged artifact —
+        it is the ``repro store verify`` sweep, which should report all
+        corruption in one pass rather than stop at the first file.
+        """
+        out: Dict[str, Dict] = {}
+        for name in self.names():
+            try:
+                out[name] = {"ok": True, **self.verify(name)}
+            except StoreError as exc:
+                out[name] = {
+                    "ok": False,
+                    "error": type(exc).__name__,
+                    "detail": str(exc),
+                }
+        return out
+
+    # -- housekeeping --------------------------------------------------------
+
+    def gc(self, keep: Optional[List[str]] = None) -> Dict:
+        """Remove stray temp files (and, with ``keep``, unwanted artifacts).
+
+        ``gc()`` alone only clears crashed-build ``.tmp-*`` strays.
+        ``gc(keep=[...])`` additionally deletes published artifacts
+        whose name is not in ``keep`` — the retention sweep behind
+        ``repro store gc --keep``.
+        """
+        removed_temp: List[str] = []
+        removed_artifacts: List[str] = []
+        for fn in sorted(os.listdir(self.datasets_dir)):
+            path = os.path.join(self.datasets_dir, fn)
+            if fn.startswith(_TMP_PREFIX):
+                try:
+                    os.unlink(path)
+                    removed_temp.append(fn)
+                except OSError:
+                    pass
+        if keep is not None:
+            keep_set = {self.check_name(n) for n in keep}
+            for name in self.names():
+                if name not in keep_set and self.remove(name):
+                    removed_artifacts.append(name)
+        self.metrics.inc("store.gc_runs")
+        if removed_temp or removed_artifacts:
+            self.metrics.inc(
+                "store.gc_removed", len(removed_temp) + len(removed_artifacts)
+            )
+        return {
+            "removed_temp": removed_temp,
+            "removed_artifacts": removed_artifacts,
+            "kept": self.names(),
+        }
+
+    def stats(self) -> Dict:
+        names = self.names()
+        nbytes = 0
+        for name in names:
+            try:
+                nbytes += os.path.getsize(self.dataset_path(name))
+            except OSError:
+                pass
+        if os.path.exists(self.snapshot_path):
+            try:
+                nbytes += os.path.getsize(self.snapshot_path)
+            except OSError:
+                pass
+        self.metrics.set_gauge("store.datasets", len(names))
+        self.metrics.set_gauge("store.disk_bytes", nbytes)
+        return {
+            "root": self.root,
+            "datasets": names,
+            "disk_bytes": nbytes,
+            "has_snapshot": os.path.exists(self.snapshot_path),
+        }
+
+    # -- result-cache snapshots ----------------------------------------------
+
+    def save_snapshot(self, cache) -> int:
+        """Snapshot a :class:`~repro.service.cache.ResultCache` to the store."""
+        with span("store.snapshot_save"):
+            n = snapshot_result_cache(cache, self.snapshot_path)
+        self.metrics.inc("store.snapshot_saves")
+        self.metrics.set_gauge("store.snapshot_entries", n)
+        return n
+
+    def load_snapshot(self, cache) -> int:
+        """Replay the stored snapshot into a cache (0 when none exists).
+
+        A corrupt snapshot raises :class:`~repro.errors.StoreCorruptError`;
+        the service catches it and starts cold — a cache snapshot is an
+        optimization, never a source of truth.
+        """
+        with span("store.snapshot_load"):
+            try:
+                n = restore_result_cache(cache, self.snapshot_path)
+            except StoreCorruptError:
+                self.metrics.inc("store.snapshot_corrupt")
+                raise
+        self.metrics.inc("store.snapshot_loads")
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ArtifactStore(root={self.root!r}, datasets={len(self.names())})"

@@ -1,0 +1,131 @@
+"""Restart round-trip: a killed server comes back warm from its store.
+
+The warm-start acceptance test, end to end over real processes:
+
+1. build a store artifact with the CLI (``repro store build``),
+2. start ``repro serve --store-dir ... --snapshot-on-close``, mine one
+   query cold, and **kill the process with SIGTERM** (the orchestrator
+   path, not Ctrl-C),
+3. start a fresh server on the same store and assert the first query is
+   answered from the restored snapshot (``source: "cache"``) with
+   itemsets bit-identical to the cold run — zero FIMI re-parse, zero
+   re-mine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+from repro.datasets import write_fimi
+
+STARTUP_SECONDS = 30.0
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _spawn_serve(store_dir, data_file):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--workers", "2",
+            "--file", str(data_file),
+            "--store-dir", str(store_dir),
+            "--snapshot-on-close",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"on http://([\d.]+):(\d+)", line)
+    assert match, f"no serving banner in {line!r} (exit={proc.poll()})"
+    base = f"http://{match.group(1)}:{match.group(2)}"
+    deadline = time.monotonic() + STARTUP_SECONDS
+    while True:
+        try:
+            with urllib.request.urlopen(f"{base}/v1/healthz", timeout=2.0):
+                return proc, base
+        except OSError:
+            if time.monotonic() > deadline:
+                proc.kill()
+                raise
+            time.sleep(0.1)
+
+
+def _post_mine(base, doc):
+    req = urllib.request.Request(
+        f"{base}/v1/mine",
+        data=json.dumps(doc).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=STARTUP_SECONDS) as resp:
+        return json.loads(resp.read().decode())
+
+
+def _get(base, path):
+    with urllib.request.urlopen(f"{base}{path}", timeout=10.0) as resp:
+        return json.loads(resp.read().decode())
+
+
+def test_serve_restart_round_trip(tmp_path, small_db):
+    data = tmp_path / "warm.dat"
+    write_fimi(small_db, data)
+    store_dir = tmp_path / "store"
+
+    # 1. pre-build the dataset artifact so the server mmaps it
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    build = subprocess.run(
+        [
+            sys.executable, "-m", "repro",
+            "store", "--store-dir", str(store_dir),
+            "build", "--file", str(data),
+        ],
+        capture_output=True, text=True, env=env, timeout=60,
+    )
+    assert build.returncode == 0, build.stderr
+    assert (store_dir / "datasets" / "warm.rvl").exists()
+
+    # 2. first life: cold mine, then SIGTERM (snapshot-on-close must run)
+    proc, base = _spawn_serve(store_dir, data)
+    try:
+        cold = _post_mine(base, {"dataset": "warm", "min_support": 0.15})
+        assert cold["source"] == "cold"
+        # provenance: the registry pinned the artifact, not the file
+        datasets = _get(base, "/v1/datasets")
+        entry = datasets["resident"]["warm"]
+        assert entry["source"] == "store"
+        assert entry["mmap"] is True
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=15.0)
+    snapshot = store_dir / "snapshots" / "result_cache.json"
+    assert snapshot.exists(), "SIGTERM shutdown did not write the snapshot"
+
+    # 3. second life: the FIRST query must come from the restored cache
+    proc, base = _spawn_serve(store_dir, data)
+    try:
+        warm = _post_mine(base, {"dataset": "warm", "min_support": 0.15})
+        assert warm["source"] == "cache", (
+            f"restart answered {warm['source']!r}, not the restored snapshot"
+        )
+        assert warm["result"]["itemsets"] == cold["result"]["itemsets"]
+        assert warm["result"]["n_transactions"] == cold["result"]["n_transactions"]
+        # and a tighter query is served by filtering the restored run
+        tighter = _post_mine(base, {"dataset": "warm", "min_support": 0.3})
+        assert tighter["source"] in ("cache", "cache_filtered")
+    finally:
+        proc.terminate()
+        proc.wait(timeout=15.0)

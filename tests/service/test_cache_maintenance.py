@@ -1,0 +1,108 @@
+"""Regression tests: TTL expiry must not depend on query traffic.
+
+The original bug: ``ResultCache`` swept expired entries only inside
+``lookup()``/``store()``, so a serve process that stopped receiving
+queries pinned expired bytes forever. The fix is a public ``sweep()``
+driven by the service's periodic maintenance thread (and ``stats()``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.itemset import MiningResult
+from repro.service.cache import ResultCache
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_result():
+    return MiningResult({(0,): 5}, n_transactions=10, min_support=2)
+
+
+KEY = ("ds", "gpapriori", ())
+
+
+class TestSweep:
+    def test_idle_cache_releases_expired_bytes_via_sweep(self):
+        """The regression: entries expire with NO lookup/store traffic."""
+        clock = FakeClock()
+        cache = ResultCache(ttl_seconds=10, clock=clock)
+        cache.store(KEY, make_result(), 2, None)
+        clock.now = 100.0  # long idle, way past TTL
+        assert len(cache) == 1  # still pinned: nothing swept it yet
+        assert cache.sweep() == 1
+        assert len(cache) == 0
+        assert cache.metrics.gauge("service.cache.resident_bytes") == 0
+        assert cache.metrics.counter("service.cache.expired") == 1
+
+    def test_sweep_keeps_live_entries(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl_seconds=10, clock=clock)
+        cache.store(KEY, make_result(), 2, None)
+        clock.now = 5.0
+        assert cache.sweep() == 0
+        assert len(cache) == 1
+
+    def test_sweep_without_ttl_is_noop(self):
+        cache = ResultCache()
+        cache.store(KEY, make_result(), 2, None)
+        assert cache.sweep() == 0
+        assert len(cache) == 1
+
+    def test_stats_sweeps(self):
+        """Polling /v1/stats (monitoring always does) also expires."""
+        clock = FakeClock()
+        cache = ResultCache(ttl_seconds=10, clock=clock)
+        cache.store(KEY, make_result(), 2, None)
+        clock.now = 100.0
+        stats = cache.stats()
+        assert stats["entries"] == 0
+        assert stats["resident_bytes"] == 0
+
+
+class TestServiceMaintenanceThread:
+    def test_maintenance_thread_sweeps_idle_cache(self):
+        from repro.service import MiningService
+
+        service = MiningService(
+            workers=1,
+            cache_ttl=0.05,
+            maintenance_interval=0.05,
+        )
+        try:
+            service.cache.store(KEY, make_result(), 2, None)
+            deadline = time.time() + 5.0
+            while time.time() < deadline and len(service.cache) > 0:
+                time.sleep(0.02)  # NO queries: only the thread can sweep
+            assert len(service.cache) == 0, (
+                "maintenance thread never released the expired entry"
+            )
+            assert service.metrics.counter("service.maintenance_ticks") > 0
+        finally:
+            service.close()
+
+    def test_maintenance_thread_stops_on_close(self):
+        from repro.service import MiningService
+
+        service = MiningService(workers=1, maintenance_interval=0.05)
+        thread = service._maint_thread
+        assert thread is not None and thread.is_alive()
+        service.close()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+
+    def test_maintenance_disabled(self):
+        from repro.service import MiningService
+
+        service = MiningService(workers=1, maintenance_interval=None)
+        try:
+            assert service._maint_thread is None
+        finally:
+            service.close()

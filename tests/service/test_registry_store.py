@@ -1,0 +1,197 @@
+"""Registry ↔ store integration: mmap loads, spills, cache coupling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import TransactionDatabase
+from repro.errors import DatasetError
+from repro.obs.metrics import MetricsRegistry
+from repro.service.registry import DatasetRegistry
+from repro.store import ArtifactStore, is_mmap_backed
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestStoreFirstLoading:
+    def test_stored_dataset_pins_via_mmap(self, store, small_db):
+        store.build("small", small_db)
+        registry = DatasetRegistry(store=store)
+        registry.add("small", lambda: pytest.fail("re-parsed despite store!"))
+        entry = registry.get("small")
+        assert entry.source == "store"
+        assert entry.mmap
+        assert is_mmap_backed(entry.matrix.words)
+        assert entry.db == small_db
+
+    def test_store_only_dataset_servable_without_add(self, store, small_db):
+        store.build("orphan", small_db)
+        registry = DatasetRegistry(store=store)
+        assert "orphan" in registry.names()
+        entry = registry.get("orphan")
+        assert entry.source == "store" and entry.mmap
+
+    def test_unstored_dataset_falls_back_to_loader(self, store, small_db):
+        registry = DatasetRegistry(store=store)
+        registry.add("fresh", small_db, provenance="synthetic")
+        entry = registry.get("fresh")
+        assert entry.source == "synthetic"
+        assert not entry.mmap
+
+    def test_unknown_name_still_404s(self, store):
+        registry = DatasetRegistry(store=store)
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            registry.get("ghost")
+
+    def test_provenance_in_as_dict(self, store, small_db):
+        store.build("small", small_db)
+        registry = DatasetRegistry(store=store)
+        doc = registry.get("small").as_dict()
+        assert doc["source"] == "store"
+        assert doc["mmap"] is True
+
+    def test_hybrid_layout_restored_from_store(self, tmp_path, small_db):
+        from repro.bitset import BitsetMatrix
+        from repro.bitset.hybrid import HybridLayout
+
+        store = ArtifactStore(tmp_path / "s")
+        matrix = BitsetMatrix.from_database(small_db, aligned=True)
+        hybrid = HybridLayout.from_matrix(matrix, 0.5)
+        store.build("small", small_db, matrix=matrix, hybrid=hybrid)
+        registry = DatasetRegistry(store=store, layout="hybrid")
+        entry = registry.get("small")
+        assert entry.hybrid is not None
+        assert entry.hybrid.dense_threshold == 0.5  # pinned, not rebuilt
+
+
+class TestSpillOnEvict:
+    def _tiny_budget_registry(self, store, metrics=None):
+        # budget below one entry: every new load evicts the previous one
+        return DatasetRegistry(budget_bytes=1024, store=store, metrics=metrics)
+
+    def test_budget_eviction_spills_to_store(self, store, small_db, dense_db):
+        metrics = MetricsRegistry()
+        registry = self._tiny_budget_registry(store, metrics)
+        registry.add("first", small_db)
+        registry.add("second", dense_db)
+        registry.get("first")
+        registry.get("second")  # evicts "first" -> spill
+        assert store.has("first")
+        assert metrics.counter("store.spills") == 1
+        # and the spilled artifact round-trips bit-identical
+        assert store.load("first").db == small_db
+
+    def test_respilled_dataset_reloads_as_mmap(self, store, small_db, dense_db):
+        registry = self._tiny_budget_registry(store)
+        registry.add("first", small_db)
+        registry.add("second", dense_db)
+        registry.get("first")
+        registry.get("second")
+        entry = registry.get("first")  # back in: now from the store
+        assert entry.source == "store" and entry.mmap
+
+    def test_mmap_entries_not_respilled(self, store, small_db, dense_db):
+        metrics = MetricsRegistry()
+        store.build("first", small_db)
+        registry = self._tiny_budget_registry(store, metrics)
+        registry.add("second", dense_db)
+        registry.get("first")   # mmap from store
+        registry.get("second")  # evicts the mmap entry
+        assert metrics.counter("store.spills") == 0
+
+    def test_no_store_eviction_still_works(self, small_db, dense_db):
+        registry = DatasetRegistry(budget_bytes=1024)
+        registry.add("first", small_db)
+        registry.add("second", dense_db)
+        registry.get("first")
+        registry.get("second")
+        assert registry.resident() == ["second"]
+
+
+class TestCacheCoupling:
+    """The eviction/invalidation policy, both halves.
+
+    Explicit ``evict()`` / re-``add()`` fire ``on_invalidate`` (operator
+    says content changed). Budget LRU evictions do NOT: the source is
+    unchanged, so a reloaded dataset is bit-identical and every cached
+    answer remains exact — asserted below, not assumed.
+    """
+
+    def test_explicit_evict_fires_invalidate(self, small_db):
+        dropped = []
+        registry = DatasetRegistry(on_invalidate=dropped.append)
+        registry.add("ds", small_db)
+        registry.get("ds")
+        assert registry.evict("ds")
+        assert dropped == ["ds"]
+
+    def test_evict_of_nonresident_does_not_fire(self, small_db):
+        dropped = []
+        registry = DatasetRegistry(on_invalidate=dropped.append)
+        registry.add("ds", small_db)
+        assert not registry.evict("ds")  # never loaded
+        assert dropped == []
+
+    def test_readd_fires_invalidate(self, small_db, dense_db):
+        dropped = []
+        registry = DatasetRegistry(on_invalidate=dropped.append)
+        registry.add("ds", small_db)
+        registry.add("ds", dense_db)  # replaced -> cached results stale
+        assert dropped == ["ds"]
+
+    def test_first_add_does_not_fire(self, small_db):
+        dropped = []
+        registry = DatasetRegistry(on_invalidate=dropped.append)
+        registry.add("ds", small_db)
+        assert dropped == []
+
+    def test_budget_eviction_does_not_fire(self, small_db, dense_db):
+        dropped = []
+        registry = DatasetRegistry(budget_bytes=1024, on_invalidate=dropped.append)
+        registry.add("first", small_db)
+        registry.add("second", dense_db)
+        registry.get("first")
+        registry.get("second")  # budget-evicts "first"
+        assert dropped == []
+
+    def test_budget_eviction_is_bit_safe(self, small_db, dense_db):
+        """Documents WHY budget evictions keep cache entries: the same
+        source reloads to a bit-identical database and matrix, so a
+        cached result mined before the eviction is still exact."""
+        import numpy as np
+
+        registry = DatasetRegistry(budget_bytes=1024)
+        registry.add("first", small_db)
+        registry.add("second", dense_db)
+        before = registry.get("first")
+        words_before = before.matrix.words.copy()
+        registry.get("second")  # evicts "first"
+        after = registry.get("first")  # re-loaded from the same source
+        assert after.db == small_db
+        assert np.array_equal(after.matrix.words, words_before)
+
+
+class TestServiceWiring:
+    def test_service_couples_evict_to_cache_invalidation(self, tmp_path, small_db):
+        """End-to-end: evicting a dataset through the service drops its
+        cached results but keeps other datasets' entries."""
+        from repro.service import MiningService
+
+        service = MiningService(workers=1, maintenance_interval=None)
+        try:
+            service.register_dataset("ds", small_db)
+            service.register_dataset("other", small_db)
+            service.query("ds", 2)
+            service.query("other", 2)
+            assert len(service.cache) == 2
+            service.registry.evict("ds")
+            assert len(service.cache) == 1
+            # the survivor still serves from cache
+            assert service.query("other", 2).source == "cache"
+            # the evicted dataset's next query is a cold re-mine
+            assert service.query("ds", 2).source == "cold"
+        finally:
+            service.close()

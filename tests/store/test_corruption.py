@@ -1,0 +1,177 @@
+"""The corruption matrix: every damaged artifact raises a typed error.
+
+The store's safety contract is that disk rot can *never* silently
+change mining output — a damaged file must raise
+:class:`~repro.errors.StoreCorruptError` (or
+:class:`~repro.errors.StoreVersionError` for version skew), and no
+read path may hand back views that would mine wrong supports.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.errors import StoreCorruptError, StoreError, StoreVersionError
+from repro.store import MAGIC, read_dataset, write_dataset
+from repro.store.format import _encode_header
+
+
+@pytest.fixture
+def artifact(tmp_path, small_db):
+    path = tmp_path / "small.rvl"
+    write_dataset(path, "small", small_db)
+    return path
+
+
+def _header_meta(raw: bytes) -> dict:
+    _, header_len, _ = struct.unpack_from("<III", raw, len(MAGIC))
+    start = len(MAGIC) + struct.calcsize("<III")
+    return json.loads(raw[start : start + header_len].decode("utf-8"))
+
+
+def _reforge(raw: bytes, meta: dict, version: int | None = None) -> bytes:
+    """Rebuild the file with a *valid-CRC* header carrying ``meta``.
+
+    This is how the tests reach the semantic header checks (version,
+    alignment contract): a naive byte flip would trip the header CRC
+    first and mask the check under test.
+    """
+    kwargs = {} if version is None else {"version": version}
+    header = _encode_header(meta, **kwargs)
+    first_block = min(b["offset"] for b in meta["blocks"])
+    assert len(header) <= first_block, "forged header would overlap blocks"
+    return header + b"\x00" * (first_block - len(header)) + raw[first_block:]
+
+
+class TestCorruptionMatrix:
+    def test_truncated_file(self, artifact):
+        raw = artifact.read_bytes()
+        artifact.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(StoreCorruptError, match="truncated"):
+            read_dataset(artifact)
+
+    def test_truncated_to_almost_nothing(self, artifact):
+        artifact.write_bytes(artifact.read_bytes()[:10])
+        with pytest.raises(StoreCorruptError, match="truncated"):
+            read_dataset(artifact)
+
+    def test_bad_magic(self, artifact):
+        raw = bytearray(artifact.read_bytes())
+        raw[:4] = b"NOPE"
+        artifact.write_bytes(bytes(raw))
+        with pytest.raises(StoreCorruptError, match="magic"):
+            read_dataset(artifact)
+
+    def test_flipped_byte_in_header(self, artifact):
+        raw = bytearray(artifact.read_bytes())
+        # inside the JSON payload, past magic+preamble
+        raw[len(MAGIC) + 12 + 5] ^= 0xFF
+        artifact.write_bytes(bytes(raw))
+        with pytest.raises(StoreCorruptError):
+            read_dataset(artifact)
+
+    def test_flipped_byte_in_dense_block(self, artifact):
+        raw = bytearray(artifact.read_bytes())
+        meta = _header_meta(bytes(raw))
+        block = next(b for b in meta["blocks"] if b["name"] == "matrix_words")
+        raw[block["offset"] + block["nbytes"] // 2] ^= 0x01
+        artifact.write_bytes(bytes(raw))
+        with pytest.raises(StoreCorruptError, match="CRC mismatch"):
+            read_dataset(artifact)
+
+    def test_flipped_byte_in_csr_block(self, artifact):
+        raw = bytearray(artifact.read_bytes())
+        meta = _header_meta(bytes(raw))
+        block = next(b for b in meta["blocks"] if b["name"] == "db_items")
+        raw[block["offset"]] ^= 0x01
+        artifact.write_bytes(bytes(raw))
+        with pytest.raises(StoreCorruptError, match="CRC mismatch"):
+            read_dataset(artifact)
+
+    def test_wrong_version(self, artifact):
+        raw = artifact.read_bytes()
+        forged = _reforge(raw, _header_meta(raw), version=99)
+        artifact.write_bytes(forged)
+        with pytest.raises(StoreVersionError, match="version 99"):
+            read_dataset(artifact)
+
+    def test_wrong_alignment(self, artifact):
+        raw = artifact.read_bytes()
+        meta = _header_meta(raw)
+        meta["alignment"] = 32
+        artifact.write_bytes(_reforge(raw, meta))
+        with pytest.raises(StoreCorruptError, match="alignment"):
+            read_dataset(artifact)
+
+    def test_wrong_dtype_contract(self, artifact):
+        raw = artifact.read_bytes()
+        meta = _header_meta(raw)
+        meta["dtype"] = "uint64"
+        artifact.write_bytes(_reforge(raw, meta))
+        with pytest.raises(StoreCorruptError, match="dtype"):
+            read_dataset(artifact)
+
+    def test_unaligned_block_offset(self, artifact):
+        raw = artifact.read_bytes()
+        meta = _header_meta(raw)
+        meta["blocks"][0]["offset"] += 4
+        artifact.write_bytes(_reforge(raw, meta))
+        with pytest.raises(StoreCorruptError, match="alignment"):
+            read_dataset(artifact)
+
+    def test_block_past_eof(self, artifact):
+        raw = artifact.read_bytes()
+        meta = _header_meta(raw)
+        meta["blocks"][-1]["offset"] = 1 << 30
+        artifact.write_bytes(_reforge(raw, meta))
+        with pytest.raises(StoreCorruptError, match="truncated"):
+            read_dataset(artifact)
+
+    def test_not_json(self, artifact):
+        raw = bytearray(artifact.read_bytes())
+        _, header_len, _ = struct.unpack_from("<III", bytes(raw), len(MAGIC))
+        start = len(MAGIC) + struct.calcsize("<III")
+        import zlib
+
+        garbage = b"\xfe" * header_len
+        struct.pack_into(
+            "<III", raw, len(MAGIC), 1, header_len, zlib.crc32(garbage) & 0xFFFFFFFF
+        )
+        raw[start : start + header_len] = garbage
+        artifact.write_bytes(bytes(raw))
+        with pytest.raises(StoreCorruptError, match="JSON"):
+            read_dataset(artifact)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StoreError):
+            read_dataset(tmp_path / "nope.rvl")
+
+    def test_every_error_is_typed_never_wrong_result(self, artifact, small_db):
+        """Sweep a byte flip across the whole file: every position either
+        still reads back bit-identical (flips in padding the CRC covers
+        are impossible — so only *no* flip qualifies) or raises a typed
+        StoreError subclass. No flip may return different data."""
+        import numpy as np
+
+        from repro.bitset import BitsetMatrix
+
+        expected = BitsetMatrix.from_database(small_db, aligned=True).words
+        raw = bytearray(artifact.read_bytes())
+        step = max(1, len(raw) // 37)  # ~37 probe positions across the file
+        for pos in range(0, len(raw), step):
+            flipped = bytearray(raw)
+            flipped[pos] ^= 0xA5
+            artifact.write_bytes(bytes(flipped))
+            try:
+                art = read_dataset(artifact)
+            except StoreError:
+                continue  # typed refusal: the safe outcome
+            assert np.array_equal(art.matrix.words, expected), (
+                f"flip at byte {pos} silently changed the matrix"
+            )
+            assert art.db == small_db, (
+                f"flip at byte {pos} silently changed the database"
+            )

@@ -1,0 +1,135 @@
+"""Round-trip and zero-copy guarantees of the artifact file format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitset import BitsetMatrix
+from repro.bitset.hybrid import HybridLayout, auto_dense_threshold
+from repro.datasets import TransactionDatabase
+from repro.errors import StoreError
+from repro.store import (
+    ALIGNMENT,
+    MAGIC,
+    is_mmap_backed,
+    read_dataset,
+    verify_file,
+    write_dataset,
+)
+
+
+@pytest.fixture
+def artifact_path(tmp_path, small_db):
+    path = tmp_path / "small.rvl"
+    write_dataset(path, "small", small_db)
+    return path
+
+
+class TestRoundTrip:
+    def test_database_round_trips(self, artifact_path, small_db):
+        art = read_dataset(artifact_path)
+        assert art.name == "small"
+        assert art.db == small_db
+        assert art.db.n_items == small_db.n_items
+        assert art.db.n_transactions == small_db.n_transactions
+
+    def test_matrix_round_trips_bit_exact(self, artifact_path, small_db):
+        art = read_dataset(artifact_path)
+        expected = BitsetMatrix.from_database(small_db, aligned=True)
+        assert np.array_equal(art.matrix.words, expected.words)
+        assert art.matrix.n_transactions == expected.n_transactions
+
+    def test_profile_round_trips(self, artifact_path, small_db):
+        from repro.datasets.characterize import profile_database
+
+        art = read_dataset(artifact_path)
+        assert art.profile == profile_database(small_db)
+
+    def test_hybrid_round_trips(self, tmp_path, small_db):
+        matrix = BitsetMatrix.from_database(small_db, aligned=True)
+        threshold = auto_dense_threshold(matrix.n_transactions, matrix.n_words)
+        hybrid = HybridLayout.from_matrix(matrix, threshold)
+        path = tmp_path / "hyb.rvl"
+        write_dataset(path, "hyb", small_db, matrix=matrix, hybrid=hybrid)
+        art = read_dataset(path)
+        assert art.layout == "hybrid"
+        assert art.hybrid is not None
+        assert art.hybrid.dense_threshold == hybrid.dense_threshold
+        assert np.array_equal(art.hybrid.dense_words, hybrid.dense_words)
+        assert np.array_equal(art.hybrid.row_map, hybrid.row_map)
+        assert np.array_equal(art.hybrid.sparse_tids, hybrid.sparse_tids)
+        assert np.array_equal(art.hybrid.sparse_offsets, hybrid.sparse_offsets)
+
+    def test_empty_database_round_trips(self, tmp_path, empty_db):
+        path = tmp_path / "empty.rvl"
+        write_dataset(path, "empty", empty_db)
+        art = read_dataset(path)
+        assert art.db.n_transactions == empty_db.n_transactions
+        assert art.db == empty_db
+
+    def test_verify_file_reports_blocks(self, artifact_path):
+        report = verify_file(artifact_path)
+        names = [b["name"] for b in report["blocks"]]
+        assert names == ["matrix_words", "db_items", "db_offsets"]
+        assert report["layout"] == "dense"
+
+
+class TestZeroCopy:
+    """The warm-start contract: reads are mmap views, not copies."""
+
+    def test_views_are_mmap_backed(self, artifact_path):
+        art = read_dataset(artifact_path)
+        assert art.mmap
+        assert is_mmap_backed(art.matrix.words)
+        assert is_mmap_backed(art.db.items_flat)
+        assert is_mmap_backed(art.db.offsets)
+
+    def test_views_share_one_map(self, artifact_path):
+        """All blocks are views of the same single file map."""
+        art = read_dataset(artifact_path)
+
+        def root(a):
+            while getattr(a, "base", None) is not None:
+                a = a.base
+            return a
+
+        assert root(art.matrix.words) is root(art.db.items_flat)
+
+    def test_views_are_read_only(self, artifact_path):
+        art = read_dataset(artifact_path)
+        with pytest.raises((ValueError, RuntimeError)):
+            art.matrix.words[0, 0] = 1
+
+    def test_blocks_are_64_byte_aligned(self, artifact_path):
+        """The paper's coalescing boundary survives the file layout:
+        every block offset (and hence its mapped address, since mmap
+        is page-aligned) sits on the 64-byte boundary."""
+        art = read_dataset(artifact_path)
+        for bm in art.meta["blocks"]:
+            assert bm["offset"] % ALIGNMENT == 0
+        addr = art.matrix.words.__array_interface__["data"][0]
+        assert addr % ALIGNMENT == 0
+
+    def test_file_starts_with_magic(self, artifact_path):
+        assert artifact_path.read_bytes()[: len(MAGIC)] == MAGIC
+
+
+class TestWriterValidation:
+    def test_rejects_mismatched_matrix(self, tmp_path, small_db, dense_db):
+        wrong = BitsetMatrix.from_database(dense_db, aligned=True)
+        with pytest.raises(StoreError, match="does not match"):
+            write_dataset(tmp_path / "x.rvl", "x", small_db, matrix=wrong)
+
+    def test_rejects_unaligned_matrix(self, tmp_path, small_db):
+        unaligned = BitsetMatrix.from_database(small_db, aligned=False)
+        if unaligned.is_aligned():  # tiny dbs can be aligned by accident
+            pytest.skip("database rows naturally aligned")
+        with pytest.raises(StoreError, match="alignment"):
+            write_dataset(tmp_path / "x.rvl", "x", small_db, matrix=unaligned)
+
+    def test_rejects_mismatched_hybrid(self, tmp_path, small_db, dense_db):
+        other = BitsetMatrix.from_database(dense_db, aligned=True)
+        hybrid = HybridLayout.from_matrix(other, 0.5)
+        with pytest.raises(StoreError, match="hybrid"):
+            write_dataset(tmp_path / "x.rvl", "x", small_db, hybrid=hybrid)

@@ -1,0 +1,125 @@
+"""ArtifactStore directory behaviour: atomicity, verify, gc, naming."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import StoreCorruptError, StoreError
+from repro.obs.metrics import MetricsRegistry
+from repro.store import ArtifactStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestBuildLoad:
+    def test_build_then_load(self, store, small_db):
+        path = store.build("small", small_db)
+        assert os.path.exists(path)
+        art = store.load("small")
+        assert art.db == small_db
+        assert art.mmap
+
+    def test_load_missing_raises(self, store):
+        with pytest.raises(StoreError, match="not in the store"):
+            store.load("ghost")
+
+    def test_has_and_names(self, store, small_db, dense_db):
+        assert not store.has("a")
+        store.build("b", small_db)
+        store.build("a", dense_db)
+        assert store.has("a") and store.has("b")
+        assert store.names() == ["a", "b"]
+
+    def test_remove(self, store, small_db):
+        store.build("small", small_db)
+        assert store.remove("small")
+        assert not store.has("small")
+        assert not store.remove("small")
+
+    def test_rebuild_replaces_atomically(self, store, small_db, dense_db):
+        store.build("d", small_db)
+        store.build("d", dense_db)
+        assert store.load("d").db == dense_db
+        assert store.names() == ["d"]
+
+    def test_metrics_flow(self, tmp_path, small_db):
+        metrics = MetricsRegistry()
+        store = ArtifactStore(tmp_path / "m", metrics=metrics)
+        store.build("small", small_db)
+        store.load("small")
+        assert metrics.counter("store.builds") == 1
+        assert metrics.counter("store.loads") == 1
+        assert metrics.counter("store.load_bytes") > 0
+
+
+class TestNaming:
+    @pytest.mark.parametrize(
+        "bad", ["../evil", "a/b", "", ".hidden", "a b", "x" * 200, 7]
+    )
+    def test_unsafe_names_rejected(self, store, small_db, bad):
+        with pytest.raises(StoreError, match="invalid dataset name"):
+            store.build(bad, small_db)
+
+    @pytest.mark.parametrize("good", ["chess", "T40I10D100K", "a.b-c_d", "9lives"])
+    def test_safe_names_accepted(self, store, small_db, good):
+        store.build(good, small_db)
+        assert store.has(good)
+
+
+class TestVerify:
+    def test_verify_ok(self, store, small_db):
+        store.build("small", small_db)
+        report = store.verify("small")
+        assert report["n_transactions"] == small_db.n_transactions
+
+    def test_verify_detects_corruption(self, store, small_db):
+        store.build("small", small_db)
+        path = store.dataset_path("small")
+        raw = bytearray(open(path, "rb").read())
+        raw[-1] ^= 0xFF
+        open(path, "wb").write(bytes(raw))
+        with pytest.raises(StoreCorruptError):
+            store.verify("small")
+        assert store.metrics.counter("store.verify_failures") == 1
+
+    def test_verify_all_reports_instead_of_raising(self, store, small_db, dense_db):
+        store.build("good", small_db)
+        store.build("bad", dense_db)
+        path = store.dataset_path("bad")
+        raw = bytearray(open(path, "rb").read())
+        raw[-1] ^= 0xFF
+        open(path, "wb").write(bytes(raw))
+        report = store.verify_all()
+        assert report["good"]["ok"]
+        assert not report["bad"]["ok"]
+        assert report["bad"]["error"] == "StoreCorruptError"
+
+
+class TestGc:
+    def test_gc_removes_crashed_build_strays(self, store, small_db):
+        store.build("small", small_db)
+        stray = os.path.join(store.datasets_dir, ".tmp-crashed123")
+        open(stray, "wb").write(b"partial")
+        report = store.gc()
+        assert report["removed_temp"] == [".tmp-crashed123"]
+        assert not os.path.exists(stray)
+        assert store.has("small")  # published artifacts untouched
+
+    def test_gc_keep_retains_only_named(self, store, small_db, dense_db):
+        store.build("keepme", small_db)
+        store.build("dropme", dense_db)
+        report = store.gc(keep=["keepme"])
+        assert report["removed_artifacts"] == ["dropme"]
+        assert store.names() == ["keepme"]
+
+    def test_stats(self, store, small_db):
+        store.build("small", small_db)
+        stats = store.stats()
+        assert stats["datasets"] == ["small"]
+        assert stats["disk_bytes"] > 0
+        assert stats["has_snapshot"] is False
