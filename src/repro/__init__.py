@@ -25,6 +25,7 @@ the paper-versus-measured comparison of every experiment.
 from .core.api import ALGORITHMS, mine
 from .core.config import GPAprioriConfig
 from .core.gpapriori import gpapriori_mine
+from .core.fleet import FleetEngine, FleetPlan
 from .core.sharding import ShardPlan, ShardedEngine
 from .core.gpu_eclat import gpu_eclat_mine
 from .core.hybrid import ModelBalancer, StaticBalancer, hybrid_mine
@@ -41,6 +42,8 @@ __all__ = [
     "GPAprioriConfig",
     "ShardPlan",
     "ShardedEngine",
+    "FleetEngine",
+    "FleetPlan",
     "gpapriori_mine",
     "gpu_eclat_mine",
     "hybrid_mine",

@@ -125,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_mine.add_argument("--max-k", type=int, default=None)
     p_mine.add_argument(
         "--engine",
-        choices=["vectorized", "simulated", "parallel"],
+        choices=["vectorized", "simulated", "parallel", "multigpu"],
         default=None,
         help="gpapriori counting engine (default: vectorized)",
     )
@@ -135,6 +135,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="worker processes for --engine parallel (0 = auto-size)",
+    )
+    p_mine.add_argument(
+        "--devices",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fleet size for --engine multigpu (0 = the full four-device "
+        "S1070 testbed)",
     )
     p_mine.add_argument(
         "--shards",
@@ -189,7 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a deterministic fault, e.g. "
         "gpusim.alloc:device_oom:on_nth=1,max_fires=1 (repeatable; "
         "sites: gpusim.alloc/htod/dtoh/launch, parallel.submit, "
-        "scheduler.worker)",
+        "fleet.submit, scheduler.worker)",
     )
     p_mine.add_argument(
         "--fault-seed",
@@ -324,6 +332,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: storage break-even)",
     )
     p_serve.add_argument(
+        "--devices",
+        type=int,
+        default=0,
+        metavar="N",
+        help="default fleet size folded into engine=multigpu queries "
+        "that do not set devices themselves (0 = the four-device S1070)",
+    )
+    p_serve.add_argument(
         "--dataset",
         action="append",
         choices=sorted(DATASET_REGISTRY),
@@ -448,6 +464,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         engine_kwargs["engine"] = args.engine
     if args.workers is not None:
         engine_kwargs["workers"] = args.workers
+    if args.devices is not None:
+        engine_kwargs["devices"] = args.devices
     if args.shards is not None:
         engine_kwargs["shards"] = args.shards
     if args.memory_budget is not None:
@@ -458,8 +476,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         engine_kwargs["dense_threshold"] = args.dense_threshold
     if engine_kwargs and args.algorithm != "gpapriori":
         _emit(
-            f"error: --engine/--workers/--shards/--memory-budget/--layout/"
-            f"--dense-threshold apply to the gpapriori algorithm, "
+            f"error: --engine/--workers/--devices/--shards/--memory-budget/"
+            f"--layout/--dense-threshold apply to the gpapriori algorithm, "
             f"not {args.algorithm!r}",
             file=sys.stderr,
         )
@@ -652,6 +670,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flight_capacity=args.flight_queries,
         layout=args.layout,
         dense_threshold=args.dense_threshold,
+        devices=args.devices,
         store_dir=args.store_dir,
         snapshot_on_close=args.snapshot_on_close,
     )

@@ -28,6 +28,7 @@ from .plans import CompleteIntersectionPlan, EquivalenceClassPlan, make_plan
 from .support import SimulatedEngine, VectorizedEngine, make_engine
 from .parallel import ParallelEngine
 from .sharding import Shard, ShardPlan, ShardedEngine, slice_matrix
+from .fleet import FleetEngine, FleetPlan
 from .gpapriori import gpapriori_mine
 from .hybrid import ModelBalancer, StaticBalancer, hybrid_mine
 from .multigpu import MultiGpuResult, multigpu_mine, scaling_efficiency
@@ -49,6 +50,8 @@ __all__ = [
     "ShardPlan",
     "ShardedEngine",
     "slice_matrix",
+    "FleetEngine",
+    "FleetPlan",
     "make_engine",
     "gpapriori_mine",
     "StaticBalancer",

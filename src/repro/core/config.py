@@ -16,7 +16,7 @@ from ..faults.plan import FaultPlan
 
 __all__ = ["GPAprioriConfig"]
 
-_VALID_ENGINES = ("vectorized", "simulated", "parallel")
+_VALID_ENGINES = ("vectorized", "simulated", "parallel", "multigpu")
 _VALID_PLANS = ("complete", "equivalence")
 _VALID_LAYOUTS = ("dense", "hybrid", "auto")
 
@@ -55,10 +55,20 @@ class GPAprioriConfig:
         pool of worker processes reading the bitset table from
         :mod:`multiprocessing.shared_memory` (host-side data
         parallelism standing in for the GPU's).
+        ``"multigpu"`` — a fleet of simulated devices each holding a
+        full replica of the vertical table, with every generation's
+        candidate buffer block-partitioned across them (the paper's
+        Tesla S1070 future-work scenario). Requires
+        ``plan="complete"``: candidate partitions cannot share the
+        equivalence-class prefix cache across devices.
     workers:
         Worker-process count for the parallel engine. ``0`` (the
         default) sizes the pool to the host's usable cores (capped at
         8); ``1`` runs in-process. Ignored by the other engines.
+    devices:
+        Device count for the multigpu fleet engine. ``0`` (the
+        default) means the full testbed — four T10s, the paper's
+        S1070 chassis. Only meaningful with ``engine="multigpu"``.
     aligned:
         Keep bitset rows on the 64-byte boundary (paper Section IV.1).
         Disabling alignment is only useful for the coalescing ablation.
@@ -114,6 +124,7 @@ class GPAprioriConfig:
     faults: FaultPlan | None = None
     layout: str = "dense"
     dense_threshold: float | None = None
+    devices: int = 0
 
     def __post_init__(self) -> None:
         if not isinstance(self.block_size, int) or isinstance(self.block_size, bool):
@@ -173,6 +184,23 @@ class GPAprioriConfig:
                 raise ConfigError(
                     "dense_threshold requires layout='hybrid' or 'auto'"
                 )
+        if (
+            not isinstance(self.devices, int)
+            or isinstance(self.devices, bool)
+            or self.devices < 0
+        ):
+            raise ConfigError(f"devices must be an int >= 0, got {self.devices!r}")
+        if self.devices and self.engine != "multigpu":
+            raise ConfigError(
+                f"devices={self.devices} requires engine='multigpu', "
+                f"got engine={self.engine!r}"
+            )
+        if self.engine == "multigpu" and self.plan != "complete":
+            raise ConfigError(
+                "engine='multigpu' requires plan='complete': the "
+                "equivalence-class prefix cache cannot be partitioned "
+                "across candidate-parallel devices"
+            )
 
     @property
     def sharded(self) -> bool:

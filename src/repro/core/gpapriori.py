@@ -99,6 +99,10 @@ def gpapriori_mine(
         from .parallel import resolve_workers
 
         run_attrs["workers"] = resolve_workers(config.workers)
+    if config.engine == "multigpu":
+        from .fleet import resolve_devices
+
+        run_attrs["devices"] = resolve_devices(config.devices)
     if config.sharded:
         run_attrs["shards"] = config.shards or "auto"
         if config.memory_budget_bytes is not None:

@@ -4,15 +4,14 @@ The paper's testbed was a Tesla S1070 — a 1U server holding **four**
 T10 processors of which the paper "currently use[s] only one" — and its
 future work names scaling across GPUs and GPU clusters.
 
-The natural decomposition is candidate-parallel: every device holds a
-full replica of the (small) generation-1 bitset table, each generation's
-candidate buffer is block-partitioned across devices, and every device
-runs the unmodified support kernel on its slice. There is no
-inter-device communication at all — supports are disjoint by
-construction — so scaling is limited only by per-device fixed costs
-(launch + PCIe per generation) and by generations smaller than the
-fleet. Both limits are first-class in the model and visible in the
-scaling bench.
+The fleet itself lives in :mod:`repro.core.fleet` as a first-class
+support engine (``engine="multigpu"``), reachable through every entry
+point — ``mine()``, the service, the CLI — and composing with hybrid
+layouts, tid-range sharding, and fault injection. This module keeps the
+original extension API as a thin wrapper over that one code path:
+:func:`multigpu_mine` runs a fleet mine and packages the modeled
+fleet clocks into a :class:`MultiGpuResult`, and
+:func:`scaling_efficiency` sweeps fleet sizes for the scaling bench.
 """
 
 from __future__ import annotations
@@ -20,19 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-import numpy as np
-
-from .._validation import check_support
-from ..bitset.bitset import BitsetMatrix
-from ..bitset.ops import support_many
-from ..errors import ConfigError, MiningError
+from ..errors import ConfigError
 from ..gpusim.device import TESLA_T10, DeviceProperties
-from ..gpusim.perfmodel import GpuCostModel
-from ..obs import mining_run, span
-from ..trie.generation import generate_candidates
-from ..trie.trie import CandidateTrie
 from .config import GPAprioriConfig
-from .itemset import MiningResult, RunMetrics
+from .gpapriori import gpapriori_mine
+from .itemset import MiningResult
 
 __all__ = ["MultiGpuResult", "multigpu_mine", "scaling_efficiency"]
 
@@ -58,22 +49,12 @@ class MultiGpuResult:
 
     @property
     def efficiency(self) -> float:
+        # A zero-makespan run (degenerate single-candidate workloads)
+        # has speedup pinned to 1.0; its efficiency is 1/1, not 1/n —
+        # no device time existed for the fleet to divide.
+        if self.makespan_seconds == 0:
+            return 1.0
         return self.speedup / self.n_devices
-
-
-def _device_time(
-    model: GpuCostModel, n: int, k: int, n_words: int, cfg: GPAprioriConfig
-) -> float:
-    """Modeled cost of one device processing ``n`` candidates."""
-    if n == 0:
-        return 0.0
-    return (
-        model.transfer_time(n * k * 4).seconds
-        + model.support_kernel_time(
-            n, k, n_words, cfg.block_size, cfg.preload_candidates, cfg.unroll
-        ).seconds
-        + model.transfer_time(n * 8).seconds
-    )
 
 
 def multigpu_mine(
@@ -86,81 +67,27 @@ def multigpu_mine(
 ) -> MultiGpuResult:
     """Mine with each generation block-partitioned over ``n_devices``.
 
-    Supports are computed for real (the partitioning cannot change
-    them — asserted in tests); the fleet timing is modeled per device
-    slice. ``n_devices=4`` models the paper's full S1070.
+    Thin wrapper over ``engine="multigpu"``: supports are computed for
+    real by the fleet engine (the partitioning cannot change them —
+    asserted in tests); the fleet timing is modeled per device slice.
+    ``n_devices=4`` models the paper's full S1070.
     """
     if not isinstance(n_devices, int) or isinstance(n_devices, bool) or n_devices < 1:
         raise ConfigError(f"n_devices must be an int >= 1, got {n_devices!r}")
-    config = config or GPAprioriConfig()
-    min_count = check_support(min_support, db.n_transactions, MiningError)
-    if max_k is not None and max_k < 1:
-        raise MiningError(f"max_k must be >= 1, got {max_k}")
-
-    metrics = RunMetrics(algorithm=f"gpapriori_x{n_devices}")
-    model = GpuCostModel(device)
-    with mining_run(f"gpapriori_x{n_devices}", metrics, devices=n_devices):
-
-        with span("transpose", aligned=config.aligned):
-            matrix = BitsetMatrix.from_database(db, aligned=config.aligned)
-        n_words = matrix.n_words
-        # every device uploads its own replica of the bitset table
-        replica_upload = model.transfer_time(matrix.nbytes).seconds
-        makespan = replica_upload  # replicas upload concurrently
-        single = replica_upload
-        # (the replica upload is part of fleet_makespan, charged at the end)
-
-        trie = CandidateTrie()
-        found: dict[tuple, int] = {}
-
-        def count(cands: np.ndarray, k: int) -> np.ndarray:
-            nonlocal makespan, single
-            n = cands.shape[0]
-            with span("count", k=k, candidates=n, devices=n_devices) as sp:
-                supports = support_many(matrix, cands)
-                # block partition: device d gets ceil-ish share
-                shares = [
-                    len(chunk) for chunk in np.array_split(np.arange(n), n_devices)
-                ]
-                slice_times = [
-                    _device_time(model, s, k, n_words, config) for s in shares
-                ]
-                makespan += max(slice_times) if slice_times else 0.0
-                single += _device_time(model, n, k, n_words, config)
-                metrics.add_counter("candidates_counted", n)
-                sp.set(modeled_slice_seconds=max(slice_times) if slice_times else 0.0)
-            return supports
-
-        cands = np.arange(db.n_items, dtype=np.int32).reshape(-1, 1)
-        metrics.generations.append(db.n_items)
-        supports = count(cands, 1)
-        for i in np.nonzero(supports >= min_count)[0]:
-            trie.insert((int(i),), int(supports[i]))
-            found[(int(i),)] = int(supports[i])
-
-        k = 1
-        while True:
-            if max_k is not None and k >= max_k:
-                break
-            cands = generate_candidates(trie, k)
-            if cands.shape[0] == 0:
-                break
-            metrics.generations.append(int(cands.shape[0]))
-            supports = count(cands, k + 1)
-            for i, row in enumerate(cands):
-                trie.find(row.tolist()).support = int(supports[i])
-            trie.prune_level(k + 1, min_count)
-            for i in np.nonzero(supports >= min_count)[0]:
-                found[tuple(int(x) for x in cands[i])] = int(supports[i])
-            k += 1
-
-        metrics.add_modeled("fleet_makespan", makespan)
-    result = MiningResult(found, db.n_transactions, min_count, metrics)
+    config = (config or GPAprioriConfig()).with_(
+        engine="multigpu", devices=n_devices
+    )
+    result = gpapriori_mine(
+        db, min_support, config=config, device=device, max_k=max_k
+    )
+    reg = result.metrics.registry
     return MultiGpuResult(
         result=result,
         n_devices=n_devices,
-        makespan_seconds=makespan,
-        single_device_seconds=single,
+        makespan_seconds=result.metrics.modeled_breakdown.get(
+            "fleet_makespan", 0.0
+        ),
+        single_device_seconds=reg.gauge("fleet.single_device_seconds", 0.0),
     )
 
 

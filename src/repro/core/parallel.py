@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 from multiprocessing import shared_memory
 from typing import List, Optional, Tuple
 
@@ -56,6 +57,18 @@ would exceed the counting work itself."""
 TASK_TIMEOUT_SECONDS = 300.0
 """Per-tile result deadline; a wedged worker pool degrades to
 in-process execution instead of hanging the run."""
+
+_FORK_LOCK = threading.Lock()
+"""Serializes pool forks against parent-side resource-tracker traffic.
+
+``SharedMemory`` create/unlink talk to the process-global
+``multiprocessing.resource_tracker`` under its module lock. When a
+threaded host (the service scheduler) builds two parallel engines
+concurrently, one thread can fork its pool at the exact moment another
+holds that lock — the children inherit it *held* and deadlock on their
+first segment attach, wedging the pool until the task timeout. Taking
+one lock around both the fork and every tracker-touching call closes
+the window; worker processes never touch this lock."""
 
 # A shared-memory reference: (kind, segment name, shape, dtype string).
 # ``kind`` keys the worker-side attachment cache, so a refreshed prefix
@@ -184,7 +197,8 @@ class _Segment:
 
     def __init__(self, kind: str, array: np.ndarray) -> None:
         self.kind = kind
-        self.shm = shared_memory.SharedMemory(create=True, size=array.nbytes)
+        with _FORK_LOCK:
+            self.shm = shared_memory.SharedMemory(create=True, size=array.nbytes)
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=self.shm.buf)
         view[...] = array
         self.ref: _ShmRef = (kind, self.shm.name, array.shape, array.dtype.str)
@@ -192,8 +206,9 @@ class _Segment:
 
     def destroy(self) -> None:
         try:
-            self.shm.close()
-            self.shm.unlink()
+            with _FORK_LOCK:
+                self.shm.close()
+                self.shm.unlink()
         except (FileNotFoundError, OSError):  # pragma: no cover - double close
             pass
 
@@ -282,7 +297,8 @@ class ParallelEngine(SupportEngine):
             return None
         try:
             ctx = multiprocessing.get_context("fork")
-            self._pool = ctx.Pool(self.n_workers)
+            with _FORK_LOCK:
+                self._pool = ctx.Pool(self.n_workers)
         except (ValueError, OSError, ImportError):
             # no fork on this platform / process limits hit: degrade to
             # in-process execution, permanently for this engine.

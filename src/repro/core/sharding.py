@@ -392,7 +392,13 @@ class ShardedEngine(SupportEngine):
                 engine = _make_base_engine(
                     self._inner_config, self.metrics, self._inner_device
                 )
-                engine.span_attrs = {"shard": shard.index, "shards": n}
+                # merge rather than assign: a fleet-owned sharded
+                # engine tags its launches with the device id too
+                engine.span_attrs = {
+                    **self.span_attrs,
+                    "shard": shard.index,
+                    "shards": n,
+                }
                 if hybrid is not None:
                     sub_layout = hybrid.slice_shard(shard)
                     with span(

@@ -671,8 +671,16 @@ def make_engine(
     A sharded config (``shards > 1`` or a ``memory_budget_bytes``)
     wraps the named engine in a
     :class:`~repro.core.sharding.ShardedEngine` that streams tid-range
-    shards of the bitset matrix through it.
+    shards of the bitset matrix through it. ``engine="multigpu"``
+    dispatches first: the fleet engine composes sharding *per device*
+    (each replica streams the same shard plan), so it must not be
+    wrapped in a host-level ShardedEngine.
     """
+    if config.engine == "multigpu":
+        # imported lazily: fleet.py builds on this module
+        from .fleet import FleetEngine
+
+        return FleetEngine(config, metrics, device)
     if config.sharded:
         # imported lazily: sharding.py builds on this module
         from .sharding import ShardedEngine

@@ -64,6 +64,7 @@ FAULT_SITES = (
     "gpusim.dtoh",
     "gpusim.launch",
     "parallel.submit",
+    "fleet.submit",
     "scheduler.worker",
 )
 

@@ -145,6 +145,10 @@ class MiningService:
         the :class:`DatasetRegistry` (which pins the hybrid
         classification at load time) and folded into each query's
         config unless the query sets ``layout=`` itself.
+    devices:
+        Default fleet size folded into ``engine="multigpu"`` queries
+        that do not set ``devices=`` themselves (``0`` keeps the
+        engine's own default, the four-device S1070).
     store_dir:
         When set, an :class:`~repro.store.ArtifactStore` rooted there
         backs the registry: stored artifacts pin via ``numpy.memmap``
@@ -176,6 +180,7 @@ class MiningService:
         retry_policy: Optional[RetryPolicy] = None,
         layout: str = "dense",
         dense_threshold: Optional[float] = None,
+        devices: int = 0,
         store_dir: Optional[str] = None,
         snapshot_on_close: bool = False,
         maintenance_interval: Optional[float] = 30.0,
@@ -206,6 +211,7 @@ class MiningService:
         self.flight = FlightRecorder(capacity=flight_capacity)
         self.retry = retry_policy if retry_policy is not None else RetryPolicy()
         self.slow_query_ms = slow_query_ms
+        self.devices = devices
         self.snapshot_on_close = snapshot_on_close
         self._query_ids = itertools.count(1)
         self._preload_requested = False
@@ -500,6 +506,15 @@ class MiningService:
                 and self.registry.dense_threshold is not None
             ):
                 cfg_fields["dense_threshold"] = self.registry.dense_threshold
+        if (
+            self.devices
+            and cfg_fields.get("engine") == "multigpu"
+            and "devices" not in cfg_fields
+        ):
+            # the serve-level default fleet size, folded in before the
+            # cache key is computed so spelled-out and defaulted
+            # queries share one entry
+            cfg_fields["devices"] = self.devices
         return GPAprioriConfig(**cfg_fields), rest
 
     def _cache_key(

@@ -135,6 +135,33 @@ class TestMultiGpu:
         with pytest.raises(ConfigError):
             multigpu_mine(small_db, 8, n_devices=True)
 
+    def test_zero_makespan_efficiency_is_one(self, small_db):
+        """Regression: a zero-makespan result (degenerate
+        single-candidate runs priced at 0.0) must report
+        speedup == efficiency == 1.0, not divide by zero."""
+        from repro.core.multigpu import MultiGpuResult
+
+        base = multigpu_mine(small_db, 8, n_devices=4)
+        degenerate = MultiGpuResult(
+            result=base.result,
+            n_devices=4,
+            makespan_seconds=0.0,
+            single_device_seconds=0.0,
+        )
+        assert degenerate.speedup == 1.0
+        assert degenerate.efficiency == 1.0
+
+    def test_scaling_efficiency_survives_degenerate_workload(self):
+        """An (almost) empty workload sweeps without ZeroDivisionError
+        and reports finite efficiencies."""
+        from repro.datasets import TransactionDatabase
+
+        db = TransactionDatabase([[0]], n_items=1)
+        results = scaling_efficiency(db, 1, device_counts=[1, 2])
+        for r in results:
+            assert r.efficiency == r.efficiency  # not NaN
+            assert 0 < r.efficiency <= 1.0 + 1e-9
+
 
 class TestGpuEclat:
     def test_matches_oracle(self, small_db, oracle):

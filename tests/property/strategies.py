@@ -1,10 +1,98 @@
-"""Shared hypothesis strategies for transaction data."""
+"""Shared hypothesis strategies for transaction data and mining configs.
+
+The per-suite config generators used to be copy-pasted into each
+property file; they live here once so every suite draws engines and
+configurations from the same pool (and new engines join every suite by
+editing one tuple).
+"""
 
 from __future__ import annotations
 
 from hypothesis import strategies as st
 
+from repro import GPAprioriConfig
 from repro.datasets import TransactionDatabase
+from repro.gpusim.device import DeviceProperties
+
+#: The engines whose supports must be interchangeable bit-for-bit.
+BASE_ENGINES = ("vectorized", "simulated", "parallel")
+ENGINES = BASE_ENGINES + ("multigpu",)
+
+#: Fleet sizes the multigpu suites sweep — including 1 (degenerate
+#: fleet) and sizes larger than many generated candidate buffers.
+FLEET_SIZES = (1, 2, 3, 5)
+
+
+def engines(include_multigpu: bool = True):
+    """Engine-name strategy; the full pool unless a suite opts out."""
+    return st.sampled_from(ENGINES if include_multigpu else BASE_ENGINES)
+
+
+def thresholds():
+    """Hybrid dense-threshold pool: 0.0 pins every item dense, 1.0 pins
+    (almost) every item sparse; the middle values exercise genuinely
+    mixed layouts."""
+    return st.sampled_from([0.0, 0.1, 0.3, 0.5, 0.8, 1.0])
+
+
+@st.composite
+def mining_configs(
+    draw,
+    engine: str | None = None,
+    layouts: tuple = ("dense",),
+    with_threshold: bool = False,
+    include_multigpu: bool = True,
+):
+    """Random valid :class:`GPAprioriConfig` over the shared pools.
+
+    Draws kernel knobs, plan, engine, and alignment; the multigpu
+    engine additionally draws a fleet size from :data:`FLEET_SIZES`
+    (and is pinned to the complete plan, the only one it supports).
+    """
+    eng = engine if engine is not None else draw(engines(include_multigpu))
+    plan = (
+        "complete"
+        if eng == "multigpu"
+        else draw(st.sampled_from(["complete", "equivalence"]))
+    )
+    kwargs = dict(
+        block_size=draw(st.sampled_from([1, 2, 4, 8, 16, 32, 64])),
+        preload_candidates=draw(st.booleans()),
+        unroll=draw(st.sampled_from([1, 2, 4, 8])),
+        plan=plan,
+        engine=eng,
+        aligned=draw(st.booleans()),
+    )
+    layout = draw(st.sampled_from(list(layouts)))
+    if layout != "dense":
+        kwargs["layout"] = layout
+        if with_threshold:
+            kwargs["dense_threshold"] = draw(thresholds())
+    if eng == "multigpu":
+        kwargs["devices"] = draw(st.sampled_from(FLEET_SIZES))
+    if eng == "parallel":
+        kwargs["workers"] = 2
+    return GPAprioriConfig(**kwargs)
+
+
+def tight_device(capacity: int) -> DeviceProperties:
+    """A device with ``capacity`` bytes of global memory, for forcing
+    the simulator's chunked-launch and OOM paths."""
+    return DeviceProperties(
+        name="tight",
+        sm_count=1,
+        cores_per_sm=8,
+        clock_hz=1e9,
+        global_mem_bytes=capacity,
+        mem_bandwidth_bytes=1e9,
+        shared_mem_per_block=16 << 10,
+        max_threads_per_block=512,
+        warp_size=32,
+        compute_capability=(1, 3),
+        pcie_bandwidth_bytes=1e9,
+        pcie_latency_s=1e-6,
+        kernel_launch_overhead_s=1e-6,
+    )
 
 
 @st.composite

@@ -1,9 +1,9 @@
 """Property-based tests: engine equivalence under random configurations.
 
 The central simulator-fidelity claim: whatever the block size, plan,
-alignment, or engine, mining output is a pure function of (database,
-min_support). Hypothesis drives random databases *and* random
-configurations through both engines.
+alignment, or engine — including a multi-device fleet — mining output
+is a pure function of (database, min_support). Hypothesis drives
+random databases *and* random configurations through every engine.
 """
 
 import pytest
@@ -12,25 +12,28 @@ from hypothesis import strategies as st
 
 from repro import GPAprioriConfig, gpapriori_mine
 from repro.bitset import BitsetMatrix
-from repro.gpusim.device import DeviceProperties
-from tests.property.strategies import transaction_databases
+from repro.datasets import TransactionDatabase
+from tests.property.strategies import (
+    BASE_ENGINES,
+    FLEET_SIZES,
+    mining_configs,
+    tight_device,
+    transaction_databases,
+)
 
 SLOW = settings(max_examples=20, deadline=None)
 
-configs = st.builds(
-    GPAprioriConfig,
-    block_size=st.sampled_from([1, 2, 4, 8, 16, 32, 64]),
-    preload_candidates=st.booleans(),
-    unroll=st.sampled_from([1, 2, 4, 8]),
-    plan=st.sampled_from(["complete", "equivalence"]),
-    engine=st.sampled_from(["vectorized", "simulated", "parallel"]),
-    aligned=st.booleans(),
-)
+# Back-compat alias: older suites imported the helper from here.
+_tight_device = tight_device
 
 
 class TestConfigInvariance:
     @SLOW
-    @given(transaction_databases(max_items=7, max_transactions=18), configs, st.data())
+    @given(
+        transaction_databases(max_items=7, max_transactions=18),
+        mining_configs(),
+        st.data(),
+    )
     def test_output_independent_of_config(self, db, config, data):
         min_count = data.draw(
             st.integers(min_value=1, max_value=max(1, len(db)))
@@ -62,27 +65,9 @@ class TestConfigInvariance:
                 assert abs(v.get(key, 0) - s.get(key, 0)) < 1e-12, key
 
 
-def _tight_device(capacity):
-    return DeviceProperties(
-        name="tight",
-        sm_count=1,
-        cores_per_sm=8,
-        clock_hz=1e9,
-        global_mem_bytes=capacity,
-        mem_bandwidth_bytes=1e9,
-        shared_mem_per_block=16 << 10,
-        max_threads_per_block=512,
-        warp_size=32,
-        compute_capability=(1, 3),
-        pcie_bandwidth_bytes=1e9,
-        pcie_latency_s=1e-6,
-        kernel_launch_overhead_s=1e-6,
-    )
-
-
 class TestThreeEngineEquivalence:
-    """All three engines are interchangeable: bit-identical supports and
-    identical modeled hardware costs on the same (db, min_count, plan)."""
+    """All three base engines are interchangeable: bit-identical supports
+    and identical modeled hardware costs on the same (db, min_count, plan)."""
 
     @SLOW
     @given(
@@ -100,7 +85,7 @@ class TestThreeEngineEquivalence:
                     engine=name, plan=plan, block_size=8, workers=2
                 ),
             )
-            for name in ("vectorized", "simulated", "parallel")
+            for name in BASE_ENGINES
         }
         ref = runs["vectorized"]
         for name, got in runs.items():
@@ -114,7 +99,7 @@ class TestThreeEngineEquivalence:
         generation into multiple launches, supports and modeled costs
         still match the other engines exactly."""
         matrix = BitsetMatrix.from_database(small_db)
-        tight = _tight_device(matrix.nbytes + 600)
+        tight = tight_device(matrix.nbytes + 600)
         runs = {
             name: gpapriori_mine(
                 small_db,
@@ -122,7 +107,7 @@ class TestThreeEngineEquivalence:
                 config=GPAprioriConfig(engine=name, block_size=8, workers=2),
                 device=tight,
             )
-            for name in ("vectorized", "simulated", "parallel")
+            for name in BASE_ENGINES
         }
         generations = runs["simulated"].metrics.generations
         launches = runs["simulated"].metrics.counters["kernel.launches"]
@@ -133,3 +118,47 @@ class TestThreeEngineEquivalence:
             assert got.metrics.modeled_breakdown == pytest.approx(
                 ref.metrics.modeled_breakdown
             ), name
+
+
+class TestFleetEquivalence:
+    """engine="multigpu" mines bit-identical supports vs vectorized for
+    every fleet size — including fleets larger than the candidate count,
+    where the surplus devices simply idle."""
+
+    @SLOW
+    @given(
+        transaction_databases(max_items=7, max_transactions=18),
+        st.sampled_from(FLEET_SIZES),
+        st.data(),
+    )
+    def test_fleet_supports_bit_identical(self, db, devices, data):
+        min_count = data.draw(
+            st.integers(min_value=1, max_value=max(1, len(db)))
+        )
+        reference = gpapriori_mine(
+            db, min_count, config=GPAprioriConfig(engine="vectorized")
+        )
+        got = gpapriori_mine(
+            db,
+            min_count,
+            config=GPAprioriConfig(
+                engine="multigpu", devices=devices, block_size=8
+            ),
+        )
+        assert got.as_dict() == reference.as_dict(), devices
+
+    @pytest.mark.parametrize("devices", FLEET_SIZES)
+    def test_fleet_larger_than_candidate_count(self, devices):
+        # two items -> at most one pair candidate per generation; a
+        # 5-device fleet must idle the surplus, not misassign blocks
+        db = TransactionDatabase([[0, 1], [0, 1], [1]], n_items=2)
+        reference = gpapriori_mine(
+            db, 1, config=GPAprioriConfig(engine="vectorized")
+        )
+        got = gpapriori_mine(
+            db, 1, config=GPAprioriConfig(engine="multigpu", devices=devices)
+        )
+        assert got.as_dict() == reference.as_dict()
+        assert (
+            got.metrics.registry.gauge("fleet.devices") == devices
+        )

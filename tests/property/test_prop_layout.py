@@ -2,10 +2,11 @@
 
 The adaptive layout is a storage decision, not an algorithmic one —
 whatever mix of dense bitset rows and sparse tid-lists the threshold
-produces, every engine must mine bit-identical itemsets and the
-modeled hardware costs must stay engine-invariant. Hypothesis drives
-random databases and random thresholds, including the degenerate
-all-dense (0.0) and all-sparse (1.0) splits.
+produces, every engine (multi-device fleets included: they replicate
+the dense block and tid-lists per device) must mine bit-identical
+itemsets and the modeled hardware costs must stay engine-invariant.
+Hypothesis drives random databases and random thresholds, including
+the degenerate all-dense (0.0) and all-sparse (1.0) splits.
 """
 
 from hypothesis import given, settings
@@ -14,28 +15,23 @@ from hypothesis import strategies as st
 from repro import GPAprioriConfig, gpapriori_mine
 from repro.bitset import BitsetMatrix
 from repro.bitset.hybrid import HybridLayout, hybrid_supports
-from tests.property.strategies import transaction_databases
+from tests.property.strategies import (
+    BASE_ENGINES,
+    FLEET_SIZES,
+    engines,
+    mining_configs,
+    thresholds,
+    transaction_databases,
+)
 
 SLOW = settings(max_examples=20, deadline=None)
-
-# 0.0 pins every item dense, 1.0 pins (almost) every item sparse; the
-# middle values exercise genuinely mixed layouts.
-thresholds = st.sampled_from([0.0, 0.1, 0.3, 0.5, 0.8, 1.0])
-
-hybrid_configs = st.builds(
-    GPAprioriConfig,
-    layout=st.sampled_from(["hybrid", "auto"]),
-    dense_threshold=thresholds,
-    plan=st.sampled_from(["complete", "equivalence"]),
-    engine=st.sampled_from(["vectorized", "simulated", "parallel"]),
-)
 
 
 class TestHybridEquivalence:
     @SLOW
     @given(
         transaction_databases(max_items=7, max_transactions=18),
-        hybrid_configs,
+        mining_configs(layouts=("hybrid", "auto"), with_threshold=True),
         st.data(),
     )
     def test_hybrid_matches_dense(self, db, config, data):
@@ -49,8 +45,8 @@ class TestHybridEquivalence:
     @SLOW
     @given(
         transaction_databases(max_items=7, max_transactions=18),
-        thresholds,
-        st.sampled_from(["vectorized", "simulated", "parallel"]),
+        thresholds(),
+        engines(),
         st.data(),
     )
     def test_sharded_hybrid_matches_dense(self, db, threshold, engine, data):
@@ -63,6 +59,11 @@ class TestHybridEquivalence:
             dense_threshold=threshold,
             engine=engine,
             shards=3,
+            devices=(
+                data.draw(st.sampled_from(FLEET_SIZES))
+                if engine == "multigpu"
+                else 0
+            ),
         )
         got = gpapriori_mine(db, min_count, config=config)
         assert got.as_dict() == reference.as_dict(), config
@@ -70,19 +71,20 @@ class TestHybridEquivalence:
     @SLOW
     @given(
         transaction_databases(max_items=7, max_transactions=18),
-        thresholds,
+        thresholds(),
         st.data(),
     )
     def test_modeled_costs_engine_invariant_under_hybrid(
         self, db, threshold, data
     ):
         """The cost model prices the layout's work, not the engine's
-        execution strategy: all three engines charge identically."""
+        execution strategy: all three base engines charge identically.
+        (The fleet legitimately charges more — it ships N replicas.)"""
         min_count = data.draw(
             st.integers(min_value=1, max_value=max(1, len(db)))
         )
         breakdowns = []
-        for engine in ("vectorized", "simulated", "parallel"):
+        for engine in BASE_ENGINES:
             config = GPAprioriConfig(
                 layout="hybrid", dense_threshold=threshold, engine=engine
             )
@@ -93,7 +95,7 @@ class TestHybridEquivalence:
 
 class TestLayoutStructure:
     @SLOW
-    @given(transaction_databases(max_items=7, max_transactions=18), thresholds)
+    @given(transaction_databases(max_items=7, max_transactions=18), thresholds())
     def test_hybrid_supports_match_matrix_supports(self, db, threshold):
         import numpy as np
 

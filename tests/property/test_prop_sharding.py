@@ -4,7 +4,9 @@ The sharding layer's correctness claim is unconditional: for any
 database, threshold, engine, plan, and shard geometry, the sharded run
 mines the identical itemset->support mapping as the unsharded run.
 Supports are additive across disjoint tid ranges, so there is no
-approximation to tolerate — equality is exact, down to the bit.
+approximation to tolerate — equality is exact, down to the bit. With
+``engine="multigpu"`` every fleet member streams the same shard plan
+through its replica, and the claim still holds.
 """
 
 from hypothesis import given, settings
@@ -13,8 +15,13 @@ from hypothesis import strategies as st
 from repro import GPAprioriConfig, gpapriori_mine
 from repro.bitset import BitsetMatrix
 from repro.core.sharding import ShardPlan, slice_matrix
-from tests.property.strategies import transaction_databases
-from tests.property.test_prop_engines import _tight_device
+from tests.property.strategies import (
+    BASE_ENGINES,
+    FLEET_SIZES,
+    engines,
+    tight_device,
+    transaction_databases,
+)
 
 SLOW = settings(max_examples=20, deadline=None)
 
@@ -23,7 +30,7 @@ class TestShardedExactness:
     @SLOW
     @given(
         transaction_databases(max_items=7, max_transactions=18),
-        st.sampled_from(["vectorized", "simulated", "parallel"]),
+        engines(),
         st.sampled_from(["complete", "equivalence"]),
         st.integers(min_value=2, max_value=5),
         st.data(),
@@ -31,11 +38,23 @@ class TestShardedExactness:
     def test_sharded_matches_unsharded(self, db, engine, plan, shards, data):
         min_count = data.draw(st.integers(min_value=1, max_value=max(1, len(db))))
         reference = gpapriori_mine(db, min_count)
+        if engine == "multigpu":
+            # the fleet engine supports the complete plan only, and
+            # sweeps its own device-count axis
+            plan = "complete"
+            devices = data.draw(st.sampled_from(FLEET_SIZES))
+        else:
+            devices = 0
         cfg = GPAprioriConfig(
-            engine=engine, plan=plan, shards=shards, aligned=False, workers=2
+            engine=engine,
+            plan=plan,
+            shards=shards,
+            aligned=False,
+            workers=2,
+            devices=devices,
         )
         got = gpapriori_mine(db, min_count, config=cfg)
-        assert got.as_dict() == reference.as_dict(), (engine, plan, shards)
+        assert got.as_dict() == reference.as_dict(), (engine, plan, shards, devices)
 
     @SLOW
     @given(
@@ -45,7 +64,9 @@ class TestShardedExactness:
     )
     def test_three_engines_agree_on_modeled_costs(self, db, shards, data):
         """Sharding must not break engine interchangeability: all three
-        engines still charge identical modeled costs for a sharded run."""
+        base engines still charge identical modeled costs for a sharded
+        run (the fleet charges for its N replicas and is asserted on
+        supports only, above)."""
         min_count = data.draw(st.integers(min_value=1, max_value=max(1, len(db))))
         runs = {
             name: gpapriori_mine(
@@ -59,7 +80,7 @@ class TestShardedExactness:
                     workers=2,
                 ),
             )
-            for name in ("vectorized", "simulated", "parallel")
+            for name in BASE_ENGINES
         }
         ref = runs["vectorized"]
         for name, got in runs.items():
@@ -83,13 +104,36 @@ class TestShardedExactness:
         assert got.as_dict() == reference.as_dict()
 
     @SLOW
+    @given(
+        transaction_databases(max_items=7, max_transactions=18),
+        st.sampled_from(FLEET_SIZES),
+        st.data(),
+    )
+    def test_budget_driven_fleet_is_exact(self, db, devices, data):
+        """A per-device budget that forces every fleet replica to
+        stream tid-range shards still mines exactly (sharded-fleet)."""
+        min_count = data.draw(st.integers(min_value=1, max_value=max(1, len(db))))
+        matrix = BitsetMatrix.from_database(db, aligned=False)
+        word_col = max(matrix.n_items * 4, 1)
+        budget = 2 * word_col + 2048  # two one-word slabs + scratch
+        reference = gpapriori_mine(db, min_count)
+        cfg = GPAprioriConfig(
+            aligned=False,
+            memory_budget_bytes=budget,
+            engine="multigpu",
+            devices=devices,
+        )
+        got = gpapriori_mine(db, min_count, config=cfg)
+        assert got.as_dict() == reference.as_dict(), devices
+
+    @SLOW
     @given(transaction_databases(max_items=6, max_transactions=16), st.data())
     def test_sharded_survives_memory_pressure(self, db, data):
         """On a tight device the simulated inner engines chunk their
         candidate launches, and the answer still matches."""
         min_count = data.draw(st.integers(min_value=1, max_value=max(1, len(db))))
         matrix = BitsetMatrix.from_database(db, aligned=False)
-        tight = _tight_device(matrix.nbytes + 2048)
+        tight = tight_device(matrix.nbytes + 2048)
         reference = gpapriori_mine(db, min_count)
         cfg = GPAprioriConfig(
             engine="simulated",

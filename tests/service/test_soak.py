@@ -1,0 +1,157 @@
+"""Mixed-workload soak test: a live service under concurrent fire.
+
+4 threads x 50 queries sweep 2 datasets x {dense, hybrid} layouts x
+{vectorized, parallel, multigpu} engines against one MiningService.
+The assertions are the service's liveness and coherence contract:
+
+* no deadlock — every thread drains its queries within the timeout;
+* every response is bit-identical to the direct ``mine()`` answer for
+  its (dataset, support) — so cache hits and coalesced queries can
+  only have been served where bit-identity actually holds;
+* the ``/stats`` counters stay coherent: queries, per-source counts,
+  and scheduler completions all add up.
+"""
+
+import itertools
+import threading
+
+import numpy as np
+import pytest
+
+from repro import mine
+from repro.datasets import TransactionDatabase
+from repro.service import MiningService
+
+THREADS = 4
+QUERIES_PER_THREAD = 50
+SUPPORTS = (0.1, 0.25)
+
+
+def _db(seed: int, n_items: int, n_tx: int) -> TransactionDatabase:
+    rng = np.random.default_rng(seed)
+    rows = [
+        sorted(set(rng.integers(0, n_items, size=rng.integers(1, 8)).tolist()))
+        for _ in range(n_tx)
+    ]
+    return TransactionDatabase(rows, n_items=n_items)
+
+
+DATASETS = {
+    "uniform": _db(5, n_items=10, n_tx=48),
+    "skewed": _db(9, n_items=12, n_tx=40),
+}
+
+# the full mixed workload: every combination is mined by every thread
+# (threads start at staggered offsets so cold mines race each other)
+COMBOS = [
+    {
+        "dataset": dataset,
+        "min_support": support,
+        "layout": layout,
+        "engine": engine,
+        **({"devices": 2} if engine == "multigpu" else {}),
+        **({"workers": 2} if engine == "parallel" else {}),
+    }
+    for dataset, support, layout, engine in itertools.product(
+        DATASETS,
+        SUPPORTS,
+        ("dense", "hybrid"),
+        ("vectorized", "parallel", "multigpu"),
+    )
+]
+
+
+@pytest.fixture(scope="module")
+def service():
+    with MiningService(workers=THREADS, maintenance_interval=None) as svc:
+        for name, db in DATASETS.items():
+            svc.register_dataset(name, db)
+        yield svc
+
+
+@pytest.fixture(scope="module")
+def references():
+    return {
+        (name, support): mine(db, support)
+        for name, db in DATASETS.items()
+        for support in SUPPORTS
+    }
+
+
+class TestSoak:
+    def test_soak_no_deadlock_bit_identity_and_coherent_stats(
+        self, service, references
+    ):
+        responses = [None] * THREADS
+        errors = []
+
+        def worker(tid: int) -> None:
+            mine_count = len(COMBOS)
+            got = []
+            try:
+                for i in range(QUERIES_PER_THREAD):
+                    combo = dict(COMBOS[(tid * 7 + i) % mine_count])
+                    dataset = combo.pop("dataset")
+                    support = combo.pop("min_support")
+                    resp = service.query(
+                        dataset, support, timeout=120.0, **combo
+                    )
+                    got.append((dataset, support, resp))
+            except BaseException as exc:  # surfaced in the main thread
+                errors.append((tid, exc))
+            responses[tid] = got
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,), name=f"soak-{tid}")
+            for tid in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300.0)
+        hung = [t.name for t in threads if t.is_alive()]
+        assert not hung, f"soak threads deadlocked: {hung}"
+        assert not errors, f"soak queries failed: {errors}"
+
+        # bit-identity: whatever the engine/layout/source, each answer
+        # equals the direct mine() result for its (dataset, support) —
+        # a cache or coalesced hit across non-identical configs would
+        # show up here as a mismatched mapping.
+        seen_sources = set()
+        total = 0
+        for got in responses:
+            assert got is not None
+            for dataset, support, resp in got:
+                total += 1
+                seen_sources.add(resp.source)
+                want = references[(dataset, support)]
+                assert resp.result.as_dict() == want.as_dict(), (
+                    dataset,
+                    support,
+                    resp.source,
+                )
+        assert total == THREADS * QUERIES_PER_THREAD
+        assert seen_sources <= {"cold", "cache", "cache_filtered", "coalesced"}
+        assert "cold" in seen_sources
+        assert "cache" in seen_sources
+
+        # /stats coherence: sources partition the query count, and the
+        # scheduler completed every cold mine it admitted.
+        stats = service.stats()
+        counters = stats["metrics"]["counters"]
+        assert counters["service.queries"] == total
+        by_source = {
+            src: counters.get(f"service.source.{src}", 0)
+            for src in ("cold", "cache", "cache_filtered", "coalesced")
+        }
+        assert sum(by_source.values()) == counters["service.queries"]
+        # every distinct combo mines cold at most once per cache entry
+        assert by_source["cold"] >= len(
+            {(c["dataset"], c["min_support"]) for c in COMBOS}
+        )
+        assert by_source["cache"] > 0
+        sched = stats["scheduler"]
+        assert sched["queued"] == 0 and sched["inflight"] == 0
+        assert sched["rejected"] == 0 and sched["timeouts"] == 0
+        assert sched["scheduled"] >= by_source["cold"]
+        assert stats["cache"]["entries"] > 0

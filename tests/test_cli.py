@@ -150,6 +150,68 @@ class TestMineCommand:
         assert code == 0
         assert "frequent itemsets" in capsys.readouterr().out
 
+    def test_mine_with_multigpu_devices(self, fimi_file, capsys):
+        code = main(
+            [
+                "mine",
+                "--file",
+                fimi_file,
+                "--min-support",
+                "0.15",
+                "--engine",
+                "multigpu",
+                "--devices",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "frequent itemsets" in capsys.readouterr().out
+
+    def test_multigpu_matches_vectorized_output(self, fimi_file, capsys):
+        def itemset_lines(text):
+            # drop the header (wall time and modeled fleet time differ)
+            return [
+                ln
+                for ln in text.splitlines()
+                if ln.startswith("  (") and "support=" in ln
+            ]
+
+        assert main(["mine", "--file", fimi_file, "--min-support", "0.15"]) == 0
+        reference = itemset_lines(capsys.readouterr().out)
+        assert (
+            main(
+                [
+                    "mine",
+                    "--file",
+                    fimi_file,
+                    "--min-support",
+                    "0.15",
+                    "--engine",
+                    "multigpu",
+                    "--devices",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        fleet = itemset_lines(capsys.readouterr().out)
+        assert fleet and fleet == reference
+
+    def test_devices_flag_requires_gpapriori(self, fimi_file, capsys):
+        code = main(
+            [
+                "mine",
+                "--file",
+                fimi_file,
+                "--algorithm",
+                "borgelt",
+                "--devices",
+                "2",
+            ]
+        )
+        assert code == 2
+        assert "gpapriori" in capsys.readouterr().err
+
     def test_shard_flags_require_gpapriori(self, fimi_file, capsys):
         code = main(
             [
@@ -203,6 +265,37 @@ class TestOtherCommands:
         assert main(["algorithms"]) == 0
         out = capsys.readouterr().out
         assert "GPApriori" in out and "Bodon" in out
+
+    def test_gpapriori_accepts_tuple_locked(self, capsys):
+        """The full accepts tuple, locked: a GPAprioriConfig field that
+        does not surface here (as `devices` once did not) is invisible
+        to `repro algorithms` users."""
+        from repro import ALGORITHMS
+
+        assert ALGORITHMS["gpapriori"].accepts == (
+            "max_k",
+            "config",
+            "device",
+            "matrix",
+            "hybrid",
+            "block_size",
+            "preload_candidates",
+            "unroll",
+            "plan",
+            "engine",
+            "workers",
+            "aligned",
+            "trace_accesses",
+            "shards",
+            "memory_budget_bytes",
+            "faults",
+            "layout",
+            "dense_threshold",
+            "devices",
+        )
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "devices" in out
 
     def test_algorithms_lists_every_registry_key_with_options(self, capsys):
         from repro import ALGORITHMS
